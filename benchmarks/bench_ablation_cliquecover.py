@@ -1,0 +1,84 @@
+"""Ablation: Algorithm 3.2 (greedy) versus the exact minimum clique cover.
+
+The clique-cover quality directly bounds how far Algorithm 3.3 can push
+the width, and the paper accepts a heuristic because the exact problem
+is NP-hard [5].  This benchmark measures the greedy/exact gap on (a)
+random graphs of varying density and (b) the actual column
+compatibility graphs of the Table 1 CF.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cf import CharFunction, columns_at_height
+from repro.isf import table1_spec
+from repro.isf.compat import compatible_columns
+from repro.reduce import (
+    build_compatibility_graph,
+    exact_minimum_clique_cover,
+    heuristic_clique_cover,
+)
+from repro.utils.tables import TextTable
+
+from conftest import run_once, write_result
+
+DENSITIES = [0.2, 0.5, 0.8]
+
+_collected: dict[float, tuple] = {}
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+def test_greedy_vs_exact_random(benchmark, density):
+    def run():
+        rng = random.Random(int(density * 100))
+        greedy_total = exact_total = 0
+        for _ in range(20):
+            n = rng.randint(6, 14)
+            nodes = list(range(n))
+            adjacency = {v: set() for v in nodes}
+            for a in nodes:
+                for b in nodes:
+                    if a < b and rng.random() < density:
+                        adjacency[a].add(b)
+                        adjacency[b].add(a)
+            greedy_total += len(heuristic_clique_cover(nodes, adjacency))
+            exact_total += len(exact_minimum_clique_cover(nodes, adjacency))
+        return greedy_total, exact_total
+
+    greedy_total, exact_total = run_once(benchmark, run)
+    assert greedy_total >= exact_total
+    _collected[density] = (greedy_total, exact_total)
+    if len(_collected) == len(DENSITIES):
+        table = TextTable(["edge density", "greedy cliques", "exact cliques", "overhead"])
+        for d in DENSITIES:
+            g, e = _collected[d]
+            table.add_row([d, g, e, f"{100 * (g - e) / e:.1f}%"])
+        path = write_result("ablation_cliquecover", table.render())
+        print(f"\nClique-cover ablation written to {path}")
+
+
+def test_greedy_optimal_on_table1_columns(benchmark):
+    """On the Table 1 CF's column graphs the greedy matches the optimum."""
+
+    def run():
+        cf = CharFunction.from_spec(table1_spec())
+        bdd = cf.bdd
+        gaps = []
+        for height in range(cf.num_vars - 1, 0, -1):
+            columns = columns_at_height(bdd, cf.root, height)
+            if len(columns) < 2:
+                continue
+            adjacency, _ = build_compatibility_graph(
+                columns, lambda a, b: compatible_columns(bdd, a, b)
+            )
+            greedy = len(heuristic_clique_cover(columns, adjacency))
+            exact = len(exact_minimum_clique_cover(columns, adjacency))
+            gaps.append(greedy - exact)
+        return gaps
+
+    gaps = run_once(benchmark, run)
+    assert all(g >= 0 for g in gaps)
+    assert sum(gaps) == 0  # greedy is optimal on this instance

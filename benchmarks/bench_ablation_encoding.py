@@ -1,0 +1,68 @@
+"""Ablation: digit encoding choice (binary / Gray / one-hot).
+
+The paper uses binary-coded-p-nary digits; the companion work [10]
+studies how the input encoding changes LUT cascade synthesis.  This
+benchmark builds the same converter under three encodings and compares
+the Algorithm 3.3 CF widths and a 12-in/10-out cascade realization.
+One-hot multiplies the input count (and the input don't-care ratio), so
+the sweep uses small converters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchfns import pnary_benchmark
+from repro.cf import max_width
+from repro.experiments.runner import build_sifted_cf
+from repro.reduce import algorithm_3_3, reduce_support
+from repro.utils.tables import TextTable
+
+from conftest import run_once, write_result
+
+CASES = [(3, 5), (4, 3)]
+ENCODINGS = ("binary", "gray", "onehot")
+
+_collected: dict[tuple, dict[str, tuple[int, int, float]]] = {}
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: f"{c[0]}dig-{c[1]}nary")
+def test_encoding_sweep(benchmark, case):
+    num_digits, radix = case
+
+    def run():
+        out = {}
+        for encoding in ENCODINGS:
+            b = pnary_benchmark(num_digits, radix, encoding=encoding)
+            isf = b.build()
+            part = isf.bipartition()[1]
+            cf = build_sifted_cf(part)
+            cf, _ = reduce_support(cf)
+            cf, _ = algorithm_3_3(cf)
+            out[encoding] = (
+                b.n_inputs,
+                max_width(cf.bdd, cf.root),
+                100 * b.input_dc_ratio(),
+            )
+        return out
+
+    result = run_once(benchmark, run)
+    _collected[case] = result
+    if len(_collected) == len(CASES):
+        table = TextTable(
+            ["Converter", "encoding", "inputs", "input DC%", "Alg3.3 width (F2)"]
+        )
+        for num_digits, radix in CASES:
+            for encoding in ENCODINGS:
+                n_in, width, dc = _collected[(num_digits, radix)][encoding]
+                table.add_row(
+                    [
+                        f"{num_digits}-digit {radix}-nary",
+                        encoding,
+                        n_in,
+                        f"{dc:.1f}",
+                        width,
+                    ]
+                )
+        path = write_result("ablation_encoding", table.render())
+        print(f"\nEncoding ablation written to {path}")

@@ -1,0 +1,58 @@
+"""Ablation: one reduction pass (the paper) vs the iterated fixpoint.
+
+The paper sifts once, removes support variables once and runs Algorithm
+3.3 once.  ``repro.reduce.pipeline.full_reduction`` iterates those
+steps; this benchmark measures what the extra rounds buy on the
+benchmark functions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchfns.registry import get_benchmark
+from repro.cf import CharFunction, max_width
+from repro.experiments.runner import build_sifted_cf
+from repro.reduce import algorithm_3_3, full_reduction, reduce_support
+from repro.utils.tables import TextTable
+
+from conftest import run_once, write_result
+
+CASES = [
+    "5-7-11-13 RNS",
+    "4-digit 11-nary to binary",
+    "3-digit decimal adder",
+    "10-digit 3-nary to binary",
+]
+
+_collected: dict[str, tuple[int, int, int, int]] = {}
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_single_vs_iterated(benchmark, name):
+    def run():
+        isf = get_benchmark(name).build()
+        part = isf.bipartition()[1]
+        cf = build_sifted_cf(part)
+        initial = max_width(cf.bdd, cf.root)
+
+        single, _ = algorithm_3_3(reduce_support(cf)[0])
+        w_single = max_width(single.bdd, single.root)
+
+        iterated, report = full_reduction(cf, max_rounds=3)
+        w_iter = max_width(iterated.bdd, iterated.root)
+        return initial, w_single, w_iter, len(report.rounds)
+
+    result = run_once(benchmark, run)
+    initial, w_single, w_iter, rounds = result
+    assert w_iter <= initial  # iterating never loses to the sifted CF
+    _collected[name] = result
+    if len(_collected) == len(CASES):
+        table = TextTable(
+            ["Function (F2)", "sifted", "1 pass", "iterated", "rounds"]
+        )
+        for case in CASES:
+            i, s, it, r = _collected[case]
+            table.add_row([case, i, s, it, r])
+        path = write_result("ablation_iteration", table.render())
+        print(f"\nIteration ablation written to {path}")

@@ -1,0 +1,78 @@
+"""Ablation: output partition granularity (Sect. 5.1's design choice).
+
+The paper reports that representing *all* outputs in one BDD_for_CF
+makes the don't-care assignment ineffective, while splitting every
+output into its own CF "will conflict the optimization of
+multiple-output function"; bi-partition is their sweet spot.  This
+benchmark sweeps partition granularity (1, 2, 4 groups, per-output) and
+reports the total Algorithm 3.3 width per granularity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchfns.registry import get_benchmark
+from repro.cf import CharFunction, max_width
+from repro.experiments.runner import build_sifted_cf
+from repro.isf.function import MultiOutputISF
+from repro.reduce import algorithm_3_3, reduce_support
+from repro.utils.tables import TextTable
+
+from conftest import run_once, write_result
+
+CASES = ["5-7-11-13 RNS", "3-digit decimal adder"]
+GRANULARITIES = [1, 2, 4, 0]  # 0 = one CF per output
+
+_collected: dict[str, dict[int, tuple[int, int]]] = {}
+
+
+def split_outputs(isf: MultiOutputISF, groups: int) -> list[list[int]]:
+    m = isf.n_outputs
+    if groups == 0:
+        return [[i] for i in range(m)]
+    groups = min(groups, m)
+    size = (m + groups - 1) // groups
+    return [list(range(i, min(i + size, m))) for i in range(0, m, size)]
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_partition_sweep(benchmark, name):
+    def run():
+        isf = get_benchmark(name).build()
+        hints = isf.placement_supports
+        out = {}
+        for granularity in GRANULARITIES:
+            total_width = 0
+            total_nodes = 0
+            for indices in split_outputs(isf, granularity):
+                part = MultiOutputISF(
+                    isf.bdd,
+                    isf.input_vids,
+                    [isf.outputs[i] for i in indices],
+                    output_names=[isf.output_names[i] for i in indices],
+                    placement_supports=(
+                        [hints[i] for i in indices] if hints is not None else None
+                    ),
+                )
+                cf = build_sifted_cf(part)
+                cf, _ = reduce_support(cf)
+                cf, _ = algorithm_3_3(cf)
+                total_width += max_width(cf.bdd, cf.root)
+                total_nodes += cf.num_nodes()
+            out[granularity] = (total_width, total_nodes)
+        return out
+
+    result = run_once(benchmark, run)
+    _collected[name] = result
+    if len(_collected) == len(CASES):
+        table = TextTable(
+            ["Function", "groups", "sum of Alg3.3 max widths", "sum of nodes"]
+        )
+        for case in CASES:
+            for granularity in GRANULARITIES:
+                w, n = _collected[case][granularity]
+                label = "per-output" if granularity == 0 else str(granularity)
+                table.add_row([case, label, w, n])
+        path = write_result("ablation_partitions", table.render())
+        print(f"\nPartition ablation written to {path}")

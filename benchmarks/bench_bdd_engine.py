@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the ROBDD substrate.
+
+These track the throughput of the primitives everything else is built
+on: conjunction over random functions, sparse construction (the
+word-list path), sifting, and the totality check that dominates
+Algorithm 3.3's compatibility graph.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bdd import BDD, from_sorted_minterms, from_truth_table, sift
+from repro.cf import CharFunction, sum_of_widths
+from repro.isf import table1_spec
+from repro.isf.compat import ordered_total
+
+
+def _random_functions(seed: int, n_vars: int, count: int):
+    rng = random.Random(seed)
+    bdd = BDD()
+    vids = bdd.add_vars([f"x{i}" for i in range(n_vars)])
+    fns = [
+        from_truth_table(bdd, vids, [rng.randint(0, 1) for _ in range(1 << n_vars)])
+        for _ in range(count)
+    ]
+    return bdd, fns
+
+
+def test_apply_and_throughput(benchmark):
+    bdd, fns = _random_functions(1, 10, 40)
+
+    def run():
+        bdd.clear_cache()
+        acc = 0
+        for f in fns:
+            for g in fns[::3]:
+                acc ^= bdd.apply_and(f, g)
+        return acc
+
+    benchmark(run)
+
+
+def test_sparse_minterm_build(benchmark):
+    rng = random.Random(2)
+    minterms = sorted(rng.sample(range(1 << 40), 2000))
+
+    def run():
+        bdd = BDD()
+        vids = bdd.add_vars([f"b{i}" for i in range(40)])
+        return from_sorted_minterms(bdd, vids, minterms)
+
+    benchmark(run)
+
+
+def test_sifting_small_cf(benchmark):
+    def run():
+        cf = CharFunction.from_spec(table1_spec())
+        cf.sift(cost="widthsum")
+        return sum_of_widths(cf.bdd, cf.root)
+
+    benchmark(run)
+
+
+def test_ordered_total_check(benchmark):
+    cf = CharFunction.from_spec(table1_spec())
+    bdd = cf.bdd
+
+    def run():
+        bdd.clear_cache()
+        return ordered_total(bdd, cf.root)
+
+    benchmark(run)
+
+
+def test_sift_random_20var(benchmark):
+    rng = random.Random(3)
+    minterms = sorted(rng.sample(range(1 << 20), 4000))
+
+    def run():
+        bdd = BDD()
+        vids = bdd.add_vars([f"b{i}" for i in range(20)])
+        f = from_sorted_minterms(bdd, vids, minterms)
+        sift(bdd, [f])
+        return bdd.count_nodes(f)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,30 @@
+"""Scaling study: reduction factors vs word-list size.
+
+Supports the EXPERIMENTS.md claim that the scaled word lists predict
+the paper-size behaviour — the DC=0 / Algorithm 3.3 width, node and
+memory *factors* stay roughly constant as k grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scaling import format_scaling, measure_point
+
+from conftest import bench_full, run_once, write_result
+
+SIZES = [50, 100, 200, 400] if not bench_full() else [50, 100, 200, 400, 800, 1200]
+
+_collected: dict[int, object] = {}
+
+
+@pytest.mark.parametrize("count", SIZES)
+def test_scaling_point(benchmark, count):
+    point = run_once(benchmark, lambda: measure_point(count))
+    assert point.alg33_width <= point.dc0_width
+    assert point.fig8_lut_bits < point.dc0_lut_bits
+    _collected[count] = point
+    if len(_collected) == len(SIZES):
+        points = [_collected[k] for k in SIZES]
+        path = write_result("scaling_wordlists", format_scaling(points))
+        print(f"\nScaling study written to {path}")

@@ -1,0 +1,42 @@
+"""Regenerates Table 4: maximum width and number of nodes in BDD_for_CFs.
+
+Each parameterized benchmark runs the full Sect. 5.1 pipeline for one
+function (DC=0 / DC=1 / ISF / Alg3.1 / Alg3.3 over both output
+partitions).  The assembled table — the paper's Table 4 layout,
+including the Ratio row — is written to
+``benchmarks/results/table4.txt`` when the last row finishes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchfns.registry import get_benchmark, table4_names
+from repro.experiments.table4 import format_table4, run_row
+
+from conftest import bench_full, run_once, write_result
+
+QUICK_ROWS = [
+    "5-7-11-13 RNS",
+    "4-digit 11-nary to binary",
+    "6-digit 5-nary to binary",
+    "10-digit 3-nary to binary",
+    "3-digit decimal adder",
+    "4-digit decimal adder",
+    "2-digit decimal multiplier",
+    "150 words",
+]
+
+ROWS = table4_names() if bench_full() else QUICK_ROWS
+
+_collected: dict[str, object] = {}
+
+
+@pytest.mark.parametrize("name", ROWS)
+def test_table4_row(benchmark, name):
+    result = run_once(benchmark, lambda: run_row(get_benchmark(name), verify=True))
+    _collected[name] = result
+    if len(_collected) == len(ROWS):
+        rows = [_collected[n] for n in ROWS]
+        path = write_result("table4", format_table4(rows))
+        print(f"\nTable 4 written to {path}")

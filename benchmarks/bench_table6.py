@@ -1,0 +1,30 @@
+"""Regenerates Table 6: English word lists on cascades + AUX memory.
+
+For each word list the DC=0 pure-cascade design and the Fig. 8 design
+(output-0 -> don't care, support reduction, Algorithm 3.3, auxiliary
+memory + comparator) are synthesized and *fully verified*: every
+registered word must map to its index, random non-words to 0.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._config import word_list_sizes
+from repro.experiments.table6 import format_table6, run_table6
+
+from conftest import bench_full, run_once, write_result
+
+SIZES = list(word_list_sizes()) if bench_full() else [60, 150]
+
+_collected: dict[int, list] = {}
+
+
+@pytest.mark.parametrize("count", SIZES)
+def test_table6_wordlist(benchmark, count):
+    rows = run_once(benchmark, lambda: run_table6([count], verify=True))
+    _collected[count] = rows
+    if len(_collected) == len(SIZES):
+        all_rows = [r for c in SIZES for r in _collected[c]]
+        path = write_result("table6", format_table6(all_rows))
+        print(f"\nTable 6 written to {path}")

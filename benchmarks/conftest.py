@@ -1,0 +1,47 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Scale control:
+
+* default        — representative subset of every experiment (minutes).
+* REPRO_BENCH_FULL=1  — every Table 4/5 row and every configured word
+  list (tens of minutes on one core).
+* REPRO_FULL_SCALE=1  — additionally use the paper's word-list sizes
+  1730/3366/4705 (hours; see DESIGN.md §6).
+
+Each benchmark writes the regenerated table/figure to
+``benchmarks/results/<name>.txt`` so the artefacts survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_full() -> bool:
+    """True when the full benchmark suite was requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "").strip() not in ("", "0", "false")
+
+
+def write_result(name: str, text: str) -> pathlib.Path:
+    """Persist a regenerated table/figure under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_once(benchmark, fn):
+    """Run a heavy pipeline exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,24 @@
+"""Reproduction of Matsuura & Sasao's BDD_for_CF system (DAC 2005).
+
+The package implements:
+
+* a from-scratch ROBDD engine (:mod:`repro.bdd`),
+* incompletely specified multiple-output functions (:mod:`repro.isf`),
+* the characteristic-function BDD representation (:mod:`repro.cf`),
+* the width-reduction algorithms 3.1/3.2/3.3 and support-variable
+  reduction (:mod:`repro.reduce`),
+* functional decomposition (:mod:`repro.decomp`),
+* LUT cascade synthesis and the cascade + auxiliary-memory
+  architecture of Fig. 8 (:mod:`repro.cascade`),
+* the paper's benchmark functions (:mod:`repro.benchfns`), and
+* the experiment pipelines regenerating every table and figure
+  (:mod:`repro.experiments`).
+
+See README.md for a quickstart and DESIGN.md for the full inventory.
+"""
+
+__version__ = "1.0.0"
+
+from repro.bdd import BDD
+
+__all__ = ["BDD", "__version__"]

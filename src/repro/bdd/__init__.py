@@ -1,0 +1,69 @@
+"""From-scratch ROBDD engine (the substrate of the reproduction).
+
+Public surface:
+
+* :class:`~repro.bdd.manager.BDD` — the manager (nodes are ints, the
+  constant nodes are ``BDD.FALSE``/``BDD.TRUE``).
+* :mod:`repro.bdd.builder` — construction from cubes, truth tables, and
+  sorted minterm lists.
+* :mod:`repro.bdd.vector` — symbolic bit-vector arithmetic.
+* :mod:`repro.bdd.reorder` — in-place adjacent swaps and sifting.
+* :mod:`repro.bdd.traversal` — level profiles and crossing-edge sets.
+* :mod:`repro.bdd.dot` — Graphviz export in the paper's drawing style.
+"""
+
+from repro.bdd.manager import FALSE, TRUE, BDD
+from repro.bdd.builder import (
+    from_cube,
+    from_cubes,
+    from_sorted_minterms,
+    from_truth_table,
+    word_geq_const,
+)
+from repro.bdd.reorder import SiftSession, set_order, sift
+from repro.bdd.traversal import (
+    count_paths_to_one,
+    crossing_targets,
+    internal_nodes,
+    level_profile,
+    nodes_by_level,
+)
+from repro.bdd.dot import to_dot
+from repro.bdd.force import force_input_order, force_order
+from repro.bdd.gcf import constrain, restrict_gc
+from repro.bdd.io import (
+    dump_charfunction,
+    dump_forest,
+    load_charfunction,
+    load_forest,
+)
+from repro.bdd.transfer import transfer
+
+__all__ = [
+    "BDD",
+    "FALSE",
+    "TRUE",
+    "SiftSession",
+    "constrain",
+    "count_paths_to_one",
+    "force_input_order",
+    "force_order",
+    "crossing_targets",
+    "dump_charfunction",
+    "dump_forest",
+    "from_cube",
+    "from_cubes",
+    "from_sorted_minterms",
+    "from_truth_table",
+    "internal_nodes",
+    "load_charfunction",
+    "load_forest",
+    "level_profile",
+    "nodes_by_level",
+    "set_order",
+    "sift",
+    "restrict_gc",
+    "to_dot",
+    "transfer",
+    "word_geq_const",
+]

@@ -1,0 +1,64 @@
+"""Graphviz (DOT) export of BDD forests.
+
+Mirrors the drawing conventions of the paper's figures: solid lines for
+1-edges, dotted lines for 0-edges, ranks by variable level, and an
+option to omit the constant 0 node and all edges into it (as in Fig. 2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.bdd.manager import FALSE, TRUE, BDD
+
+
+def to_dot(
+    bdd: BDD,
+    roots: Mapping[str, int] | Sequence[int],
+    *,
+    omit_false: bool = True,
+    graph_name: str = "bdd",
+) -> str:
+    """Render the BDD forest rooted at ``roots`` as a DOT string.
+
+    ``roots`` is either a name -> node mapping (names become external
+    pointers in the drawing) or a plain sequence of nodes.
+    """
+    if isinstance(roots, Mapping):
+        named = dict(roots)
+    else:
+        named = {f"f{i}": r for i, r in enumerate(roots)}
+
+    lines = [f"digraph {graph_name} {{", "  ordering=out;"]
+    nodes = bdd.reachable(named.values())
+    by_level: dict[int, list[int]] = {}
+    for u in nodes:
+        if u > 1:
+            by_level.setdefault(bdd.level(u), []).append(u)
+
+    for name, root in named.items():
+        lines.append(f'  "root_{name}" [label="{name}", shape=plaintext];')
+        if root != FALSE or not omit_false:
+            lines.append(f'  "root_{name}" -> "n{root}";')
+
+    for level in sorted(by_level):
+        members = by_level[level]
+        var = bdd.name_of(bdd.vid_at_level(level))
+        shape = "box" if bdd.is_output_vid(bdd.vid_at_level(level)) else "circle"
+        decls = " ".join(f'"n{u}";' for u in sorted(members))
+        lines.append(f"  {{ rank=same; {decls} }}")
+        for u in sorted(members):
+            lines.append(f'  "n{u}" [label="{var}", shape={shape}];')
+
+    if TRUE in nodes:
+        lines.append('  "n1" [label="1", shape=square];')
+    if FALSE in nodes and not omit_false:
+        lines.append('  "n0" [label="0", shape=square];')
+
+    for u in sorted(n for n in nodes if n > 1):
+        for style, child in (("dotted", bdd.lo(u)), ("solid", bdd.hi(u))):
+            if child == FALSE and omit_false:
+                continue
+            lines.append(f'  "n{u}" -> "n{child}" [style={style}];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""FORCE: a fast hypergraph-based variable-ordering heuristic.
+
+FORCE (Aloul, Markov, Sakallah) places hypergraph vertices on a line by
+repeatedly moving each vertex to the mean *center of gravity* of its
+hyperedges.  For BDD ordering the vertices are variables and the
+hyperedges are affinity groups — here, the support sets of a
+multi-output function's outputs: variables that feed the same output
+end up adjacent, which is a good seed order before sifting (sifting
+moves one variable at a time and cannot fix a globally scrambled
+order, see the decimal-adder discussion in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.isf.function import MultiOutputISF
+
+
+def force_order(
+    num_vertices: int,
+    hyperedges: Sequence[Sequence[int]],
+    *,
+    iterations: int = 40,
+    initial: Sequence[int] | None = None,
+) -> list[int]:
+    """Linear arrangement of ``0..num_vertices-1`` minimizing net spans.
+
+    Returns the vertices in placement order.  Deterministic: ties are
+    broken by vertex index.
+    """
+    if initial is not None:
+        order = list(initial)
+    else:
+        order = list(range(num_vertices))
+    position = {v: i for i, v in enumerate(order)}
+    edges = [list(e) for e in hyperedges if len(e) >= 2]
+    if not edges:
+        return order
+
+    best_order = list(order)
+    best_cost = _span_cost(position, edges)
+    for _ in range(iterations):
+        cogs = [
+            sum(position[v] for v in edge) / len(edge) for edge in edges
+        ]
+        pull: dict[int, list[float]] = {v: [] for v in range(num_vertices)}
+        for edge, cog in zip(edges, cogs):
+            for v in edge:
+                pull[v].append(cog)
+        desired = {
+            v: (sum(ps) / len(ps) if ps else position[v])
+            for v, ps in pull.items()
+        }
+        order = sorted(range(num_vertices), key=lambda v: (desired[v], v))
+        position = {v: i for i, v in enumerate(order)}
+        cost = _span_cost(position, edges)
+        if cost < best_cost:
+            best_cost = cost
+            best_order = list(order)
+        else:
+            break
+    return best_order
+
+
+def _span_cost(position: dict[int, int], edges: list[list[int]]) -> int:
+    total = 0
+    for edge in edges:
+        ps = [position[v] for v in edge]
+        total += max(ps) - min(ps)
+    return total
+
+
+def force_input_order(isf: MultiOutputISF) -> list[int]:
+    """Order the ISF's input variables with FORCE over output supports.
+
+    Each output contributes one hyperedge: its care-value support when
+    placement hints are present, its structural support otherwise.
+    Returns input vids, top of the order first.
+    """
+    src = isf.bdd
+    index_of = {v: i for i, v in enumerate(isf.input_vids)}
+    edges = []
+    for i, out in enumerate(isf.outputs):
+        if isf.placement_supports is not None:
+            supp = isf.placement_supports[i]
+        else:
+            supp = src.support(out.f0) | src.support(out.f1)
+        edge = [index_of[v] for v in supp if v in index_of]
+        if len(edge) >= 2:
+            edges.append(edge)
+    order = force_order(len(isf.input_vids), edges)
+    return [isf.input_vids[i] for i in order]

@@ -1,0 +1,115 @@
+"""Serialization of BDD forests and characteristic functions.
+
+A compact JSON format for persisting sifted/reduced BDD_for_CFs between
+runs (building + sifting the big word-list CFs costs minutes; loading
+them back is linear):
+
+    {
+      "format": "repro-bdd-forest",
+      "version": 1,
+      "variables": [{"name": "x1", "kind": "input"}, ...],   # top first
+      "nodes": [[var_index, lo, hi], ...],  # ids 2.., children < own id
+      "roots": {"chi": 17, ...}
+    }
+
+Node ids 0/1 are the constants.  Nodes are emitted in a reverse
+topological order, so loading is a single pass of ``mk`` calls.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+
+from repro.bdd.manager import BDD
+from repro.cf.charfun import CharFunction
+from repro.errors import BDDError
+
+
+def dump_forest(bdd: BDD, roots: Mapping[str, int]) -> str:
+    """Serialize named roots (and their cones) to a JSON string."""
+    order = [bdd.vid_at_level(level) for level in range(bdd.num_vars)]
+    var_index = {vid: i for i, vid in enumerate(order)}
+    variables = [
+        {"name": bdd.name_of(vid), "kind": bdd.kind_of(vid)} for vid in order
+    ]
+
+    new_id: dict[int, int] = {0: 0, 1: 1}
+    nodes: list[list[int]] = []
+
+    def visit(u: int) -> int:
+        r = new_id.get(u)
+        if r is not None:
+            return r
+        lo = visit(bdd.lo(u))
+        hi = visit(bdd.hi(u))
+        r = len(nodes) + 2
+        nodes.append([var_index[bdd.var_of(u)], lo, hi])
+        new_id[u] = r
+        return r
+
+    root_map = {name: visit(node) for name, node in roots.items()}
+    return json.dumps(
+        {
+            "format": "repro-bdd-forest",
+            "version": 1,
+            "variables": variables,
+            "nodes": nodes,
+            "roots": root_map,
+        }
+    )
+
+
+def load_forest(text: str) -> tuple[BDD, dict[str, int]]:
+    """Rebuild a serialized forest in a fresh manager."""
+    data = json.loads(text)
+    if data.get("format") != "repro-bdd-forest" or data.get("version") != 1:
+        raise BDDError("not a repro-bdd-forest v1 document")
+    bdd = BDD()
+    vids = [
+        bdd.add_var(entry["name"], kind=entry["kind"])
+        for entry in data["variables"]
+    ]
+    ids: list[int] = [0, 1]
+    for var_index, lo, hi in data["nodes"]:
+        if lo >= len(ids) or hi >= len(ids):
+            raise BDDError("forest nodes are not topologically ordered")
+        node = bdd.mk(vids[var_index], ids[lo], ids[hi])
+        ids.append(node)
+    roots = {name: ids[r] for name, r in data["roots"].items()}
+    return bdd, roots
+
+
+def dump_charfunction(cf: CharFunction) -> str:
+    """Serialize a CharFunction (root, variables, metadata)."""
+    payload = json.loads(dump_forest(cf.bdd, {"chi": cf.root}))
+    payload["charfunction"] = {
+        "name": cf.name,
+        "inputs": [cf.bdd.name_of(v) for v in cf.input_vids],
+        "outputs": [cf.bdd.name_of(v) for v in cf.output_vids],
+        "output_supports": {
+            cf.bdd.name_of(y): sorted(cf.bdd.name_of(x) for x in xs)
+            for y, xs in cf.output_supports.items()
+        },
+    }
+    return json.dumps(payload)
+
+
+def load_charfunction(text: str) -> CharFunction:
+    """Rebuild a serialized CharFunction in a fresh manager."""
+    data = json.loads(text)
+    meta = data.get("charfunction")
+    if meta is None:
+        raise BDDError("document does not contain a charfunction section")
+    bdd, roots = load_forest(text)
+    return CharFunction(
+        bdd,
+        roots["chi"],
+        [bdd.vid(name) for name in meta["inputs"]],
+        [bdd.vid(name) for name in meta["outputs"]],
+        name=meta["name"],
+        output_supports={
+            bdd.vid(y): frozenset(bdd.vid(x) for x in xs)
+            for y, xs in meta["output_supports"].items()
+        },
+    )

@@ -1,0 +1,616 @@
+"""A from-scratch ROBDD manager.
+
+This is the substrate for the whole reproduction: no external BDD
+library is used.  Design notes:
+
+* Nodes are small integers.  ``0`` is the constant FALSE, ``1`` the
+  constant TRUE; every other node ``u`` has a variable ``vid(u)`` and
+  two children ``lo(u)`` / ``hi(u)`` (else/then).
+* Variables are identified by a *vid* (dense int) and carry a name and a
+  kind (``"input"`` or ``"output"``).  The kind matters for the paper's
+  characteristic-function semantics: output variables are
+  existentially quantified in totality/compatibility checks and their
+  edges into constant 0 are excluded from width counts (Theorem 3.1).
+* The variable order is a mutable mapping vid <-> level.  Nodes store
+  vids, not levels, so an adjacent-level swap (see
+  :mod:`repro.bdd.reorder`) only rewrites nodes at the upper level.
+* Reduced and ordered invariants are maintained by :meth:`BDD.mk`;
+  structural equality of functions is id equality.
+* There is no reference counting.  :meth:`BDD.collect` takes the set of
+  roots the caller still needs and sweeps everything else, recycling
+  node ids through a free list.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import ForeignNodeError, VariableError
+
+#: Level assigned to terminal nodes: below every variable.
+TERMINAL_LEVEL = 1 << 30
+
+FALSE = 0
+TRUE = 1
+
+
+class BDD:
+    """Manager owning a shared, reduced, ordered BDD forest."""
+
+    FALSE = FALSE
+    TRUE = TRUE
+
+    def __init__(self) -> None:
+        # Parallel arrays indexed by node id.  Slots 0/1 are terminals.
+        self._vid: list[int] = [-1, -1]
+        self._lo: list[int] = [-1, -1]
+        self._hi: list[int] = [-1, -1]
+        self._free: list[int] = []
+        # Per-variable unique tables: vid -> {(lo, hi): node}
+        self._unique: list[dict[tuple[int, int], int]] = []
+        # Variable metadata.
+        self._names: list[str] = []
+        self._kinds: list[str] = []
+        self._name2vid: dict[str, int] = {}
+        self._level_of: list[int] = []
+        self._var_at_level: list[int] = []
+        # Operation cache (cleared on reorder / collect).
+        self._cache: dict[tuple, int] = {}
+        # Registered variable groups for quantification cache keys.
+        self._groups: list[frozenset[int]] = []
+        self._group_ids: dict[frozenset[int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Variables and ordering
+    # ------------------------------------------------------------------
+
+    def add_var(self, name: str, kind: str = "input") -> int:
+        """Create a new variable at the bottom of the order; return its vid."""
+        if name in self._name2vid:
+            raise VariableError(f"variable {name!r} already exists")
+        if kind not in ("input", "output"):
+            raise VariableError(f"variable kind must be input/output, got {kind!r}")
+        vid = len(self._names)
+        self._names.append(name)
+        self._kinds.append(kind)
+        self._name2vid[name] = vid
+        self._level_of.append(len(self._var_at_level))
+        self._var_at_level.append(vid)
+        self._unique.append({})
+        return vid
+
+    def add_vars(self, names: Iterable[str], kind: str = "input") -> list[int]:
+        """Create several variables in order; return their vids."""
+        return [self.add_var(name, kind) for name in names]
+
+    @property
+    def num_vars(self) -> int:
+        """Number of declared variables."""
+        return len(self._names)
+
+    def vid(self, name: str) -> int:
+        """Vid of a variable by name."""
+        try:
+            return self._name2vid[name]
+        except KeyError:
+            raise VariableError(f"unknown variable {name!r}") from None
+
+    def name_of(self, vid: int) -> str:
+        """Name of a variable by vid."""
+        return self._names[vid]
+
+    def kind_of(self, vid: int) -> str:
+        """Kind ('input' or 'output') of a variable by vid."""
+        return self._kinds[vid]
+
+    def is_output_vid(self, vid: int) -> bool:
+        """True when the variable is an output (y) variable."""
+        return self._kinds[vid] == "output"
+
+    def level_of_vid(self, vid: int) -> int:
+        """Current level of a variable (0 = top of the order)."""
+        return self._level_of[vid]
+
+    def vid_at_level(self, level: int) -> int:
+        """Vid of the variable currently at ``level``."""
+        return self._var_at_level[level]
+
+    def order(self) -> list[str]:
+        """Variable names from the top of the order to the bottom."""
+        return [self._names[v] for v in self._var_at_level]
+
+    def level(self, u: int) -> int:
+        """Level of a node (terminals sit below every variable)."""
+        if u <= 1:
+            return TERMINAL_LEVEL
+        return self._level_of[self._vid[u]]
+
+    # ------------------------------------------------------------------
+    # Node structure
+    # ------------------------------------------------------------------
+
+    def var_of(self, u: int) -> int:
+        """Vid labelling an internal node."""
+        if u <= 1:
+            raise ForeignNodeError("terminal nodes have no variable")
+        return self._vid[u]
+
+    def lo(self, u: int) -> int:
+        """Else-child (variable = 0) of an internal node."""
+        if u <= 1:
+            raise ForeignNodeError("terminal nodes have no children")
+        return self._lo[u]
+
+    def hi(self, u: int) -> int:
+        """Then-child (variable = 1) of an internal node."""
+        if u <= 1:
+            raise ForeignNodeError("terminal nodes have no children")
+        return self._hi[u]
+
+    def is_terminal(self, u: int) -> bool:
+        """True for the constant nodes 0 and 1."""
+        return u <= 1
+
+    def mk(self, vid: int, lo: int, hi: int) -> int:
+        """Find-or-create the reduced node ``(vid, lo, hi)``.
+
+        Maintains the two ROBDD invariants: returns ``lo`` directly when
+        the children coincide, and hash-conses every other node.
+        """
+        if lo == hi:
+            return lo
+        table = self._unique[vid]
+        u = table.get((lo, hi))
+        if u is not None:
+            return u
+        if self._free:
+            u = self._free.pop()
+            self._vid[u] = vid
+            self._lo[u] = lo
+            self._hi[u] = hi
+        else:
+            u = len(self._vid)
+            self._vid.append(vid)
+            self._lo.append(lo)
+            self._hi.append(hi)
+        table[(lo, hi)] = u
+        return u
+
+    def var(self, name_or_vid: int | str) -> int:
+        """The function of a single variable."""
+        vid = self.vid(name_or_vid) if isinstance(name_or_vid, str) else name_or_vid
+        return self.mk(vid, FALSE, TRUE)
+
+    def nvar(self, name_or_vid: int | str) -> int:
+        """The complemented single-variable function."""
+        vid = self.vid(name_or_vid) if isinstance(name_or_vid, str) else name_or_vid
+        return self.mk(vid, TRUE, FALSE)
+
+    # ------------------------------------------------------------------
+    # Boolean operations
+    # ------------------------------------------------------------------
+
+    def apply_and(self, f: int, g: int) -> int:
+        """Conjunction of two functions."""
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == TRUE:
+            return g
+        if g == TRUE or f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        key = ("&", f, g)
+        cache = self._cache
+        r = cache.get(key)
+        if r is not None:
+            return r
+        lf, lg = self.level(f), self.level(g)
+        if lf <= lg:
+            vid = self._vid[f]
+            f0, f1 = self._lo[f], self._hi[f]
+        else:
+            vid = self._vid[g]
+            f0 = f1 = f
+        if lg <= lf:
+            g0, g1 = self._lo[g], self._hi[g]
+        else:
+            g0 = g1 = g
+        r = self.mk(vid, self.apply_and(f0, g0), self.apply_and(f1, g1))
+        cache[key] = r
+        return r
+
+    def apply_or(self, f: int, g: int) -> int:
+        """Disjunction of two functions."""
+        if f == TRUE or g == TRUE:
+            return TRUE
+        if f == FALSE:
+            return g
+        if g == FALSE or f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        key = ("|", f, g)
+        cache = self._cache
+        r = cache.get(key)
+        if r is not None:
+            return r
+        lf, lg = self.level(f), self.level(g)
+        if lf <= lg:
+            vid = self._vid[f]
+            f0, f1 = self._lo[f], self._hi[f]
+        else:
+            vid = self._vid[g]
+            f0 = f1 = f
+        if lg <= lf:
+            g0, g1 = self._lo[g], self._hi[g]
+        else:
+            g0 = g1 = g
+        r = self.mk(vid, self.apply_or(f0, g0), self.apply_or(f1, g1))
+        cache[key] = r
+        return r
+
+    def apply_xor(self, f: int, g: int) -> int:
+        """Exclusive-or of two functions."""
+        if f == g:
+            return FALSE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f == TRUE:
+            return self.apply_not(g)
+        if g == TRUE:
+            return self.apply_not(f)
+        if f > g:
+            f, g = g, f
+        key = ("^", f, g)
+        cache = self._cache
+        r = cache.get(key)
+        if r is not None:
+            return r
+        lf, lg = self.level(f), self.level(g)
+        if lf <= lg:
+            vid = self._vid[f]
+            f0, f1 = self._lo[f], self._hi[f]
+        else:
+            vid = self._vid[g]
+            f0 = f1 = f
+        if lg <= lf:
+            g0, g1 = self._lo[g], self._hi[g]
+        else:
+            g0 = g1 = g
+        r = self.mk(vid, self.apply_xor(f0, g0), self.apply_xor(f1, g1))
+        cache[key] = r
+        return r
+
+    def apply_not(self, f: int) -> int:
+        """Complement of a function."""
+        if f == FALSE:
+            return TRUE
+        if f == TRUE:
+            return FALSE
+        key = ("~", f)
+        cache = self._cache
+        r = cache.get(key)
+        if r is not None:
+            return r
+        r = self.mk(self._vid[f], self.apply_not(self._lo[f]), self.apply_not(self._hi[f]))
+        cache[key] = r
+        # Complement is an involution; prime the reverse entry too.
+        cache[("~", r)] = f
+        return r
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f·g ∨ ¬f·h``."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        if g == FALSE and h == TRUE:
+            return self.apply_not(f)
+        key = ("?", f, g, h)
+        cache = self._cache
+        r = cache.get(key)
+        if r is not None:
+            return r
+        top = min(self.level(f), self.level(g), self.level(h))
+        vid = self._var_at_level[top]
+
+        def cof(u: int, which: int) -> int:
+            if u <= 1 or self._vid[u] != vid:
+                return u
+            return self._hi[u] if which else self._lo[u]
+
+        r = self.mk(
+            vid,
+            self.ite(cof(f, 0), cof(g, 0), cof(h, 0)),
+            self.ite(cof(f, 1), cof(g, 1), cof(h, 1)),
+        )
+        cache[key] = r
+        return r
+
+    def xnor(self, f: int, g: int) -> int:
+        """Equivalence ``f ≡ g`` — the paper's y_i ≡ f_i(X) building block."""
+        return self.apply_not(self.apply_xor(f, g))
+
+    def implies(self, f: int, g: int) -> bool:
+        """Decide whether ``f → g`` is a tautology (``f·¬g = 0``)."""
+        return self.apply_and(f, self.apply_not(g)) == FALSE
+
+    # ------------------------------------------------------------------
+    # Cofactors, restriction, composition, quantification
+    # ------------------------------------------------------------------
+
+    def cofactor(self, f: int, vid: int, value: int) -> int:
+        """Shannon cofactor of ``f`` with respect to one variable."""
+        if f <= 1:
+            return f
+        key = ("co", f, vid, value)
+        cache = self._cache
+        r = cache.get(key)
+        if r is not None:
+            return r
+        target_level = self._level_of[vid]
+        level = self._level_of[self._vid[f]]
+        if level > target_level:
+            r = f  # f does not depend on vid
+        elif level == target_level:
+            r = self._hi[f] if value else self._lo[f]
+        else:
+            r = self.mk(
+                self._vid[f],
+                self.cofactor(self._lo[f], vid, value),
+                self.cofactor(self._hi[f], vid, value),
+            )
+        cache[key] = r
+        return r
+
+    def restrict(self, f: int, assignment: Mapping[int, int]) -> int:
+        """Restrict several variables at once; ``assignment`` maps vid -> bit."""
+        for vid, value in sorted(assignment.items(), key=lambda kv: self._level_of[kv[0]]):
+            f = self.cofactor(f, vid, 1 if value else 0)
+        return f
+
+    def compose(self, f: int, vid: int, g: int) -> int:
+        """Substitute function ``g`` for variable ``vid`` in ``f``."""
+        if f <= 1:
+            return f
+        key = ("cmp", f, vid, g)
+        cache = self._cache
+        r = cache.get(key)
+        if r is not None:
+            return r
+        target_level = self._level_of[vid]
+        level = self._level_of[self._vid[f]]
+        if level > target_level:
+            r = f
+        elif level == target_level:
+            r = self.ite(g, self._hi[f], self._lo[f])
+        else:
+            r = self.ite(
+                self.var(self._vid[f]),
+                self.compose(self._hi[f], vid, g),
+                self.compose(self._lo[f], vid, g),
+            )
+        cache[key] = r
+        return r
+
+    def var_group(self, vids: Iterable[int]) -> int:
+        """Register a variable set and return a small cache id for it."""
+        fs = frozenset(vids)
+        gid = self._group_ids.get(fs)
+        if gid is None:
+            gid = len(self._groups)
+            self._groups.append(fs)
+            self._group_ids[fs] = gid
+        return gid
+
+    def group_vars(self, gid: int) -> frozenset[int]:
+        """The variable set registered under ``gid``."""
+        return self._groups[gid]
+
+    def exists(self, f: int, gid: int) -> int:
+        """Existential quantification over a registered variable group."""
+        if f <= 1:
+            return f
+        key = ("ex", f, gid)
+        cache = self._cache
+        r = cache.get(key)
+        if r is not None:
+            return r
+        vid = self._vid[f]
+        lo = self.exists(self._lo[f], gid)
+        hi = self.exists(self._hi[f], gid)
+        if vid in self._groups[gid]:
+            r = self.apply_or(lo, hi)
+        else:
+            r = self.mk(vid, lo, hi)
+        cache[key] = r
+        return r
+
+    def forall(self, f: int, gid: int) -> int:
+        """Universal quantification over a registered variable group."""
+        if f <= 1:
+            return f
+        key = ("fa", f, gid)
+        cache = self._cache
+        r = cache.get(key)
+        if r is not None:
+            return r
+        vid = self._vid[f]
+        lo = self.forall(self._lo[f], gid)
+        hi = self.forall(self._hi[f], gid)
+        if vid in self._groups[gid]:
+            r = self.apply_and(lo, hi)
+        else:
+            r = self.mk(vid, lo, hi)
+        cache[key] = r
+        return r
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def support(self, f: int) -> set[int]:
+        """Set of vids the function structurally depends on."""
+        seen: set[int] = set()
+        vids: set[int] = set()
+        stack = [f]
+        while stack:
+            u = stack.pop()
+            if u <= 1 or u in seen:
+                continue
+            seen.add(u)
+            vids.add(self._vid[u])
+            stack.append(self._lo[u])
+            stack.append(self._hi[u])
+        return vids
+
+    def evaluate(self, f: int, assignment: Mapping[int, int]) -> int:
+        """Evaluate ``f`` under a total assignment (vid -> bit)."""
+        u = f
+        while u > 1:
+            vid = self._vid[u]
+            try:
+                bit = assignment[vid]
+            except KeyError:
+                raise VariableError(
+                    f"assignment is missing variable {self._names[vid]!r}"
+                ) from None
+            u = self._hi[u] if bit else self._lo[u]
+        return u
+
+    def reachable(self, roots: Iterable[int]) -> set[int]:
+        """All nodes (including terminals) reachable from ``roots``."""
+        seen: set[int] = set()
+        stack = list(roots)
+        while stack:
+            u = stack.pop()
+            if u in seen:
+                continue
+            seen.add(u)
+            if u > 1:
+                stack.append(self._lo[u])
+                stack.append(self._hi[u])
+        return seen
+
+    def count_nodes(self, *roots: int) -> int:
+        """Number of internal (non-terminal) nodes reachable from roots."""
+        return sum(1 for u in self.reachable(roots) if u > 1)
+
+    def sat_count(self, f: int, vids: Sequence[int] | None = None) -> int:
+        """Number of satisfying assignments over a variable universe.
+
+        ``vids`` (all declared variables when omitted) defines the
+        universe and must contain the support of ``f``.
+        """
+        universe = list(vids) if vids is not None else list(range(self.num_vars))
+        nvars = len(universe)
+        levels = sorted(self._level_of[v] for v in universe)
+        index_of_level = {lvl: i for i, lvl in enumerate(levels)}
+
+        cache: dict[int, int] = {}
+
+        def count(u: int) -> int:
+            # Counts assignments of variables *below* u's level position.
+            if u == FALSE:
+                return 0
+            if u == TRUE:
+                return 1
+            r = cache.get(u)
+            if r is not None:
+                return r
+            lvl = self._level_of[self._vid[u]]
+            pos = index_of_level[lvl]
+            total = 0
+            for child in (self._lo[u], self._hi[u]):
+                c = count(child)
+                child_pos = (
+                    nvars if child <= 1 else index_of_level[self._level_of[self._vid[child]]]
+                )
+                total += c << (child_pos - pos - 1)
+            cache[u] = total
+            return total
+
+        if f == FALSE:
+            return 0
+        if f == TRUE:
+            return 1 << nvars
+        top_pos = index_of_level[self._level_of[self._vid[f]]]
+        return count(f) << top_pos
+
+    def iter_onset_cubes(self, f: int) -> Iterator[dict[int, int]]:
+        """Yield cubes (partial assignments vid -> bit) covering the onset."""
+        path: dict[int, int] = {}
+
+        def walk(u: int) -> Iterator[dict[int, int]]:
+            if u == FALSE:
+                return
+            if u == TRUE:
+                yield dict(path)
+                return
+            vid = self._vid[u]
+            for bit, child in ((0, self._lo[u]), (1, self._hi[u])):
+                path[vid] = bit
+                yield from walk(child)
+                del path[vid]
+
+        yield from walk(f)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def clear_cache(self) -> None:
+        """Drop the operation cache (required after in-place reordering)."""
+        self._cache.clear()
+
+    def collect(self, roots: Iterable[int]) -> int:
+        """Sweep nodes unreachable from ``roots``; return the number freed.
+
+        The caller promises that every node id it still holds is in
+        (or reachable from) ``roots``.  Stale ids become invalid.
+        """
+        alive = self.reachable(roots)
+        freed = 0
+        for vid, table in enumerate(self._unique):
+            dead = [key for key, u in table.items() if u not in alive]
+            for key in dead:
+                u = table.pop(key)
+                self._vid[u] = -1
+                self._lo[u] = -1
+                self._hi[u] = -1
+                self._free.append(u)
+                freed += 1
+        if freed:
+            self._cache.clear()
+        return freed
+
+    def num_alive_nodes(self) -> int:
+        """Number of internal nodes currently in the unique tables."""
+        return sum(len(table) for table in self._unique)
+
+    def check_invariants(self, roots: Iterable[int] = ()) -> None:
+        """Assert ordered/reduced/hash-consing invariants (for tests)."""
+        for vid, table in enumerate(self._unique):
+            for (lo, hi), u in table.items():
+                assert self._vid[u] == vid, "unique table vid mismatch"
+                assert self._lo[u] == lo and self._hi[u] == hi, "unique table child mismatch"
+                assert lo != hi, "unreduced node in unique table"
+                assert self.level(lo) > self._level_of[vid], "ordering violated (lo)"
+                assert self.level(hi) > self._level_of[vid], "ordering violated (hi)"
+        for u in self.reachable(roots):
+            if u > 1:
+                vid = self._vid[u]
+                assert self._unique[vid].get((self._lo[u], self._hi[u])) == u, (
+                    "reachable node missing from unique table"
+                )
+        order = self._var_at_level
+        assert sorted(order) == list(range(self.num_vars)), "order is not a permutation"
+        for lvl, vid in enumerate(order):
+            assert self._level_of[vid] == lvl, "level_of inconsistent with var_at_level"

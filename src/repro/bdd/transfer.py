@@ -1,0 +1,66 @@
+"""Copying BDDs between managers.
+
+The experiment pipelines build each BDD_for_CF in its own manager so
+that sifting one partition cannot disturb another.  :func:`transfer`
+rebuilds functions in a destination manager: a linear node-for-node
+rebuild when the destination order agrees with the source order, and an
+ITE-based re-normalization when it does not (used to seed fresh
+managers with heuristic orders, e.g. FORCE).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.bdd.manager import BDD
+from repro.errors import VariableError
+
+
+def transfer(
+    src: BDD, dst: BDD, roots: Sequence[int], vid_map: Mapping[int, int]
+) -> list[int]:
+    """Copy ``roots`` from ``src`` into ``dst``; returns the new roots.
+
+    ``vid_map`` maps source vids to destination vids and must cover the
+    support of every root.
+    """
+    support: set[int] = set()
+    for r in roots:
+        support |= src.support(r)
+    missing = [v for v in support if v not in vid_map]
+    if missing:
+        names = ", ".join(src.name_of(v) for v in missing)
+        raise VariableError(f"vid_map does not cover support variables: {names}")
+    pairs = sorted(
+        ((src.level_of_vid(s), dst.level_of_vid(d)) for s, d in vid_map.items()),
+    )
+    dst_levels = [d for _, d in pairs]
+    order_consistent = all(
+        dst_levels[i] < dst_levels[i + 1] for i in range(len(dst_levels) - 1)
+    )
+
+    memo: dict[int, int] = {0: 0, 1: 1}
+
+    if order_consistent:
+        # Fast path: node-for-node rebuild through the unique table.
+        def walk(u: int) -> int:
+            r = memo.get(u)
+            if r is not None:
+                return r
+            r = dst.mk(vid_map[src.var_of(u)], walk(src.lo(u)), walk(src.hi(u)))
+            memo[u] = r
+            return r
+
+    else:
+        # General path: the destination order differs, so rebuild with
+        # ITE (which re-normalizes the structure to the new order).
+        def walk(u: int) -> int:
+            r = memo.get(u)
+            if r is not None:
+                return r
+            var_fn = dst.var(vid_map[src.var_of(u)])
+            r = dst.ite(var_fn, walk(src.hi(u)), walk(src.lo(u)))
+            memo[u] = r
+            return r
+
+    return [walk(r) for r in roots]

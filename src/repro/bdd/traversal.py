@@ -1,0 +1,99 @@
+"""Structural traversals: level profiles and crossing-edge analysis.
+
+The paper's width notion (Definition 3.5) counts *distinct targets of
+edges crossing a section* between two adjacent levels, which differs
+from the naive "nodes per level" profile because edges may skip levels
+(and in a BDD_for_CF a skipped output level is exactly how a don't-care
+is encoded).  The generic machinery lives here;
+:mod:`repro.cf.width` applies the CF-specific conventions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.bdd.manager import FALSE, TRUE, BDD
+
+
+def internal_nodes(bdd: BDD, roots: Iterable[int]) -> set[int]:
+    """Non-terminal nodes reachable from ``roots``."""
+    return {u for u in bdd.reachable(roots) if u > 1}
+
+
+def nodes_by_level(bdd: BDD, roots: Iterable[int]) -> dict[int, set[int]]:
+    """Map level -> reachable internal nodes labelled at that level."""
+    out: dict[int, set[int]] = {}
+    for u in internal_nodes(bdd, roots):
+        out.setdefault(bdd.level(u), set()).add(u)
+    return out
+
+
+def level_profile(bdd: BDD, roots: Iterable[int]) -> list[int]:
+    """Number of reachable internal nodes at each level, top to bottom."""
+    by_level = nodes_by_level(bdd, roots)
+    return [len(by_level.get(level, ())) for level in range(bdd.num_vars)]
+
+
+def crossing_targets(
+    bdd: BDD,
+    roots: Iterable[int],
+    *,
+    count_true: bool = True,
+) -> list[set[int]]:
+    """Distinct targets of edges crossing each section (Definition 3.5).
+
+    Returns a list indexed by level ``l`` (0..num_vars): entry ``l``
+    holds the set of nodes below the section *above* level ``l`` that
+    receive an edge from above it.  Edges into constant 0 are never
+    counted; edges into constant 1 are counted unless ``count_true`` is
+    False.  Root nodes count as receiving an edge from above the top.
+
+    In the paper's height coordinates (height of the root = number of
+    variables ``t``), entry ``l`` of this list is the section at height
+    ``t - l``; callers convert as needed.
+    """
+    t = bdd.num_vars
+    sections: list[set[int]] = [set() for _ in range(t + 1)]
+
+    def record(target: int, from_level: int) -> None:
+        # The edge crosses every section between from_level (exclusive)
+        # and the target's level (inclusive).
+        if target == FALSE:
+            return
+        if target == TRUE and not count_true:
+            return
+        to_level = min(bdd.level(target), t)
+        for section in range(from_level + 1, to_level + 1):
+            sections[section].add(target)
+
+    seen: set[int] = set()
+    root_list = [r for r in roots]
+    for r in root_list:
+        record(r, -1)
+    stack = [r for r in root_list if r > 1]
+    while stack:
+        u = stack.pop()
+        if u in seen:
+            continue
+        seen.add(u)
+        level = bdd.level(u)
+        for child in (bdd.lo(u), bdd.hi(u)):
+            record(child, level)
+            if child > 1 and child not in seen:
+                stack.append(child)
+    return sections
+
+
+def count_paths_to_one(bdd: BDD, root: int) -> int:
+    """Number of distinct root-to-TRUE paths (not minterms)."""
+    cache: dict[int, int] = {FALSE: 0, TRUE: 1}
+
+    def walk(u: int) -> int:
+        r = cache.get(u)
+        if r is not None:
+            return r
+        r = walk(bdd.lo(u)) + walk(bdd.hi(u))
+        cache[u] = r
+        return r
+
+    return walk(root)

@@ -1,0 +1,85 @@
+"""Symbolic bit-vector arithmetic over BDD functions.
+
+The radix-converter and decimal-adder benchmarks (Sect. 4.1) are built
+symbolically: each digit contributes a small bit-vector function of its
+own input bits, and the contributions are summed with ripple-carry
+adders at the BDD level.  Vectors are MSB-first lists of node ids,
+matching the MSB-first output convention of the paper's tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.bdd.manager import FALSE, BDD
+from repro.utils.bitops import int_to_bits
+
+
+def const_vector(bdd: BDD, value: int, width: int) -> list[int]:
+    """Constant bit vector (MSB first)."""
+    return [FALSE if b == 0 else bdd.TRUE for b in int_to_bits(value, width)]
+
+
+def zero_extend(vec: Sequence[int], width: int) -> list[int]:
+    """Pad a vector with leading zeros up to ``width`` bits."""
+    if len(vec) > width:
+        raise ValueError(f"cannot zero-extend width {len(vec)} to {width}")
+    return [FALSE] * (width - len(vec)) + list(vec)
+
+
+def full_add(bdd: BDD, a: int, b: int, cin: int) -> tuple[int, int]:
+    """One-bit full adder; returns ``(sum, carry_out)``."""
+    axb = bdd.apply_xor(a, b)
+    s = bdd.apply_xor(axb, cin)
+    cout = bdd.apply_or(bdd.apply_and(a, b), bdd.apply_and(axb, cin))
+    return s, cout
+
+
+def ripple_add(
+    bdd: BDD, xs: Sequence[int], ys: Sequence[int], cin: int = FALSE
+) -> tuple[list[int], int]:
+    """Add two equal-width MSB-first vectors; returns ``(sum, carry_out)``."""
+    if len(xs) != len(ys):
+        raise ValueError("ripple_add() requires equal widths")
+    out: list[int] = []
+    carry = cin
+    for a, b in zip(reversed(xs), reversed(ys)):
+        s, carry = full_add(bdd, a, b, carry)
+        out.append(s)
+    out.reverse()
+    return out, carry
+
+
+def add_to_width(bdd: BDD, xs: Sequence[int], ys: Sequence[int], width: int) -> list[int]:
+    """Sum of two vectors, zero-extended to ``width`` bits (no overflow)."""
+    xs = zero_extend(xs, width)
+    ys = zero_extend(ys, width)
+    out, carry = ripple_add(bdd, xs, ys)
+    if carry != FALSE:
+        raise ValueError(f"sum overflows {width} bits")
+    return out
+
+
+def mux_vector(bdd: BDD, sel: int, ones: Sequence[int], zeros: Sequence[int]) -> list[int]:
+    """Bitwise ``sel ? ones : zeros`` over two equal-width vectors."""
+    if len(ones) != len(zeros):
+        raise ValueError("mux_vector() requires equal widths")
+    return [bdd.ite(sel, a, b) for a, b in zip(ones, zeros)]
+
+
+def vector_eq_const(bdd: BDD, xs: Sequence[int], value: int) -> int:
+    """Predicate: the MSB-first vector equals ``value``."""
+    bits = int_to_bits(value, len(xs))
+    f = bdd.TRUE
+    for x, b in zip(xs, bits):
+        lit = x if b else bdd.apply_not(x)
+        f = bdd.apply_and(f, lit)
+    return f
+
+
+def evaluate_vector(bdd: BDD, vec: Sequence[int], assignment: dict[int, int]) -> int:
+    """Evaluate an MSB-first vector of functions to an integer."""
+    value = 0
+    for f in vec:
+        value = (value << 1) | bdd.evaluate(f, assignment)
+    return value

@@ -1,0 +1,49 @@
+"""The paper's benchmark functions (Sect. 4): converters, adders, words."""
+
+from repro.benchfns.base import Benchmark, DigitSpec
+from repro.benchfns.decimal_arith import (
+    build_decimal_adder,
+    build_decimal_multiplier,
+    decimal_adder_benchmark,
+    decimal_multiplier_benchmark,
+)
+from repro.benchfns.radix import build_pnary_converter, pnary_benchmark
+from repro.benchfns.rns import build_rns_converter, crt_reconstruct, rns_benchmark
+from repro.benchfns.registry import (
+    arithmetic_names,
+    get_benchmark,
+    table4_names,
+    wordlist_names,
+)
+from repro.benchfns.wordlist import (
+    WordList,
+    build_wordlist_isf,
+    decode_word,
+    encode_word,
+    generate_words,
+    wordlist_benchmark,
+)
+
+__all__ = [
+    "Benchmark",
+    "DigitSpec",
+    "WordList",
+    "arithmetic_names",
+    "build_decimal_adder",
+    "build_decimal_multiplier",
+    "build_pnary_converter",
+    "build_rns_converter",
+    "build_wordlist_isf",
+    "crt_reconstruct",
+    "decimal_adder_benchmark",
+    "decimal_multiplier_benchmark",
+    "decode_word",
+    "encode_word",
+    "generate_words",
+    "get_benchmark",
+    "pnary_benchmark",
+    "rns_benchmark",
+    "table4_names",
+    "wordlist_benchmark",
+    "wordlist_names",
+]

@@ -1,0 +1,207 @@
+"""Common scaffolding for the paper's benchmark functions (Sect. 4).
+
+Every benchmark is an incompletely specified multiple-output function
+``f : P_0 x ... x P_{k-1} -> Q`` realized over binary-coded digits.
+Digits whose radix is not a power of two leave unused input codes; the
+outputs for those inputs are *input don't cares*, with ratio
+``1 - Π p_i / 2^{b_i}`` (Sect. 4.1).
+
+A :class:`Benchmark` couples the symbolic/sparse BDD construction with
+a pure-integer reference evaluator used by the tests, so every
+generator is validated against an independent ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.bdd.manager import BDD
+from repro.bdd.builder import from_sorted_minterms, word_geq_const
+from repro.errors import BenchmarkError
+from repro.isf.function import ISF, MultiOutputISF
+from repro.utils.bitops import bits_for
+
+
+@dataclass
+class DigitSpec:
+    """One coded radix-``radix`` digit of the input word.
+
+    ``encoding`` selects how digit values map to bit patterns — the
+    design choice studied by the paper's companion work [10]:
+
+    * ``"binary"`` — value as an unsigned integer in ``ceil(log2 p)``
+      bits (the paper's binary-coded-p-nary, the default);
+    * ``"gray"`` — reflected Gray code of the value, same width;
+    * ``"onehot"`` — ``p`` wires, exactly one high.
+
+    Codes outside the valid set are input don't cares (Sect. 4.1).
+    """
+
+    name: str
+    radix: int
+    encoding: str = "binary"
+
+    def __post_init__(self) -> None:
+        if self.encoding not in ("binary", "gray", "onehot"):
+            raise BenchmarkError(f"unknown digit encoding {self.encoding!r}")
+
+    @property
+    def bits(self) -> int:
+        if self.encoding == "onehot":
+            return self.radix
+        return bits_for(self.radix)
+
+    def encode(self, value: int) -> int:
+        """Bit pattern of a digit value."""
+        if not (0 <= value < self.radix):
+            raise BenchmarkError(
+                f"digit value {value} out of range for radix {self.radix}"
+            )
+        if self.encoding == "binary":
+            return value
+        if self.encoding == "gray":
+            return value ^ (value >> 1)
+        return 1 << (self.radix - 1 - value)  # onehot, MSB-first
+
+    def decode(self, code: int) -> int | None:
+        """Digit value of a bit pattern, or None for an unused code."""
+        if self.encoding == "binary":
+            return code if code < self.radix else None
+        if self.encoding == "gray":
+            value = code
+            shift = 1
+            while (code >> shift) > 0:
+                value ^= code >> shift
+                shift += 1
+            return value if value < self.radix else None
+        if code.bit_count() != 1:
+            return None
+        return self.radix - 1 - code.bit_length() + 1
+
+    def valid_codes(self) -> list[int]:
+        """Sorted list of the ``radix`` used bit patterns."""
+        return sorted(self.encode(v) for v in range(self.radix))
+
+
+@dataclass
+class Benchmark:
+    """A named benchmark function with construction and ground truth.
+
+    Attributes:
+        name: the paper's row label (e.g. ``"5-7-11-13 RNS"``).
+        digits: the input digit structure (defines widths and the input
+            don't-care set).
+        n_outputs: number of output bits (MSB first).
+        reference: minterm -> output int, or None when the input is an
+            unused code (input don't care).
+        build: zero-argument constructor of the :class:`MultiOutputISF`
+            (fresh manager per call).
+    """
+
+    name: str
+    digits: list[DigitSpec]
+    n_outputs: int
+    reference: Callable[[int], int | None]
+    build: Callable[[], MultiOutputISF] = field(repr=False)
+
+    @property
+    def n_inputs(self) -> int:
+        return sum(d.bits for d in self.digits)
+
+    def input_dc_ratio(self) -> float:
+        """Sect. 4.1: ``1 - Π p_i / 2^{b_i}``."""
+        ratio = 1.0
+        for d in self.digits:
+            ratio *= d.radix / (1 << d.bits)
+        return 1.0 - ratio
+
+    def care_count(self) -> int:
+        """Number of defined input combinations: ``Π p_i``."""
+        return math.prod(d.radix for d in self.digits)
+
+    def iter_care_minterms(self) -> Iterator[int]:
+        """All defined input minterms, ascending."""
+        yield from _iter_digit_codes(self.digits, 0, 0)
+
+    def decode_digits(self, minterm: int) -> list[int] | None:
+        """Digit values of a minterm, or None for an unused code."""
+        values = []
+        shift = self.n_inputs
+        for d in self.digits:
+            shift -= d.bits
+            code = (minterm >> shift) & ((1 << d.bits) - 1)
+            value = d.decode(code)
+            if value is None:
+                return None
+            values.append(value)
+        return values
+
+
+def _iter_digit_codes(digits: Sequence[DigitSpec], index: int, prefix: int) -> Iterator[int]:
+    if index == len(digits):
+        yield prefix
+        return
+    d = digits[index]
+    for code in d.valid_codes():
+        yield from _iter_digit_codes(digits, index + 1, (prefix << d.bits) | code)
+
+
+def make_input_vars(bdd: BDD, digits: Sequence[DigitSpec]) -> list[list[int]]:
+    """Create one MSB-first vid block per digit; returns the blocks."""
+    blocks = []
+    for d in digits:
+        blocks.append(
+            bdd.add_vars(
+                [f"{d.name}_{j}" for j in range(d.bits)], kind="input"
+            )
+        )
+    return blocks
+
+
+def input_dc_set(bdd: BDD, digits: Sequence[DigitSpec], blocks: Sequence[Sequence[int]]) -> int:
+    """OR over digits of "code is unused": the input don't cares.
+
+    For binary-coded digits this is the paper's "code >= p" comparator;
+    other encodings enumerate their (always small) valid code sets.
+    """
+    dc = bdd.FALSE
+    for d, block in zip(digits, blocks):
+        if d.encoding == "binary":
+            invalid = word_geq_const(bdd, list(block), d.radix)
+        else:
+            valid = from_sorted_minterms(bdd, list(block), d.valid_codes())
+            invalid = bdd.apply_not(valid)
+        dc = bdd.apply_or(dc, invalid)
+    return dc
+
+
+def isf_from_output_vectors(
+    bdd: BDD,
+    input_vids: Sequence[int],
+    output_bits: Sequence[int],
+    dc: int,
+    *,
+    name: str,
+) -> MultiOutputISF:
+    """Package symbolic output-bit functions + a dc set as a MultiOutputISF.
+
+    ``output_bits`` are MSB-first onset functions; values under ``dc``
+    are ignored (masked out of both onset and offset).
+    """
+    not_dc = bdd.apply_not(dc)
+    outputs = []
+    for f in output_bits:
+        f1 = bdd.apply_and(f, not_dc)
+        f0 = bdd.apply_and(bdd.apply_not(f), not_dc)
+        outputs.append(ISF(bdd, f0, f1))
+    return MultiOutputISF(bdd, list(input_vids), outputs, name=name)
+
+
+def check_output_width(max_value: int, n_outputs: int, name: str) -> None:
+    """Guard that the declared output width holds the maximum value."""
+    if max_value >= (1 << n_outputs):
+        raise BenchmarkError(
+            f"{name}: maximum value {max_value} does not fit in {n_outputs} bits"
+        )

@@ -1,0 +1,222 @@
+"""Decimal (BCD) adders and multiplier (Sect. 4.1, [7]).
+
+* k-digit decimal adder: two k-digit BCD operands -> (k+1)-digit BCD
+  sum.  Built symbolically with digit-serial BCD full adders (binary
+  add, then +6 correction when the digit sum exceeds 9), so the
+  4-digit instance (10^8 care points) needs no enumeration.
+* 2-digit decimal multiplier: two 2-digit BCD operands -> 4-digit BCD
+  product, built sparsely from its 10^4 care points.
+
+Unused BCD codes (10-15 in any digit) are input don't cares.
+"""
+
+from __future__ import annotations
+
+from repro.bdd.manager import FALSE, BDD
+from repro.bdd.builder import from_sorted_minterms
+from repro.bdd.vector import const_vector, mux_vector, ripple_add
+from repro.benchfns.base import (
+    Benchmark,
+    DigitSpec,
+    input_dc_set,
+    isf_from_output_vectors,
+    make_input_vars,
+)
+from repro.errors import BenchmarkError
+from repro.isf.function import ISF, MultiOutputISF
+
+
+def bcd_digit_adder(
+    bdd: BDD, a: list[int], b: list[int], cin: int
+) -> tuple[list[int], int]:
+    """One BCD digit stage: (4-bit sum digit, carry out).
+
+    ``a``/``b`` are MSB-first 4-bit vectors.  Binary sum first; when the
+    5-bit result exceeds 9 the digit is corrected by +6 and a decimal
+    carry is produced.
+    """
+    if len(a) != 4 or len(b) != 4:
+        raise BenchmarkError("BCD digits are 4 bits wide")
+    s4, carry = ripple_add(bdd, a, b, cin)
+    # 5-bit value is (carry, s4...); >= 10 iff carry or s3·(s2 | s1).
+    s3, s2, s1 = s4[0], s4[1], s4[2]
+    ge10 = bdd.apply_or(carry, bdd.apply_and(s3, bdd.apply_or(s2, s1)))
+    corrected, _ = ripple_add(bdd, s4, const_vector(bdd, 6, 4))
+    digit = mux_vector(bdd, ge10, corrected, s4)
+    return digit, ge10
+
+
+def build_decimal_adder(num_digits: int, *, name: str | None = None) -> MultiOutputISF:
+    """k-digit BCD adder: 8k inputs, 4(k+1) outputs (top digit is 0/1)."""
+    if num_digits < 1:
+        raise BenchmarkError("need at least one digit")
+    digits = [DigitSpec(f"a{i}", 10) for i in range(num_digits)] + [
+        DigitSpec(f"b{i}", 10) for i in range(num_digits)
+    ]
+    bdd = BDD()
+    # Create the variables digit-interleaved and least-significant digit
+    # first (a_{k-1}, b_{k-1}, ..., a0, b0).  LSD-first matters for the
+    # BDD_for_CF: the sum digit of stage i depends only on the operand
+    # digits at or below stage i, so its output variables can sit right
+    # below those inputs (Definition 2.4) and only the decimal carry
+    # crosses each section — this is what makes the paper's adder
+    # widths collapse to ~14.  The *positional* input order (all a
+    # digits MSB-first, then all b digits) is preserved in input_vids.
+    a_blocks: list[list[int]] = [[] for _ in range(num_digits)]
+    b_blocks: list[list[int]] = [[] for _ in range(num_digits)]
+    for i in range(num_digits - 1, -1, -1):
+        a_blocks[i] = bdd.add_vars([f"a{i}_{j}" for j in range(4)], kind="input")
+        b_blocks[i] = bdd.add_vars([f"b{i}_{j}" for j in range(4)], kind="input")
+    blocks = a_blocks + b_blocks
+
+    # Digit 0 is most significant; add from the least significant up.
+    carry = FALSE
+    sum_digits: list[list[int]] = []
+    for i in range(num_digits - 1, -1, -1):
+        a_bits = [bdd.var(v) for v in a_blocks[i]]
+        b_bits = [bdd.var(v) for v in b_blocks[i]]
+        digit, carry = bcd_digit_adder(bdd, a_bits, b_bits, carry)
+        sum_digits.append(digit)
+    sum_digits.append([FALSE, FALSE, FALSE, carry])  # top digit: 0 or 1
+    sum_digits.reverse()
+
+    output_bits = [bit for digit in sum_digits for bit in digit]
+    dc = input_dc_set(bdd, digits, blocks)
+    input_vids = [v for block in blocks for v in block]
+    isf = isf_from_output_vectors(
+        bdd,
+        input_vids,
+        output_bits,
+        dc,
+        name=name or f"{num_digits}-digit decimal adder",
+    )
+    # Care-value supports for Def. 2.4 placement: sum digit j (j = 0 is
+    # the overflow digit) is determined by the operand digit stages
+    # >= j - 1; without this hint the don't-care mask drags every
+    # output variable below all inputs (see MultiOutputISF).
+    hints: list[frozenset[int]] = []
+    for j in range(num_digits + 1):
+        first_stage = max(0, j - 1)
+        supp = frozenset(
+            v
+            for i in range(first_stage, num_digits)
+            for v in a_blocks[i] + b_blocks[i]
+        )
+        hints.extend([supp] * 4)
+    isf.placement_supports = hints
+    return isf
+
+
+def decimal_adder_benchmark(num_digits: int) -> Benchmark:
+    """Benchmark wrapper for the k-digit decimal adder."""
+    digits = [DigitSpec(f"a{i}", 10) for i in range(num_digits)] + [
+        DigitSpec(f"b{i}", 10) for i in range(num_digits)
+    ]
+    n_outputs = 4 * (num_digits + 1)
+    name = f"{num_digits}-digit decimal adder"
+
+    def reference(minterm: int) -> int | None:
+        values = _decode_bcd(minterm, 2 * num_digits)
+        if values is None:
+            return None
+        a = _digits_to_int(values[:num_digits])
+        b = _digits_to_int(values[num_digits:])
+        return _int_to_bcd(a + b, num_digits + 1)
+
+    return Benchmark(
+        name=name,
+        digits=digits,
+        n_outputs=n_outputs,
+        reference=reference,
+        build=lambda: build_decimal_adder(num_digits, name=name),
+    )
+
+
+def build_decimal_multiplier(num_digits: int = 2, *, name: str | None = None) -> MultiOutputISF:
+    """k-digit BCD multiplier, built sparsely (10^(2k) care points)."""
+    if num_digits < 1 or num_digits > 3:
+        raise BenchmarkError("sparse multiplier supports 1..3 digits")
+    digits = [DigitSpec(f"a{i}", 10) for i in range(num_digits)] + [
+        DigitSpec(f"b{i}", 10) for i in range(num_digits)
+    ]
+    n_outputs = 4 * 2 * num_digits
+    bdd = BDD()
+    blocks = make_input_vars(bdd, digits)
+    input_vids = [v for block in blocks for v in block]
+
+    pairs: list[tuple[int, int]] = []
+    bound = 10**num_digits
+    for a in range(bound):
+        for b in range(bound):
+            minterm = (_int_to_bcd(a, num_digits) << (4 * num_digits)) | _int_to_bcd(
+                b, num_digits
+            )
+            pairs.append((minterm, _int_to_bcd(a * b, 2 * num_digits)))
+    pairs.sort()
+
+    outputs = []
+    for bit in range(n_outputs):
+        mask = 1 << (n_outputs - 1 - bit)
+        f1 = from_sorted_minterms(bdd, input_vids, [m for m, y in pairs if y & mask])
+        f0 = from_sorted_minterms(
+            bdd, input_vids, [m for m, y in pairs if not y & mask]
+        )
+        outputs.append(ISF(bdd, f0, f1))
+    return MultiOutputISF(
+        bdd,
+        input_vids,
+        outputs,
+        name=name or f"{num_digits}-digit decimal multiplier",
+    )
+
+
+def decimal_multiplier_benchmark(num_digits: int = 2) -> Benchmark:
+    """Benchmark wrapper for the k-digit decimal multiplier."""
+    digits = [DigitSpec(f"a{i}", 10) for i in range(num_digits)] + [
+        DigitSpec(f"b{i}", 10) for i in range(num_digits)
+    ]
+    name = f"{num_digits}-digit decimal multiplier"
+
+    def reference(minterm: int) -> int | None:
+        values = _decode_bcd(minterm, 2 * num_digits)
+        if values is None:
+            return None
+        a = _digits_to_int(values[:num_digits])
+        b = _digits_to_int(values[num_digits:])
+        return _int_to_bcd(a * b, 2 * num_digits)
+
+    return Benchmark(
+        name=name,
+        digits=digits,
+        n_outputs=8 * num_digits,
+        reference=reference,
+        build=lambda: build_decimal_multiplier(num_digits, name=name),
+    )
+
+
+def _decode_bcd(minterm: int, num_digits: int) -> list[int] | None:
+    """BCD digit values MSB-first, or None when a code exceeds 9."""
+    values = []
+    for i in range(num_digits):
+        code = (minterm >> (4 * (num_digits - 1 - i))) & 0xF
+        if code > 9:
+            return None
+        values.append(code)
+    return values
+
+
+def _digits_to_int(values: list[int]) -> int:
+    x = 0
+    for v in values:
+        x = x * 10 + v
+    return x
+
+
+def _int_to_bcd(value: int, num_digits: int) -> int:
+    """Pack a decimal value into ``num_digits`` BCD nibbles (MSB first)."""
+    if value >= 10**num_digits:
+        raise BenchmarkError(f"{value} does not fit in {num_digits} BCD digits")
+    packed = 0
+    for d in str(value).zfill(num_digits):
+        packed = (packed << 4) | int(d)
+    return packed

@@ -1,0 +1,93 @@
+"""Registry of the paper's benchmark functions (Table 4 rows).
+
+The sixteen functions of Table 4, in row order:
+
+    5-7-11-13 RNS, 7-11-13-17 RNS, 11-13-15-17 RNS,
+    4-digit 11-nary, 4-digit 13-nary, 5-digit 10-nary,
+    6-digit 5-nary, 6-digit 6-nary, 6-digit 7-nary,
+    10-digit 3-nary,
+    3-digit decimal adder, 4-digit decimal adder,
+    2-digit decimal multiplier,
+    1730 / 3366 / 4705 words.
+
+Word-list sizes are scaled down by default (see ``repro._config``); the
+paper's sizes run with ``REPRO_FULL_SCALE=1``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from collections.abc import Callable
+
+from repro._config import word_list_sizes
+from repro.benchfns.base import Benchmark
+from repro.benchfns.decimal_arith import (
+    decimal_adder_benchmark,
+    decimal_multiplier_benchmark,
+)
+from repro.benchfns.radix import pnary_benchmark
+from repro.benchfns.rns import rns_benchmark
+from repro.benchfns.wordlist import wordlist_benchmark
+from repro.errors import BenchmarkError
+
+_ARITHMETIC: dict[str, Callable[[], Benchmark]] = {
+    "5-7-11-13 RNS": lambda: rns_benchmark([5, 7, 11, 13]),
+    "7-11-13-17 RNS": lambda: rns_benchmark([7, 11, 13, 17]),
+    "11-13-15-17 RNS": lambda: rns_benchmark([11, 13, 15, 17]),
+    "4-digit 11-nary to binary": lambda: pnary_benchmark(4, 11),
+    "4-digit 13-nary to binary": lambda: pnary_benchmark(4, 13),
+    "5-digit 10-nary to binary": lambda: pnary_benchmark(5, 10),
+    "6-digit 5-nary to binary": lambda: pnary_benchmark(6, 5),
+    "6-digit 6-nary to binary": lambda: pnary_benchmark(6, 6),
+    "6-digit 7-nary to binary": lambda: pnary_benchmark(6, 7),
+    "10-digit 3-nary to binary": lambda: pnary_benchmark(10, 3),
+    "3-digit decimal adder": lambda: decimal_adder_benchmark(3),
+    "4-digit decimal adder": lambda: decimal_adder_benchmark(4),
+    "2-digit decimal multiplier": lambda: decimal_multiplier_benchmark(2),
+}
+
+
+def arithmetic_names() -> list[str]:
+    """Row labels of the arithmetic functions, in Table 4 order."""
+    return list(_ARITHMETIC)
+
+
+def wordlist_names() -> list[str]:
+    """Row labels of the word-list functions at the configured scale."""
+    return [f"{k} words" for k in word_list_sizes()]
+
+
+def table4_names() -> list[str]:
+    """All Table 4 row labels in order."""
+    return arithmetic_names() + wordlist_names()
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Instantiate a benchmark by name.
+
+    Accepts the Table 4 row labels plus the general patterns
+    ``"<m1>-<m2>-... RNS"``, ``"<k>-digit <p>-nary to binary"``,
+    ``"<k>-digit decimal adder"``, ``"<k>-digit decimal multiplier"``
+    and ``"<k> words"``.
+    """
+    if name in _ARITHMETIC:
+        return _ARITHMETIC[name]()
+    try:
+        if name.endswith(" words"):
+            return wordlist_benchmark(int(name.split()[0]))
+        if name.endswith(" RNS"):
+            moduli = [int(p) for p in name[: -len(" RNS")].split("-")]
+            return rns_benchmark(moduli)
+        match = re.fullmatch(r"(\d+)-digit (\d+)-nary to binary", name)
+        if match:
+            return pnary_benchmark(int(match.group(1)), int(match.group(2)))
+        match = re.fullmatch(r"(\d+)-digit decimal adder", name)
+        if match:
+            return decimal_adder_benchmark(int(match.group(1)))
+        match = re.fullmatch(r"(\d+)-digit decimal multiplier", name)
+        if match:
+            return decimal_multiplier_benchmark(int(match.group(1)))
+    except ValueError as exc:
+        raise BenchmarkError(f"cannot parse benchmark name {name!r}") from exc
+    raise BenchmarkError(f"unknown benchmark {name!r}")

@@ -1,0 +1,109 @@
+"""Residue number system (RNS) to binary converters (Sect. 4.1, [16]).
+
+An RNS with pairwise coprime moduli (m_0, ..., m_{k-1}) represents
+``x in [0, Π m_i)`` by its residues; conversion back to binary is the
+Chinese-remainder reconstruction.  The onsets are built sparsely from
+the ``Π m_i`` care points (at most 36465 for the paper's largest
+instance) and the input don't cares (codes >= m_i) symbolically.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bdd.manager import BDD
+from repro.bdd.builder import from_sorted_minterms
+from repro.benchfns.base import (
+    Benchmark,
+    DigitSpec,
+    check_output_width,
+    make_input_vars,
+)
+from repro.errors import BenchmarkError
+from repro.isf.function import ISF, MultiOutputISF
+from repro.utils.bitops import bits_for
+
+
+def crt_reconstruct(residues: list[int], moduli: list[int]) -> int:
+    """Chinese-remainder reconstruction of ``x`` from its residues."""
+    total = math.prod(moduli)
+    x = 0
+    for r, m in zip(residues, moduli):
+        partial = total // m
+        x += r * partial * pow(partial, -1, m)
+    return x % total
+
+
+def encode_residues(residues: list[int], digits: list[DigitSpec]) -> int:
+    """Pack residue values into the binary-coded input minterm."""
+    minterm = 0
+    for r, d in zip(residues, digits):
+        minterm = (minterm << d.bits) | r
+    return minterm
+
+
+def build_rns_converter(moduli: list[int], *, name: str | None = None) -> MultiOutputISF:
+    """Construct the RNS-to-binary converter for the given moduli."""
+    if len(moduli) < 2:
+        raise BenchmarkError("an RNS needs at least two moduli")
+    for i, a in enumerate(moduli):
+        for b in moduli[i + 1 :]:
+            if math.gcd(a, b) != 1:
+                raise BenchmarkError(f"moduli must be pairwise coprime: {a}, {b}")
+    digits = [DigitSpec(f"r{m}", m) for m in moduli]
+    total = math.prod(moduli)
+    n_outputs = bits_for(total)
+    check_output_width(total - 1, n_outputs, name or "rns")
+
+    # Enumerate care points via x -> residues (ascending minterm order
+    # is obtained by sorting afterwards).
+    pairs: list[tuple[int, int]] = []
+    for x in range(total):
+        residues = [x % m for m in moduli]
+        pairs.append((encode_residues(residues, digits), x))
+    pairs.sort()
+
+    bdd = BDD()
+    blocks = make_input_vars(bdd, digits)
+    input_vids = [v for block in blocks for v in block]
+    outputs = []
+    for bit in range(n_outputs):
+        mask = 1 << (n_outputs - 1 - bit)
+        onset = [m for m, x in pairs if x & mask]
+        offset = [m for m, x in pairs if not x & mask]
+        f1 = from_sorted_minterms(bdd, input_vids, onset)
+        f0 = from_sorted_minterms(bdd, input_vids, offset)
+        outputs.append(ISF(bdd, f0, f1))
+    return MultiOutputISF(
+        bdd,
+        input_vids,
+        outputs,
+        name=name or "-".join(map(str, moduli)) + " RNS",
+    )
+
+
+def rns_benchmark(moduli: list[int]) -> Benchmark:
+    """Benchmark wrapper with the integer reference evaluator."""
+    digits = [DigitSpec(f"r{m}", m) for m in moduli]
+    total = math.prod(moduli)
+    n_outputs = bits_for(total)
+    name = "-".join(map(str, moduli)) + " RNS"
+
+    def reference(minterm: int) -> int | None:
+        shift = sum(d.bits for d in digits)
+        residues = []
+        for d in digits:
+            shift -= d.bits
+            code = (minterm >> shift) & ((1 << d.bits) - 1)
+            if code >= d.radix:
+                return None
+            residues.append(code)
+        return crt_reconstruct(residues, moduli)
+
+    return Benchmark(
+        name=name,
+        digits=digits,
+        n_outputs=n_outputs,
+        reference=reference,
+        build=lambda: build_rns_converter(moduli, name=name),
+    )

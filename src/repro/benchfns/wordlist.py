@@ -1,0 +1,174 @@
+"""English word list address generators (Sect. 4.2, [19]).
+
+The paper registers three lists of 1730/3366/4705 English words, each
+padded with blanks to 8 letters, 5 bits per letter (27 used codes out
+of 32), n = 40 input bits.  Each word gets a unique index 1..k
+(m = 11/12/13 output bits); for the Fig. 8 architecture the output 0 of
+every unregistered input is replaced by don't care, raising the DC
+ratio to 1 - k/2^40 (the Table 4 rows).
+
+The original word lists of [19] are not available offline, so this
+module generates *deterministic synthetic English-like words* (seeded
+syllable generator over letter-frequency tables).  The experiment
+depends only on the statistics above — k sparse care points in a
+40-bit space with the 5-bit letter coding — which the synthetic lists
+match exactly; see DESIGN.md ("Substitutions").
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.bdd.manager import BDD
+from repro.bdd.builder import from_sorted_minterms
+from repro.benchfns.base import Benchmark, DigitSpec
+from repro.errors import BenchmarkError
+from repro.isf.function import ISF, MultiOutputISF
+from repro.utils.bitops import bits_for
+
+#: Number of letters per word after blank padding.
+WORD_LETTERS = 8
+#: Bits per letter.
+LETTER_BITS = 5
+#: Total input bits (the paper's n = 40).
+WORD_BITS = WORD_LETTERS * LETTER_BITS
+#: Code of the padding blank; codes 27..31 are unused (input don't cares).
+BLANK_CODE = 26
+
+_VOWELS = "aeiou"
+_ONSETS = (
+    "b c d f g h j k l m n p r s t v w y z bl br ch cl cr dr fl fr gl gr "
+    "pl pr sc sh sk sl sm sn sp st sw th tr tw wh"
+).split()
+_CODAS = (
+    " b ck ct d ft g k l ld ll lt m mp n nd ng nk nt p r rd rk rm rn rt s "
+    "sh sk sp ss st t th x"
+).split()
+
+
+def generate_words(count: int, *, seed: int = 2005, max_len: int = WORD_LETTERS) -> list[str]:
+    """Deterministic list of ``count`` distinct English-like words.
+
+    Words are 3..``max_len`` lowercase letters, sorted alphabetically.
+    """
+    rng = random.Random(seed)
+    words: set[str] = set()
+    while len(words) < count:
+        syllables = rng.choice((1, 2, 2, 3))
+        word = ""
+        for _ in range(syllables):
+            word += rng.choice(_ONSETS) + rng.choice(_VOWELS)
+        if rng.random() < 0.7:
+            word += rng.choice(_CODAS)
+        if 3 <= len(word) <= max_len:
+            words.add(word)
+    return sorted(words)
+
+
+def encode_word(word: str) -> int:
+    """Pack a word into the 40-bit input code (blank padded)."""
+    if not (1 <= len(word) <= WORD_LETTERS):
+        raise BenchmarkError(f"word length must be 1..{WORD_LETTERS}: {word!r}")
+    code = 0
+    for i in range(WORD_LETTERS):
+        if i < len(word):
+            ch = word[i]
+            if not ("a" <= ch <= "z"):
+                raise BenchmarkError(f"invalid letter {ch!r} in {word!r}")
+            letter = ord(ch) - ord("a")
+        else:
+            letter = BLANK_CODE
+        code = (code << LETTER_BITS) | letter
+    return code
+
+
+def decode_word(code: int) -> str | None:
+    """Unpack a 40-bit code back to a string; None for invalid codes."""
+    letters = []
+    for i in range(WORD_LETTERS):
+        v = (code >> (LETTER_BITS * (WORD_LETTERS - 1 - i))) & 0x1F
+        if v < 26:
+            letters.append(chr(ord("a") + v))
+        elif v == BLANK_CODE:
+            letters.append(" ")
+        else:
+            return None
+    return "".join(letters).rstrip(" ")
+
+
+class WordList:
+    """A registered word list: words, their codes, and indices 1..k."""
+
+    def __init__(self, words: Sequence[str], *, name: str | None = None):
+        if len(set(words)) != len(words):
+            raise BenchmarkError("word list contains duplicates")
+        self.words = sorted(words)
+        self.name = name if name is not None else f"{len(words)} words"
+        self.word_to_index = {
+            encode_word(w): i + 1 for i, w in enumerate(self.words)
+        }
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    @property
+    def index_bits(self) -> int:
+        """m: bits needed for indices 0..k (the paper's 11/12/13)."""
+        return bits_for(len(self.words) + 1)
+
+    def index_of(self, word: str) -> int:
+        """1-based index of a registered word, 0 otherwise."""
+        try:
+            return self.word_to_index[encode_word(word)]
+        except (KeyError, BenchmarkError):
+            return 0
+
+
+def build_wordlist_isf(word_list: WordList, *, dc_outside: bool = True) -> MultiOutputISF:
+    """BDD triples of the address function.
+
+    ``dc_outside=True`` is the Fig. 8 / Table 4 variant: unregistered
+    inputs are don't care.  ``dc_outside=False`` assigns 0 everywhere
+    else (the DC=0 design style of Table 6).
+    """
+    m = word_list.index_bits
+    bdd = BDD()
+    input_vids = bdd.add_vars(
+        [f"L{i}_{j}" for i in range(WORD_LETTERS) for j in range(LETTER_BITS)],
+        kind="input",
+    )
+    pairs = sorted(word_list.word_to_index.items())
+    outputs = []
+    for bit in range(m):
+        mask = 1 << (m - 1 - bit)
+        onset = [w for w, idx in pairs if idx & mask]
+        f1 = from_sorted_minterms(bdd, input_vids, onset)
+        if dc_outside:
+            offset = [w for w, idx in pairs if not idx & mask]
+            f0 = from_sorted_minterms(bdd, input_vids, offset)
+        else:
+            f0 = bdd.apply_not(f1)
+        outputs.append(ISF(bdd, f0, f1))
+    return MultiOutputISF(bdd, input_vids, outputs, name=word_list.name)
+
+
+def wordlist_benchmark(count: int, *, seed: int = 2005) -> Benchmark:
+    """Benchmark wrapper for a synthetic word list of ``count`` words.
+
+    The reference evaluator returns the index for registered words and
+    None (don't care) elsewhere — the Table 4 / Fig. 8 semantics.
+    """
+    word_list = WordList(generate_words(count, seed=seed))
+    digits = [DigitSpec(f"L{i}", 27) for i in range(WORD_LETTERS)]
+
+    def reference(minterm: int) -> int | None:
+        return word_list.word_to_index.get(minterm)
+
+    return Benchmark(
+        name=f"{count} words",
+        digits=digits,
+        n_outputs=word_list.index_bits,
+        reference=reference,
+        build=lambda: build_wordlist_isf(word_list),
+    )

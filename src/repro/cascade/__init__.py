@@ -1,0 +1,38 @@
+"""LUT cascade synthesis and the Fig. 8 aux-memory architecture."""
+
+from repro.cascade.cell import Cascade, Cell, rail_width
+from repro.cascade.cost import CascadeCost, cost_of
+from repro.cascade.synth import synthesize_cascade, synthesize_forest
+from repro.cascade.realization import (
+    FunctionRealization,
+    RealizedPart,
+    realize_forest,
+)
+from repro.cascade.auxmem import AddressGenerator
+from repro.cascade.verilog import cascade_to_verilog
+from repro.cascade.device import NAKAMURA_2005, DeviceSpec, FitReport, fit_report
+from repro.cascade.formal import (
+    symbolic_cascade_outputs,
+    verify_cascade_against_cf,
+)
+
+__all__ = [
+    "AddressGenerator",
+    "DeviceSpec",
+    "FitReport",
+    "NAKAMURA_2005",
+    "fit_report",
+    "cascade_to_verilog",
+    "symbolic_cascade_outputs",
+    "verify_cascade_against_cf",
+    "Cascade",
+    "CascadeCost",
+    "Cell",
+    "FunctionRealization",
+    "RealizedPart",
+    "cost_of",
+    "rail_width",
+    "realize_forest",
+    "synthesize_cascade",
+    "synthesize_forest",
+]

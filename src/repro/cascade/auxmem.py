@@ -1,0 +1,74 @@
+"""The Fig. 8 architecture: LUT cascade + auxiliary memory + comparator.
+
+An *address generator* maps k registered n-bit words to their unique
+indices 1..k and everything else to 0.  Realizing it directly needs
+huge cascades (the DC=0 rows of Table 6); the paper instead:
+
+  1. replaces the output value 0 by don't care — only the k words keep
+     specified outputs, raising the don't-care ratio to 1 - k/2^n,
+  2. reduces support variables and the CF width, yielding a small
+     cascade that outputs *some* index for *any* input,
+  3. adds an auxiliary memory of ``n * 2^m`` bits holding the word that
+     owns each index, and a comparator: when the stored word differs
+     from the input, the real answer is 0.
+
+Registered words always reach their own index (width reduction only
+refines the function), so the comparator accepts exactly the word list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.cascade.realization import FunctionRealization
+from repro.errors import CascadeError
+
+
+@dataclass
+class AddressGenerator:
+    """Cascade + AUX memory + comparator (Fig. 8).
+
+    Attributes:
+        realization: cascades computing a candidate index from the word.
+        aux: list of length ``2^m``; ``aux[i]`` is the word registered
+            under index ``i`` or None for unused indices.
+        n_bits / m_bits: word and index widths.
+    """
+
+    realization: FunctionRealization
+    aux: list[int | None]
+    n_bits: int
+    m_bits: int
+
+    @property
+    def aux_memory_bits(self) -> int:
+        """Auxiliary memory size: ``n * 2^m`` (Sect. 5.3)."""
+        return self.n_bits * (1 << self.m_bits)
+
+    def lookup(self, word: int) -> int:
+        """Index of ``word`` when registered, else 0."""
+        candidate = self.realization.evaluate(word)
+        if candidate < len(self.aux) and self.aux[candidate] == word:
+            return candidate
+        return 0
+
+    @staticmethod
+    def build(
+        realization: FunctionRealization,
+        word_to_index: Mapping[int, int],
+        *,
+        n_bits: int,
+        m_bits: int,
+    ) -> "AddressGenerator":
+        """Fill the AUX memory from the registered word -> index map."""
+        if realization.n_outputs != m_bits:
+            raise CascadeError("realization output width must equal m_bits")
+        aux: list[int | None] = [None] * (1 << m_bits)
+        for word, index in word_to_index.items():
+            if not (1 <= index < (1 << m_bits)):
+                raise CascadeError(f"index {index} does not fit in {m_bits} bits")
+            if aux[index] is not None:
+                raise CascadeError(f"duplicate index {index}")
+            aux[index] = word
+        return AddressGenerator(realization, aux, n_bits, m_bits)

@@ -1,0 +1,115 @@
+"""LUT cascade cells and the cascade container.
+
+A cell is a small memory: it consumes the incoming rail code plus a
+band of primary input variables and produces the output variables whose
+levels fall inside the band plus the outgoing rail code (Sect. 5.2/5.3;
+cells have at most 12 inputs and 10 outputs in the paper's designs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+from repro.errors import CascadeError
+from repro.utils.bitops import bits_for
+
+
+@dataclass
+class Cell:
+    """One LUT cell of a cascade.
+
+    The lookup table is indexed by ``(rail_in_code << k) | band_bits``
+    where ``k = len(input_vids)`` and ``band_bits`` are the band's
+    primary inputs MSB-first in level order.  Each entry is
+    ``(output_bits, rail_out_code)`` with ``output_bits`` MSB-first over
+    ``output_vids``.
+    """
+
+    index: int
+    rail_in_width: int
+    input_vids: tuple[int, ...]
+    output_vids: tuple[int, ...]
+    rail_out_width: int
+    table: list[tuple[int, int]] = field(repr=False)
+
+    @property
+    def num_inputs(self) -> int:
+        """Address width of the cell memory."""
+        return self.rail_in_width + len(self.input_vids)
+
+    @property
+    def num_outputs(self) -> int:
+        """Number of cell outputs (paper's per-cell LUT outputs)."""
+        return self.rail_out_width + len(self.output_vids)
+
+    @property
+    def memory_bits(self) -> int:
+        """Memory size of the cell: ``2^inputs * outputs``."""
+        return (1 << self.num_inputs) * self.num_outputs
+
+    def lookup(self, rail_in: int, band_bits: int) -> tuple[int, int]:
+        """Return ``(output_bits, rail_out_code)`` for one address."""
+        address = (rail_in << len(self.input_vids)) | band_bits
+        return self.table[address]
+
+
+@dataclass
+class Cascade:
+    """A chain of cells realizing (an extension of) a multi-output ISF."""
+
+    cells: list[Cell]
+    name: str = "cascade"
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def num_lut_outputs(self) -> int:
+        """Total number of LUT outputs (the paper's #LUT)."""
+        return sum(cell.num_outputs for cell in self.cells)
+
+    @property
+    def memory_bits(self) -> int:
+        """Total cell memory (the paper's LUT MemBits)."""
+        return sum(cell.memory_bits for cell in self.cells)
+
+    @property
+    def input_vids(self) -> list[int]:
+        """All primary input vids consumed, in cascade order."""
+        return [v for cell in self.cells for v in cell.input_vids]
+
+    @property
+    def output_vids(self) -> list[int]:
+        """All output vids produced, in cascade order."""
+        return [v for cell in self.cells for v in cell.output_vids]
+
+    def evaluate(self, assignment: Mapping[int, int]) -> dict[int, int]:
+        """Run the chain on input bits given as a vid -> bit mapping.
+
+        Inputs the cascade does not consume (removed support variables)
+        are simply ignored.
+        """
+        rail = 0
+        outputs: dict[int, int] = {}
+        for cell in self.cells:
+            band_bits = 0
+            for vid in cell.input_vids:
+                try:
+                    band_bits = (band_bits << 1) | (assignment[vid] & 1)
+                except KeyError:
+                    raise CascadeError(
+                        f"missing input bit for variable {vid}"
+                    ) from None
+            out_bits, rail = cell.lookup(rail, band_bits)
+            for i, vid in enumerate(cell.output_vids):
+                outputs[vid] = (out_bits >> (len(cell.output_vids) - 1 - i)) & 1
+        return outputs
+
+
+def rail_width(num_states: int) -> int:
+    """Wires needed to distinguish ``num_states`` columns: ceil(log2 W)."""
+    if num_states <= 1:
+        return 0
+    return bits_for(num_states)

@@ -1,0 +1,53 @@
+"""Cost accounting for cascade realizations (Tables 5 and 6 columns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.cascade.cell import Cascade
+
+
+@dataclass(frozen=True)
+class CascadeCost:
+    """Aggregate costs of a set of cascades realizing one function.
+
+    Field names follow the paper's Table 6 headers:
+
+    * ``cells`` — #Cel, total number of cells,
+    * ``lut_outputs`` — #LUT, total number of LUT outputs,
+    * ``cascades`` — #Cas, number of cascades,
+    * ``redundant_vars`` — #RV, input variables removed by support
+      reduction,
+    * ``lut_memory_bits`` — MemBits/LUT,
+    * ``aux_memory_bits`` — MemBits/AUX (0 without an auxiliary memory).
+    """
+
+    cells: int
+    lut_outputs: int
+    cascades: int
+    redundant_vars: int
+    lut_memory_bits: int
+    aux_memory_bits: int = 0
+
+    @property
+    def total_memory_bits(self) -> int:
+        """LUT plus auxiliary memory."""
+        return self.lut_memory_bits + self.aux_memory_bits
+
+
+def cost_of(
+    cascades: Sequence[Cascade],
+    *,
+    redundant_vars: int = 0,
+    aux_memory_bits: int = 0,
+) -> CascadeCost:
+    """Sum the paper's cost metrics over a cascade forest."""
+    return CascadeCost(
+        cells=sum(c.num_cells for c in cascades),
+        lut_outputs=sum(c.num_lut_outputs for c in cascades),
+        cascades=len(cascades),
+        redundant_vars=redundant_vars,
+        lut_memory_bits=sum(c.memory_bits for c in cascades),
+        aux_memory_bits=aux_memory_bits,
+    )

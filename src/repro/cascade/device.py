@@ -1,0 +1,100 @@
+"""Device-fit model for cascade PLDs (the paper's reference [11]).
+
+Nakamura et al. built a programmable logic device with an 8-stage
+cascade of 64K-bit asynchronous SRAMs; a synthesized cascade is only
+realizable on such a chip if every cell's memory fits a stage and the
+chain is short enough.  :class:`DeviceSpec` captures those limits and
+:func:`fit_report` checks a design against them — the practical
+"does it fit the part" step after Table 5/6 style synthesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.cascade.cell import Cascade
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A cascade PLD: fixed stages of fixed-size memories.
+
+    Attributes:
+        name: part label used in reports.
+        max_stages: cells per cascade chain.
+        cell_memory_bits: memory per stage (the [11] part has 64K bits).
+        max_cell_inputs: address width per stage.
+        max_cell_outputs: data width per stage.
+    """
+
+    name: str
+    max_stages: int
+    cell_memory_bits: int
+    max_cell_inputs: int
+    max_cell_outputs: int
+
+
+#: The 8-stage 64K-bit SRAM cascade device of reference [11] with the
+#: 12-input / 10-output cells the paper's experiments assume.
+NAKAMURA_2005 = DeviceSpec(
+    name="8-stage 64Kbit SRAM cascade [11]",
+    max_stages=8,
+    cell_memory_bits=64 * 1024,
+    max_cell_inputs=12,
+    max_cell_outputs=10,
+)
+
+
+@dataclass
+class FitReport:
+    """Outcome of checking cascades against a device."""
+
+    device: DeviceSpec
+    fits: bool
+    chips_needed: int
+    violations: list[str]
+
+    def __str__(self) -> str:
+        status = "fits" if self.fits else "does NOT fit"
+        lines = [
+            f"{status} {self.device.name}: {self.chips_needed} chip(s)"
+        ]
+        lines.extend(f"  - {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def fit_report(cascades: Sequence[Cascade], device: DeviceSpec) -> FitReport:
+    """Check a cascade forest against a device specification.
+
+    Each cascade occupies ``ceil(stages / max_stages)`` chips (long
+    chains can be folded across chips through I/O pins, as [11] does);
+    per-cell limits are hard violations.
+    """
+    violations: list[str] = []
+    chips = 0
+    for cascade in cascades:
+        for cell in cascade.cells:
+            where = f"{cascade.name} cell {cell.index}"
+            if cell.num_inputs > device.max_cell_inputs:
+                violations.append(
+                    f"{where}: {cell.num_inputs} inputs > "
+                    f"{device.max_cell_inputs}"
+                )
+            if cell.num_outputs > device.max_cell_outputs:
+                violations.append(
+                    f"{where}: {cell.num_outputs} outputs > "
+                    f"{device.max_cell_outputs}"
+                )
+            if cell.memory_bits > device.cell_memory_bits:
+                violations.append(
+                    f"{where}: {cell.memory_bits} bits > "
+                    f"{device.cell_memory_bits}"
+                )
+        chips += -(-cascade.num_cells // device.max_stages)
+    return FitReport(
+        device=device,
+        fits=not violations,
+        chips_needed=chips,
+        violations=violations,
+    )

@@ -1,0 +1,79 @@
+"""Bit-level realization of a multi-output function by cascade forests.
+
+Ties synthesized cascades (whose variables are manager vids) back to
+the integer input/output convention of the benchmark functions: input
+bit 0 is the most significant input, output bit 0 the most significant
+output, matching :mod:`repro.utils.bitops`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.cascade.cell import Cascade
+from repro.cf.charfun import CharFunction
+from repro.errors import CascadeError
+
+
+@dataclass
+class RealizedPart:
+    """One cascade plus the vid <-> bit-position wiring."""
+
+    cascade: Cascade
+    input_positions: dict[int, int]  # vid -> input bit position (0 = MSB)
+    output_positions: dict[int, int]  # vid -> output bit position (0 = MSB)
+
+    def evaluate_into(self, x: int, n_inputs: int, out_bits: list[int]) -> None:
+        assignment = {
+            vid: (x >> (n_inputs - 1 - pos)) & 1
+            for vid, pos in self.input_positions.items()
+        }
+        produced = self.cascade.evaluate(assignment)
+        for vid, pos in self.output_positions.items():
+            out_bits[pos] = produced.get(vid, 0)
+
+
+@dataclass
+class FunctionRealization:
+    """A complete n-input m-output function realized by cascades."""
+
+    n_inputs: int
+    n_outputs: int
+    parts: list[RealizedPart]
+
+    def evaluate(self, x: int) -> int:
+        """Evaluate the full function on an input integer."""
+        if not (0 <= x < (1 << self.n_inputs)):
+            raise CascadeError(f"input {x} out of range for {self.n_inputs} bits")
+        out_bits = [0] * self.n_outputs
+        for part in self.parts:
+            part.evaluate_into(x, self.n_inputs, out_bits)
+        value = 0
+        for b in out_bits:
+            value = (value << 1) | b
+        return value
+
+
+def realize_forest(
+    forest: Sequence[tuple[Cascade, CharFunction, list[int]]],
+    n_inputs: int,
+    n_outputs: int,
+) -> FunctionRealization:
+    """Wire a :func:`repro.cascade.synth.synthesize_forest` result.
+
+    Each forest entry carries the CF it was synthesized from and the
+    global output indices it realizes; the CF's ``input_vids`` are
+    assumed to be in original input order (position = list index) and
+    its ``output_vids`` in the order of the given output indices.
+    """
+    parts = []
+    for cascade, cf, indices in forest:
+        input_positions = {vid: pos for pos, vid in enumerate(cf.input_vids)}
+        if len(cf.output_vids) != len(indices):
+            raise CascadeError("output indices do not match the CF outputs")
+        output_positions = {
+            vid: indices[i] for i, vid in enumerate(cf.output_vids)
+        }
+        parts.append(RealizedPart(cascade, input_positions, output_positions))
+    return FunctionRealization(n_inputs, n_outputs, parts)

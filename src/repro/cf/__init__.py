@@ -1,0 +1,24 @@
+"""BDD_for_CF: characteristic functions of multiple-output ISFs (Sect. 2-3)."""
+
+from repro.cf.charfun import CharFunction
+from repro.cf.extract import refines_spec, to_spec
+from repro.cf.width import (
+    all_columns,
+    columns_at_height,
+    max_width,
+    substitute_columns,
+    sum_of_widths,
+    width_profile,
+)
+
+__all__ = [
+    "CharFunction",
+    "all_columns",
+    "columns_at_height",
+    "max_width",
+    "refines_spec",
+    "substitute_columns",
+    "sum_of_widths",
+    "to_spec",
+    "width_profile",
+]

@@ -1,0 +1,55 @@
+"""Extracting tabular functions back out of a BDD_for_CF.
+
+Used by tests and examples to compare a (possibly width-reduced) CF
+against the original specification: reduction may only *refine* the
+function (assign values to don't cares), never change a specified
+value.
+"""
+
+from __future__ import annotations
+
+from repro.cf.charfun import CharFunction
+from repro.isf.ternary import MultiOutputSpec
+
+
+def to_spec(cf: CharFunction, *, name: str | None = None) -> MultiOutputSpec:
+    """Enumerate the CF into a tabular spec (small input counts only).
+
+    Rows where every output is don't care are omitted, matching the
+    sparse convention of :class:`MultiOutputSpec`.
+    """
+    n = len(cf.input_vids)
+    if n > 20:
+        raise ValueError(f"to_spec() enumerates 2^{n} inputs; refusing n > 20")
+    care = {}
+    for minterm in range(1 << n):
+        pattern = cf.output_pattern(minterm)
+        if any(v is not None for v in pattern):
+            care[minterm] = pattern
+    return MultiOutputSpec(
+        n,
+        len(cf.output_vids),
+        care,
+        input_names=tuple(cf.bdd.name_of(v) for v in cf.input_vids),
+        output_names=tuple(cf.bdd.name_of(v) for v in cf.output_vids),
+        name=name if name is not None else cf.name,
+    )
+
+
+def refines_spec(cf: CharFunction, spec: MultiOutputSpec) -> bool:
+    """Check that the CF agrees with every specified value of ``spec``.
+
+    This is the soundness property of all the reduction algorithms: for
+    every care entry of the original function, the (possibly reduced)
+    CF must either produce the same value or — never — disagree.  A
+    reduced CF may specify values where the spec has don't cares.
+    """
+    for minterm, values in spec.care.items():
+        pattern = cf.output_pattern(minterm)
+        for got, want in zip(pattern, values):
+            if want is not None and got is not None and got != want:
+                return False
+            if want is not None and got is None:
+                # The reduction lost a specified value: unsound.
+                return False
+    return True

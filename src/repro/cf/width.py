@@ -1,0 +1,98 @@
+"""Widths of a BDD_for_CF (Definition 3.5) and column extraction.
+
+The width at height ``k`` is the number of edges crossing the section
+between variables ``z_k`` and ``z_{k+1}``, where edges incident to the
+same node count once and edges into the constant 0 are not counted
+(which also covers Theorem 3.1's "ignore edges that connect output
+nodes and the constant 0").  The width at height 0 is 1 by definition.
+
+The *column functions* at a height are the functions of the distinct
+crossing targets — the paper's decomposition-chart columns realized on
+the BDD (Sect. 3.1, footnote: the all-zero column is not counted, which
+corresponds to excluding the constant 0 target).
+"""
+
+from __future__ import annotations
+
+from repro.bdd.manager import TRUE, BDD
+from repro.bdd.traversal import crossing_targets
+
+
+def width_profile(bdd: BDD, root: int) -> list[int]:
+    """Widths indexed by height ``0 .. t`` (``t`` = number of variables)."""
+    t = bdd.num_vars
+    sections = crossing_targets(bdd, [root])
+    profile = [0] * (t + 1)
+    profile[0] = 1
+    for height in range(1, t + 1):
+        profile[height] = len(sections[t - height])
+    return profile
+
+
+def max_width(bdd: BDD, root: int) -> int:
+    """Maximum width over all sections (the paper's 'Maximum width')."""
+    profile = width_profile(bdd, root)
+    # Heights 0 and t are the trivial terminal/root sections; the paper's
+    # maximum is over the internal structure, but including the trivial
+    # sections cannot change the maximum for any non-constant function.
+    return max(profile)
+
+def sum_of_widths(bdd: BDD, root: int) -> int:
+    """Sum of widths over all heights — the sifting cost of Sect. 5.1."""
+    return sum(width_profile(bdd, root))
+
+
+def columns_at_height(bdd: BDD, root: int, height: int) -> list[int]:
+    """Distinct column functions crossing the section at ``height``.
+
+    Targets are the nodes below the section that receive an edge from
+    above it; the constant 0 is excluded by Definition 3.5.  The
+    constant 1 *is* a column (an "all don't care" column) and may be
+    merged with any other column by Algorithm 3.3.  Results are sorted
+    for determinism.
+    """
+    t = bdd.num_vars
+    if not (1 <= height <= t):
+        raise ValueError(f"height must be in 1..{t}, got {height}")
+    sections = crossing_targets(bdd, [root])
+    return sorted(sections[t - height])
+
+
+def all_columns(bdd: BDD, root: int) -> list[list[int]]:
+    """Column sets for every height ``0 .. t`` in one traversal."""
+    t = bdd.num_vars
+    sections = crossing_targets(bdd, [root])
+    result: list[list[int]] = [[] for _ in range(t + 1)]
+    result[0] = [TRUE] if root != 0 else []
+    for height in range(1, t + 1):
+        result[height] = sorted(sections[t - height])
+    return result
+
+
+def substitute_columns(
+    bdd: BDD, root: int, height: int, substitution: dict[int, int]
+) -> int:
+    """Rebuild the BDD with columns at ``height`` replaced.
+
+    ``substitution`` maps old column nodes (at or below the section) to
+    replacement functions whose supports also lie below the section.
+    Nodes above the section are rebuilt through the unique table, so
+    upper nodes that become equal merge automatically (Example 3.6).
+    """
+    t = bdd.num_vars
+    boundary_level = t - height  # nodes at level >= boundary_level are below
+    memo: dict[int, int] = {}
+
+    def walk(u: int) -> int:
+        if bdd.level(u) >= boundary_level:
+            return substitution.get(u, u)
+        r = memo.get(u)
+        if r is not None:
+            return r
+        lo = walk(bdd.lo(u))
+        hi = walk(bdd.hi(u))
+        r = bdd.mk(bdd.var_of(u), lo, hi)
+        memo[u] = r
+        return r
+
+    return walk(root)

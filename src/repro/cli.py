@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table4 [names...]`` — regenerate (a subset of) Table 4.
+* ``table5 [names...]`` — regenerate the reconstructed Table 5.
+* ``table6 [sizes...]`` — regenerate Table 6 for the given word counts.
+* ``figures`` — print the figure reproductions (2, 5, 6, 7, 8, 9).
+* ``scaling [sizes...]`` — word-list scaling study (Fig. 8 vs DC=0).
+* ``demo`` — the Table 1 worked example, end to end.
+* ``pla FILE`` — run support reduction + Algorithm 3.3 on a PLA file
+  and report the width profile before/after.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BDD_for_CF width reduction and LUT cascade synthesis "
+        "(Matsuura & Sasao, DAC 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p4 = sub.add_parser("table4", help="maximum width / node count table")
+    p4.add_argument("names", nargs="*", help="benchmark names (default: all)")
+    p4.add_argument("--verify", action="store_true", help="cross-check against references")
+    p4.add_argument("--no-sift", action="store_true", help="skip variable reordering")
+
+    p5 = sub.add_parser("table5", help="cascade realization of arithmetic functions")
+    p5.add_argument("names", nargs="*")
+    p5.add_argument("--verify", action="store_true")
+
+    p6 = sub.add_parser("table6", help="word-list realization (Fig. 8)")
+    p6.add_argument("sizes", nargs="*", type=int, help="word counts (default: configured)")
+    p6.add_argument("--verify", action="store_true")
+
+    sub.add_parser("figures", help="print the figure reproductions")
+    sub.add_parser("demo", help="Table 1 worked example")
+
+    pscale = sub.add_parser("scaling", help="word-list scaling study")
+    pscale.add_argument("sizes", nargs="*", type=int, default=None)
+
+    ppla = sub.add_parser("pla", help="reduce the width of a PLA function")
+    ppla.add_argument("file")
+    ppla.add_argument("--dump-dot", metavar="PATH", help="write the reduced CF as DOT")
+
+    args = parser.parse_args(argv)
+    command = args.command
+    if command == "table4":
+        return _cmd_table4(args)
+    if command == "table5":
+        return _cmd_table5(args)
+    if command == "table6":
+        return _cmd_table6(args)
+    if command == "figures":
+        return _cmd_figures()
+    if command == "scaling":
+        return _cmd_scaling(args)
+    if command == "demo":
+        return _cmd_demo()
+    if command == "pla":
+        return _cmd_pla(args)
+    parser.error(f"unknown command {command}")
+    return 2
+
+
+def _cmd_table4(args) -> int:
+    from repro.experiments.table4 import format_table4, run_table4
+
+    rows = run_table4(
+        args.names or None, sift=not args.no_sift, verify=args.verify
+    )
+    print(format_table4(rows))
+    return 0
+
+
+def _cmd_table5(args) -> int:
+    from repro.experiments.table5 import format_table5, run_table5
+
+    rows = run_table5(args.names or None, verify=args.verify)
+    print(format_table5(rows))
+    return 0
+
+
+def _cmd_table6(args) -> int:
+    from repro.experiments.table6 import format_table6, run_table6
+
+    rows = run_table6(args.sizes or None, verify=args.verify)
+    print(format_table6(rows))
+    return 0
+
+
+def _cmd_figures() -> int:
+    from repro.experiments.figures import all_figures, render_reports
+
+    print(render_reports(all_figures()))
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from repro.experiments.scaling import format_scaling, run_scaling
+
+    sizes = args.sizes or [50, 100, 200]
+    print(format_scaling(run_scaling(sizes)))
+    return 0
+
+
+def _cmd_demo() -> int:
+    from repro.cf import CharFunction, max_width, width_profile
+    from repro.isf import table1_spec
+    from repro.reduce import algorithm_3_1, algorithm_3_3
+
+    spec = table1_spec()
+    cf = CharFunction.from_spec(spec)
+    print("Table 1 function (4 inputs, 2 outputs), order:", " ".join(cf.bdd.order()))
+    print("ISF BDD_for_CF:  width", max_width(cf.bdd, cf.root), "nodes", cf.num_nodes())
+    print("  profile:", width_profile(cf.bdd, cf.root))
+    r31 = algorithm_3_1(cf)
+    print("Algorithm 3.1:   width", max_width(r31.bdd, r31.root), "nodes", r31.num_nodes())
+    r33, _ = algorithm_3_3(cf)
+    print("Algorithm 3.3:   width", max_width(r33.bdd, r33.root), "nodes", r33.num_nodes())
+    print("  profile:", width_profile(r33.bdd, r33.root))
+    return 0
+
+
+def _cmd_pla(args) -> int:
+    from repro.cf import CharFunction, max_width, width_profile
+    from repro.isf.pla import load_pla
+    from repro.reduce import algorithm_3_3, reduce_support
+
+    isf = load_pla(args.file)
+    cf = CharFunction.from_isf(isf)
+    cf.sift(cost="auto")
+    print(f"{args.file}: {isf.n_inputs} inputs, {isf.n_outputs} outputs")
+    print("before:", "width", max_width(cf.bdd, cf.root), "nodes", cf.num_nodes())
+    reduced, removed = reduce_support(cf)
+    reduced, _ = algorithm_3_3(reduced)
+    print(
+        "after: ",
+        "width",
+        max_width(reduced.bdd, reduced.root),
+        "nodes",
+        reduced.num_nodes(),
+        f"(removed {len(removed)} variables)",
+    )
+    print("profile:", width_profile(reduced.bdd, reduced.root))
+    if args.dump_dot:
+        from repro.bdd.dot import to_dot
+
+        with open(args.dump_dot, "w") as handle:
+            handle.write(to_dot(reduced.bdd, {"chi": reduced.root}))
+        print("DOT written to", args.dump_dot)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

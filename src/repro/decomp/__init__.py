@@ -1,0 +1,27 @@
+"""Functional decomposition: charts (Def. 3.6) and CF cuts (Theorem 3.1)."""
+
+from repro.decomp.chart import (
+    DecompositionChart,
+    columns_compatible,
+    merge_columns,
+    table2_spec,
+)
+from repro.decomp.functional import (
+    Decomposition,
+    decompose_at_height,
+    walk_segment,
+)
+from repro.decomp.mtbdd import MTBDD, mtbdd_from_function, mtbdd_from_isf
+
+__all__ = [
+    "Decomposition",
+    "MTBDD",
+    "mtbdd_from_function",
+    "mtbdd_from_isf",
+    "DecompositionChart",
+    "columns_compatible",
+    "decompose_at_height",
+    "merge_columns",
+    "table2_spec",
+    "walk_segment",
+]

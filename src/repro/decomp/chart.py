@@ -1,0 +1,169 @@
+"""Decomposition charts and column multiplicity (Definition 3.6).
+
+A decomposition chart of ``f(X1, X2)`` is the 2^|X2| x 2^|X1| matrix of
+function values with columns indexed by the bound set ``X1``; the
+column multiplicity µ is the number of distinct column patterns, and
+for incompletely specified functions compatible columns (Definition
+3.7) can be merged to reduce µ (Example 3.4, Tables 2-3).
+
+Charts are the tabular mirror of the BDD_for_CF column machinery; the
+tests cross-check that the CF width at the cut equals the chart's
+column multiplicity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import DecompositionError, IncompatibleError
+from repro.isf.ternary import MultiOutputSpec, OutputValue
+from repro.reduce.cliquecover import build_compatibility_graph, heuristic_clique_cover
+
+
+class DecompositionChart:
+    """Chart of a single-output ternary function for a variable partition."""
+
+    def __init__(
+        self,
+        spec: MultiOutputSpec,
+        bound_vars: Sequence[int],
+        *,
+        output: int = 0,
+    ):
+        """``bound_vars`` are 0-based input indices forming X1 (columns).
+
+        The remaining inputs, in their original order, form X2 (rows).
+        """
+        if not (0 <= output < spec.n_outputs):
+            raise DecompositionError(f"output index {output} out of range")
+        n = spec.n_inputs
+        bound = list(bound_vars)
+        if len(set(bound)) != len(bound) or any(not 0 <= b < n for b in bound):
+            raise DecompositionError("bound_vars must be distinct input indices")
+        self.spec = spec
+        self.output = output
+        self.bound = bound
+        self.free = [i for i in range(n) if i not in set(bound)]
+        self._matrix = self._build()
+
+    def _build(self) -> list[list[OutputValue]]:
+        n = self.spec.n_inputs
+        rows = 1 << len(self.free)
+        cols = 1 << len(self.bound)
+        matrix = [[None] * cols for _ in range(rows)]
+        for r in range(rows):
+            for c in range(cols):
+                minterm = 0
+                for bit_index, var in enumerate(self.bound):
+                    bit = (c >> (len(self.bound) - 1 - bit_index)) & 1
+                    minterm |= bit << (n - 1 - var)
+                for bit_index, var in enumerate(self.free):
+                    bit = (r >> (len(self.free) - 1 - bit_index)) & 1
+                    minterm |= bit << (n - 1 - var)
+                matrix[r][c] = self.spec.value(minterm, self.output)
+        return matrix
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_columns(self) -> int:
+        return 1 << len(self.bound)
+
+    def column(self, c: int) -> tuple[OutputValue, ...]:
+        """The ternary column pattern (the paper's column function Φ)."""
+        return tuple(row[c] for row in self._matrix)
+
+    def column_patterns(self) -> list[tuple[OutputValue, ...]]:
+        return [self.column(c) for c in range(self.num_columns)]
+
+    def column_multiplicity(self) -> int:
+        """µ: the number of distinct column patterns (Definition 3.6)."""
+        return len(set(self.column_patterns()))
+
+    # ------------------------------------------------------------------
+
+    def minimized_multiplicity(self) -> tuple[int, list[list[int]]]:
+        """Reduce µ by merging compatible columns (Example 3.4).
+
+        Builds the compatibility graph over *distinct* column patterns,
+        covers it with Algorithm 3.2, and returns (new µ, cliques of
+        column indices).
+        """
+        patterns = self.column_patterns()
+        distinct: dict[tuple[OutputValue, ...], list[int]] = {}
+        for c, p in enumerate(patterns):
+            distinct.setdefault(p, []).append(c)
+        keys = sorted(distinct, key=lambda p: distinct[p][0])
+        adjacency, _ = build_compatibility_graph(
+            list(range(len(keys))),
+            lambda i, j: columns_compatible(keys[i], keys[j]),
+        )
+        cover = heuristic_clique_cover(list(range(len(keys))), adjacency)
+        cliques = [
+            sorted(c for i in clique for c in distinct[keys[i]]) for clique in cover
+        ]
+        return len(cover), cliques
+
+    def merged(self, cliques: Sequence[Sequence[int]]) -> "DecompositionChart":
+        """Chart with each clique of columns replaced by its product."""
+        chart = DecompositionChart.__new__(DecompositionChart)
+        chart.spec = self.spec
+        chart.output = self.output
+        chart.bound = self.bound
+        chart.free = self.free
+        matrix = [list(row) for row in self._matrix]
+        for clique in cliques:
+            product = merge_columns([self.column(c) for c in clique])
+            for r in range(len(matrix)):
+                for c in clique:
+                    matrix[r][c] = product[r]
+        chart._matrix = matrix
+        return chart
+
+
+def columns_compatible(
+    a: Sequence[OutputValue], b: Sequence[OutputValue]
+) -> bool:
+    """Definition 3.7 on ternary vectors: never 0 against 1."""
+    return all(
+        x is None or y is None or x == y for x, y in zip(a, b)
+    )
+
+
+def merge_columns(columns: Sequence[Sequence[OutputValue]]) -> tuple[OutputValue, ...]:
+    """Pointwise product of pairwise-compatible ternary columns."""
+    merged: list[OutputValue] = []
+    for values in zip(*columns):
+        specified = {v for v in values if v is not None}
+        if len(specified) > 1:
+            raise IncompatibleError("cannot merge incompatible columns")
+        merged.append(specified.pop() if specified else None)
+    return tuple(merged)
+
+
+def table2_spec() -> MultiOutputSpec:
+    """A 4-input single-output ISF with the structure of the paper's Table 2.
+
+    The exact cell values of Table 2 are not legible in the available
+    text, so this is a faithful reconstruction with the *same
+    compatibility structure* stated in Example 3.4: all four column
+    patterns are distinct (µ = 4), exactly the pairs {Φ1, Φ2},
+    {Φ1, Φ3} and {Φ3, Φ4} are compatible, and merging {Φ1, Φ2} and
+    {Φ3, Φ4} yields µ = 2 (Table 3 / Fig. 7).
+
+    Columns (x1 x2 = 00, 01, 10, 11) over rows (x3 x4 = 00, 01, 10, 11):
+
+        Φ1 = (d, 1, 0, d), Φ2 = (1, 1, 0, d),
+        Φ3 = (0, d, 0, d), Φ4 = (0, 0, d, 1).
+    """
+    columns = {
+        0b00: (None, 1, 0, None),
+        0b01: (1, 1, 0, None),
+        0b10: (0, None, 0, None),
+        0b11: (0, 0, None, 1),
+    }
+    care: dict[int, tuple[OutputValue, ...]] = {}
+    for c, pattern in columns.items():
+        for r, value in enumerate(pattern):
+            care[(c << 2) | r] = (value,)
+    return MultiOutputSpec(4, 1, care, name="table2")

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class BDDError(ReproError):
+    """Base class for errors raised by the BDD engine."""
+
+
+class VariableError(BDDError):
+    """An unknown, duplicate, or otherwise invalid variable was used."""
+
+
+class OrderingError(BDDError):
+    """A variable-ordering operation violated a constraint.
+
+    Raised, for example, when a requested sifting move would place an
+    output variable above one of its support variables (forbidden by
+    Definition 2.4 of the paper).
+    """
+
+
+class ForeignNodeError(BDDError):
+    """A node id from a different manager (or a stale id) was used."""
+
+
+class SpecificationError(ReproError):
+    """An incompletely specified function violates its invariants.
+
+    The sets ``f_0``, ``f_1`` and ``f_d`` must partition the input space
+    (Definition 2.1): pairwise disjoint, jointly exhaustive.
+    """
+
+
+class IncompatibleError(ReproError):
+    """Two incompatible functions were merged (Definition 3.7 violated)."""
+
+
+class DecompositionError(ReproError):
+    """A functional decomposition could not be constructed."""
+
+
+class CascadeError(ReproError):
+    """LUT cascade synthesis failed.
+
+    Raised when no cell packing exists under the given cell limits, e.g.
+    when the number of rails required at every cut exceeds the maximum
+    number of cell outputs and the output set can no longer be split.
+    """
+
+
+class BenchmarkError(ReproError):
+    """A benchmark function generator received invalid parameters."""

@@ -1,0 +1,60 @@
+"""Experiment pipelines regenerating the paper's tables and figures."""
+
+from repro.experiments.runner import (
+    build_extension_cf,
+    build_sifted_cf,
+    measure,
+    verify_cf_against_reference,
+)
+from repro.experiments.table4 import (
+    Table4Row,
+    format_table4,
+    ratios,
+    run_row as run_table4_row,
+    run_table4,
+)
+from repro.experiments.table5 import (
+    Table5Row,
+    format_table5,
+    run_table5,
+)
+from repro.experiments.table6 import (
+    Table6Design,
+    design_dc0,
+    design_fig8,
+    format_table6,
+    run_table6,
+)
+from repro.experiments.figures import all_figures, render_reports
+from repro.experiments.scaling import (
+    ScalingPoint,
+    format_scaling,
+    measure_point,
+    run_scaling,
+)
+
+__all__ = [
+    "Table4Row",
+    "Table5Row",
+    "ScalingPoint",
+    "Table6Design",
+    "all_figures",
+    "build_extension_cf",
+    "build_sifted_cf",
+    "design_dc0",
+    "design_fig8",
+    "format_table4",
+    "format_table5",
+    "format_table6",
+    "measure",
+    "ratios",
+    "render_reports",
+    "run_table4",
+    "run_table4_row",
+    "run_table5",
+    "run_scaling",
+    "run_table6",
+    "measure_point",
+    "format_scaling",
+    "verify_cf_against_reference",
+]

@@ -1,0 +1,200 @@
+"""Reproductions of the paper's figures (2, 5, 6, 7, 9).
+
+These produce text renderings (width profiles, compatibility graphs,
+cascade structure diagrams) plus DOT sources for the BDD figures, so
+``benchmarks/`` can print the same artefacts the paper draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bdd.dot import to_dot
+from repro.benchfns.rns import rns_benchmark
+from repro.cf.charfun import CharFunction
+from repro.cf.width import max_width, width_profile
+from repro.decomp.chart import DecompositionChart, columns_compatible, table2_spec
+from repro.experiments.table5 import design
+from repro.isf.function import MultiOutputISF
+from repro.isf.ternary import table1_spec
+from repro.reduce import algorithm_3_1, algorithm_3_3
+
+
+@dataclass
+class FigureReport:
+    """A text artefact plus (optionally) DOT source."""
+
+    title: str
+    text: str
+    dot: str | None = None
+
+
+def figure2_report() -> FigureReport:
+    """Fig. 2: CFs of the Table 1 function, completely and incompletely specified."""
+    spec = table1_spec()
+    isf = MultiOutputISF.from_spec(spec)
+    cf_dc0 = CharFunction.from_isf(isf.extension(0), name="fig2a")
+    cf_isf = CharFunction.from_isf(isf, name="fig2b")
+    lines = [
+        "Fig. 2(a) completely specified (DC=0): "
+        f"{cf_dc0.num_nodes()} nodes, max width {max_width(cf_dc0.bdd, cf_dc0.root)}",
+        "Fig. 2(b) incompletely specified:      "
+        f"{cf_isf.num_nodes()} nodes, max width {max_width(cf_isf.bdd, cf_isf.root)}",
+        f"order: {' '.join(cf_isf.bdd.order())}",
+    ]
+    return FigureReport(
+        "Fig. 2: BDD_for_CF of the Table 1 function",
+        "\n".join(lines),
+        dot=to_dot(cf_isf.bdd, {"chi": cf_isf.root}, graph_name="fig2b"),
+    )
+
+
+def figure5_report() -> FigureReport:
+    """Fig. 5 / Example 3.5: Algorithm 3.1 on the Table 1 CF.
+
+    The paper states widths 8 -> 5 and non-terminal nodes 15 -> 12,
+    which this reproduction matches exactly.
+    """
+    cf = CharFunction.from_spec(table1_spec(), name="fig5")
+    before = (max_width(cf.bdd, cf.root), cf.num_nodes())
+    reduced = algorithm_3_1(cf)
+    after = (max_width(reduced.bdd, reduced.root), reduced.num_nodes())
+    text = (
+        f"before Alg 3.1: max width {before[0]}, nodes {before[1]}\n"
+        f"after  Alg 3.1: max width {after[0]}, nodes {after[1]}\n"
+        f"width profile before: {width_profile(cf.bdd, cf.root)}\n"
+        f"width profile after:  {width_profile(reduced.bdd, reduced.root)}"
+    )
+    return FigureReport(
+        "Fig. 5: Algorithm 3.1 (paper: width 8->5, nodes 15->12)",
+        text,
+        dot=to_dot(reduced.bdd, {"chi": reduced.root}, graph_name="fig5b"),
+    )
+
+
+def figure6_report() -> FigureReport:
+    """Fig. 6 / Example 3.6: Algorithm 3.3 on the Table 1 CF (8 -> 4)."""
+    cf = CharFunction.from_spec(table1_spec(), name="fig6")
+    before = (max_width(cf.bdd, cf.root), cf.num_nodes())
+    reduced, stats = algorithm_3_3(cf)
+    after = (max_width(reduced.bdd, reduced.root), reduced.num_nodes())
+    text = (
+        f"before Alg 3.3: max width {before[0]}, nodes {before[1]}\n"
+        f"after  Alg 3.3: max width {after[0]}, nodes {after[1]}\n"
+        f"merges: {stats.merges} over {stats.heights_processed} heights\n"
+        f"width profile after: {width_profile(reduced.bdd, reduced.root)}"
+    )
+    return FigureReport(
+        "Fig. 6: Algorithm 3.3 (paper: width 8->4, nodes 15->12)",
+        text,
+        dot=to_dot(reduced.bdd, {"chi": reduced.root}, graph_name="fig6d"),
+    )
+
+
+def figure7_report() -> FigureReport:
+    """Fig. 7: compatibility graph of the Table 2 column functions."""
+    chart = DecompositionChart(table2_spec(), [0, 1])
+    patterns = chart.column_patterns()
+    lines = ["nodes: " + ", ".join(f"Phi{i + 1}" for i in range(len(patterns)))]
+    for i in range(len(patterns)):
+        for j in range(i + 1, len(patterns)):
+            if columns_compatible(patterns[i], patterns[j]):
+                lines.append(f"edge: Phi{i + 1} -- Phi{j + 1}")
+    mu, cliques = chart.minimized_multiplicity()
+    lines.append(f"clique cover -> mu = {mu}: {cliques}")
+    return FigureReport("Fig. 7: compatibility graph (Table 2)", "\n".join(lines))
+
+
+def figure8_report(*, num_words: int = 40, verify: bool = False) -> FigureReport:
+    """Fig. 8: the LUT cascade + AUX memory architecture, instantiated.
+
+    Draws the architecture with the measured sizes for a small word
+    list and reports the cost split the paper's Sect. 5.3 discusses.
+    """
+    from repro.benchfns.wordlist import WORD_BITS, WordList, generate_words
+    from repro.experiments.table6 import design_fig8, verify_generator
+
+    word_list = WordList(generate_words(num_words))
+    cost, generator = design_fig8(word_list)
+    if verify:
+        verify_generator(word_list, generator)
+    m = word_list.index_bits
+    cells = " -> ".join(
+        f"[cell {c.index}: {c.num_inputs}in/{c.num_outputs}out]"
+        for part in generator.realization.parts
+        for c in part.cascade.cells
+    )
+    diagram = f"""
+ word (n = {WORD_BITS} bits, {cost.redundant_vars} redundant bits unused)
+   |
+   v
+ {cells}
+   |  candidate index (m = {m} bits)
+   v
+ AUX memory  {WORD_BITS} x 2^{m} = {cost.aux_memory_bits} bits
+   |  stored word
+   v
+ comparator: stored == input ? index : 0
+"""
+    text = (
+        diagram.strip("\n")
+        + f"\n\nLUT cascade: {cost.cells} cells, {cost.lut_memory_bits} bits; "
+        f"AUX: {cost.aux_memory_bits} bits; total {cost.total_memory_bits} bits "
+        f"for {num_words} registered words"
+    )
+    return FigureReport(
+        f"Fig. 8: address generator architecture ({num_words} words)", text
+    )
+
+
+def figure9_report(*, verify: bool = False) -> FigureReport:
+    """Fig. 9: LUT cascades for the 5-7-11-13 RNS to binary converter."""
+    benchmark = rns_benchmark([5, 7, 11, 13])
+    isf = benchmark.build()
+    lines = []
+    for style, reduce in (("DC=0", False), ("Alg3.3", True)):
+        base = isf.extension(0) if not reduce else isf
+        cost, realization, forest = design(base, reduce=reduce)
+        lines.append(
+            f"{style}: {cost.cells} cells, {cost.lut_outputs} LUT outputs, "
+            f"{cost.cascades} cascades, {cost.lut_memory_bits} memory bits"
+        )
+        for cascade, cf, indices in forest:
+            stages = []
+            for cell in cascade.cells:
+                stages.append(
+                    f"[{cell.num_inputs}in/{cell.num_outputs}out]"
+                )
+            lines.append(
+                f"  outputs {indices[0]}..{indices[-1]}: " + " -> ".join(stages)
+            )
+        if verify:
+            from repro.experiments.table5 import verify_realization
+
+            verify_realization(benchmark, realization)
+    return FigureReport(
+        "Fig. 9: 5-7-11-13 RNS to binary converter cascades", "\n".join(lines)
+    )
+
+
+def all_figures(*, verify: bool = False) -> list[FigureReport]:
+    """Every figure report, in paper order."""
+    return [
+        figure2_report(),
+        figure5_report(),
+        figure6_report(),
+        figure7_report(),
+        figure8_report(verify=verify),
+        figure9_report(verify=verify),
+    ]
+
+
+def render_reports(reports: list[FigureReport]) -> str:
+    """Concatenate reports with headers."""
+    blocks = []
+    for r in reports:
+        blocks.append("=" * 66)
+        blocks.append(r.title)
+        blocks.append("-" * 66)
+        blocks.append(r.text)
+    return "\n".join(blocks)

@@ -1,0 +1,125 @@
+"""Shared experiment plumbing: CF pipelines, verification, timing.
+
+The Sect. 5.1 measurement flow for each output partition of a
+benchmark is:
+
+    build triples -> bi-partition outputs -> build BDD_for_CF ->
+    sift (sum-of-widths cost, Def. 2.4 constraints) ->
+    measure DC=0 / DC=1 / ISF / Alg3.1 / Alg3.3
+
+DC=0 and DC=1 are completely specified extensions rebuilt in their own
+managers and reordered to the sifted ISF order so that all five columns
+are measured under one variable order.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.benchfns.base import Benchmark
+from repro.cf.charfun import CharFunction
+from repro.cf.width import max_width
+from repro.errors import ReproError
+from repro.isf.function import MultiOutputISF
+
+
+@dataclass
+class VariantMeasure:
+    """Max width and node count of one CF variant (one Table 4 cell pair)."""
+
+    max_width: int
+    nodes: int
+
+
+def measure(cf: CharFunction) -> VariantMeasure:
+    """Measure a CF the way Table 4 reports it."""
+    return VariantMeasure(max_width(cf.bdd, cf.root), cf.num_nodes())
+
+
+def build_sifted_cf(part: MultiOutputISF, *, sift: bool = True) -> CharFunction:
+    """BDD_for_CF of one output partition, sifted per Sect. 5.1."""
+    cf = CharFunction.from_isf(part)
+    if sift:
+        cf.sift(cost="auto")
+    return cf
+
+
+def build_extension_cf(
+    part: MultiOutputISF, dc_value: int, *, sift: bool = True
+) -> CharFunction:
+    """CF of the DC=0 / DC=1 extension, sifted independently.
+
+    Each Table 4 variant is measured under its own sifted order (the
+    extensions are completely specified, so their Def. 2.4 placement
+    differs from the ISF's care-value placement).
+    """
+    cf = CharFunction.from_isf(part.extension(dc_value))
+    if sift:
+        cf.sift(cost="auto")
+    return cf
+
+
+class Stopwatch:
+    """Context manager measuring wall-clock seconds."""
+
+    def __enter__(self) -> "Stopwatch":
+        self.seconds = 0.0
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def verify_cf_against_reference(
+    cf: CharFunction,
+    benchmark: Benchmark,
+    output_slice: slice,
+    *,
+    samples: int = 50,
+    seed: int = 7,
+    allow_refined: bool = True,
+) -> None:
+    """Spot-check a CF against the benchmark's integer reference.
+
+    Checks sampled care minterms (must match the reference bits) and
+    sampled don't-care inputs (must be don't care, unless the CF was
+    refined by a reduction and ``allow_refined`` permits specified
+    values there).
+    """
+    rng = random.Random(seed)
+    n = benchmark.n_inputs
+    care = []
+    it = benchmark.iter_care_minterms()
+    for m in it:
+        care.append(m)
+        if len(care) >= 4 * samples:
+            break
+    for m in rng.sample(care, min(samples, len(care))):
+        ref = benchmark.reference(m)
+        if ref is None:  # pragma: no cover - iter_care only yields care
+            continue
+        want_bits = [
+            (ref >> (benchmark.n_outputs - 1 - i)) & 1
+            for i in range(benchmark.n_outputs)
+        ][output_slice]
+        got = cf.sample_output(m)
+        if list(got) != want_bits:
+            raise ReproError(
+                f"CF disagrees with reference on care minterm {m}: "
+                f"{list(got)} != {want_bits}"
+            )
+    for _ in range(samples):
+        m = rng.randrange(1 << n)
+        if benchmark.reference(m) is not None:
+            continue
+        # Don't-care inputs must still admit at least one output vector
+        # (totality); sample_output raises otherwise.
+        got = cf.sample_output(m)
+        if not allow_refined:
+            pattern = cf.output_pattern(m)
+            if any(v is not None for v in pattern):
+                raise ReproError(f"CF specified a value on don't-care minterm {m}")
+        del got

@@ -1,0 +1,113 @@
+"""Scaling study: word-list size vs. reduction effectiveness.
+
+EXPERIMENTS.md argues that the scaled word lists (400/800/1200) predict
+the paper-size runs because the *reduction factors* are stable in the
+list size k.  This experiment produces that evidence: for a sweep of
+k it measures the Table 4 quantities (DC=0 vs Algorithm 3.3 width and
+node count) and the Table 6 quantities (cells and LUT memory, DC=0 vs
+Fig. 8) and reports the factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchfns.wordlist import WordList, build_wordlist_isf, generate_words
+from repro.cf.width import max_width
+from repro.experiments.runner import build_sifted_cf
+from repro.experiments.table6 import design_dc0, design_fig8
+from repro.reduce import algorithm_3_3, reduce_support
+from repro.utils.tables import TextTable
+
+
+@dataclass
+class ScalingPoint:
+    """Measurements for one word-list size."""
+
+    num_words: int
+    dc0_width: int
+    alg33_width: int
+    dc0_nodes: int
+    alg33_nodes: int
+    dc0_cells: int
+    fig8_cells: int
+    dc0_lut_bits: int
+    fig8_lut_bits: int
+
+    @property
+    def width_factor(self) -> float:
+        return self.dc0_width / max(1, self.alg33_width)
+
+    @property
+    def node_factor(self) -> float:
+        return self.dc0_nodes / max(1, self.alg33_nodes)
+
+    @property
+    def memory_factor(self) -> float:
+        return self.dc0_lut_bits / max(1, self.fig8_lut_bits)
+
+
+def measure_point(num_words: int, *, sift: bool = True, seed: int = 2005) -> ScalingPoint:
+    """Run the word-list pipelines for one size.
+
+    Width/node numbers use the F1 output partition of the Table 4
+    pipeline; cell/memory numbers use the whole-function Table 6
+    designs.
+    """
+    word_list = WordList(generate_words(num_words, seed=seed))
+    isf = build_wordlist_isf(word_list, dc_outside=True)
+    part = isf.bipartition()[0]
+
+    cf0 = build_sifted_cf(part.extension(0), sift=sift)
+    dc0_width = max_width(cf0.bdd, cf0.root)
+    dc0_nodes = cf0.num_nodes()
+
+    cf = build_sifted_cf(part, sift=sift)
+    cf, _ = reduce_support(cf)
+    cf, _ = algorithm_3_3(cf)
+    alg33_width = max_width(cf.bdd, cf.root)
+    alg33_nodes = cf.num_nodes()
+
+    cost0, _ = design_dc0(word_list, sift=sift)
+    cost8, _ = design_fig8(word_list, sift=sift)
+
+    return ScalingPoint(
+        num_words=num_words,
+        dc0_width=dc0_width,
+        alg33_width=alg33_width,
+        dc0_nodes=dc0_nodes,
+        alg33_nodes=alg33_nodes,
+        dc0_cells=cost0.cells,
+        fig8_cells=cost8.cells,
+        dc0_lut_bits=cost0.lut_memory_bits,
+        fig8_lut_bits=cost8.lut_memory_bits,
+    )
+
+
+def run_scaling(sizes: list[int], *, sift: bool = True) -> list[ScalingPoint]:
+    """Measure every size in the sweep."""
+    return [measure_point(k, sift=sift) for k in sizes]
+
+
+def format_scaling(points: list[ScalingPoint]) -> str:
+    """Render the sweep with the reduction factors."""
+    table = TextTable(
+        [
+            "words",
+            "W DC=0", "W Alg3.3", "W factor",
+            "N DC=0", "N Alg3.3", "N factor",
+            "cells DC=0", "cells Fig.8",
+            "LUT bits DC=0", "LUT bits Fig.8", "mem factor",
+        ]
+    )
+    for p in points:
+        table.add_row(
+            [
+                p.num_words,
+                p.dc0_width, p.alg33_width, f"{p.width_factor:.1f}x",
+                p.dc0_nodes, p.alg33_nodes, f"{p.node_factor:.1f}x",
+                p.dc0_cells, p.fig8_cells,
+                p.dc0_lut_bits, p.fig8_lut_bits, f"{p.memory_factor:.1f}x",
+            ]
+        )
+    return table.render()

@@ -1,0 +1,176 @@
+"""Table 4: maximum width and number of nodes in BDD_for_CFs.
+
+For each benchmark function the outputs are bi-partitioned (Sect. 5.1);
+each partition's BDD_for_CF is measured in five variants:
+
+    DC=0   constants 0 assigned to all don't cares,
+    DC=1   constants 1 assigned to all don't cares,
+    ISF    the incompletely specified CF itself,
+    Alg3.1 after support reduction + Algorithm 3.1,
+    Alg3.3 after support reduction + Algorithm 3.3,
+
+all under the variable order found by sifting the ISF CF with the
+sum-of-widths cost.  The final row reports, as in the paper, the mean
+ratios normalized to DC=0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.benchfns.base import Benchmark
+from repro.errors import ReproError
+from repro.benchfns.registry import get_benchmark, table4_names
+from repro.experiments.runner import (
+    Stopwatch,
+    VariantMeasure,
+    build_extension_cf,
+    build_sifted_cf,
+    measure,
+    verify_cf_against_reference,
+)
+from repro.reduce import algorithm_3_1, algorithm_3_3, reduce_support
+from repro.utils.tables import TextTable
+
+VARIANTS = ("DC=0", "DC=1", "ISF", "Alg3.1", "Alg3.3")
+
+
+@dataclass
+class PartResult:
+    """Measurements of one output partition (one physical table line)."""
+
+    label: str
+    measures: dict[str, VariantMeasure] = field(default_factory=dict)
+    time_alg31: float = 0.0
+    time_alg33: float = 0.0
+
+
+@dataclass
+class Table4Row:
+    """One benchmark function: metadata plus its two partition lines."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    dc_percent: float
+    parts: list[PartResult] = field(default_factory=list)
+
+
+def run_row(
+    benchmark: Benchmark,
+    *,
+    sift: bool = True,
+    verify: bool = False,
+    verify_samples: int = 40,
+) -> Table4Row:
+    """Run the full Table 4 pipeline for one benchmark function."""
+    isf = benchmark.build()
+    row = Table4Row(
+        name=benchmark.name,
+        n_inputs=isf.n_inputs,
+        n_outputs=isf.n_outputs,
+        dc_percent=100.0 * isf.dc_ratio(),
+    )
+    half = (isf.n_outputs + 1) // 2
+    slices = [slice(0, half), slice(half, isf.n_outputs)]
+    for label, part, out_slice in zip(("F1", "F2"), isf.bipartition(), slices):
+        result = PartResult(label=label)
+        cf_isf = build_sifted_cf(part, sift=sift)
+        result.measures["ISF"] = measure(cf_isf)
+        for dc_value, key in ((0, "DC=0"), (1, "DC=1")):
+            cf_ext = build_extension_cf(part, dc_value, sift=sift)
+            result.measures[key] = measure(cf_ext)
+            if verify:
+                verify_cf_against_reference(
+                    cf_ext, benchmark, out_slice, samples=verify_samples
+                )
+
+        with Stopwatch() as sw:
+            reduced, _removed = reduce_support(cf_isf)
+            cf31 = algorithm_3_1(reduced)
+        result.time_alg31 = sw.seconds
+        result.measures["Alg3.1"] = measure(cf31)
+
+        with Stopwatch() as sw:
+            reduced, _removed = reduce_support(cf_isf)
+            cf33, _stats = algorithm_3_3(reduced)
+        result.time_alg33 = sw.seconds
+        result.measures["Alg3.3"] = measure(cf33)
+
+        if verify:
+            for cf in (cf31, cf33):
+                if not cf.refines(cf_isf):
+                    raise ReproError(f"{cf.name}: reduction is not a refinement")
+                if not cf.is_wellformed():
+                    raise ReproError(f"{cf.name}: reduction broke totality")
+            for cf in (cf_isf, cf31, cf33):
+                verify_cf_against_reference(
+                    cf, benchmark, out_slice, samples=verify_samples
+                )
+        row.parts.append(result)
+    return row
+
+
+def run_table4(
+    names: list[str] | None = None,
+    *,
+    sift: bool = True,
+    verify: bool = False,
+) -> list[Table4Row]:
+    """Run the pipeline over the configured benchmark list."""
+    rows = []
+    for name in names if names is not None else table4_names():
+        rows.append(run_row(get_benchmark(name), sift=sift, verify=verify))
+    return rows
+
+
+def ratios(rows: list[Table4Row]) -> tuple[dict[str, float], dict[str, float]]:
+    """Mean width and node ratios normalized to DC=0 (the 'Ratio' row)."""
+    width_sums = {v: 0.0 for v in VARIANTS}
+    node_sums = {v: 0.0 for v in VARIANTS}
+    count = 0
+    for row in rows:
+        for part in row.parts:
+            base = part.measures["DC=0"]
+            for v in VARIANTS:
+                m = part.measures[v]
+                width_sums[v] += m.max_width / base.max_width
+                node_sums[v] += m.nodes / base.nodes
+            count += 1
+    if count == 0:
+        return ({v: 1.0 for v in VARIANTS}, {v: 1.0 for v in VARIANTS})
+    return (
+        {v: width_sums[v] / count for v in VARIANTS},
+        {v: node_sums[v] / count for v in VARIANTS},
+    )
+
+
+def format_table4(rows: list[Table4Row]) -> str:
+    """Render the rows in the paper's Table 4 layout."""
+    headers = (
+        ["Function", "In", "Out", "DC[%]"]
+        + [f"W:{v}" for v in VARIANTS]
+        + [f"N:{v}" for v in VARIANTS]
+        + ["T3.1[s]", "T3.3[s]"]
+    )
+    table = TextTable(headers)
+    for row in rows:
+        for i, part in enumerate(row.parts):
+            cells: list[object] = (
+                [row.name, row.n_inputs, row.n_outputs, f"{row.dc_percent:.1f}"]
+                if i == 0
+                else ["", "", "", ""]
+            )
+            cells += [part.measures[v].max_width for v in VARIANTS]
+            cells += [part.measures[v].nodes for v in VARIANTS]
+            cells += [f"{part.time_alg31:.3f}", f"{part.time_alg33:.3f}"]
+            table.add_row(cells)
+        table.add_separator()
+    width_ratio, node_ratio = ratios(rows)
+    table.add_row(
+        ["Ratio", "", "", ""]
+        + [f"{width_ratio[v]:.3f}" for v in VARIANTS]
+        + [f"{node_ratio[v]:.3f}" for v in VARIANTS]
+        + ["", ""]
+    )
+    return table.render()

@@ -1,0 +1,67 @@
+"""Totality and compatibility of characteristic functions.
+
+A characteristic function (or any of its column functions at a cut) is
+*total* when every input assignment admits at least one output
+assignment: ``∀X ∃Y : χ(X, Y) = 1``.  For well-formed BDD_for_CFs —
+where each output variable sits below the support variables of its
+function (Definition 2.4) — totality can be decided by a single
+linear-time recursion over the BDD, quantifying each variable as it is
+met in the order (∃ for output variables, ∀ for input variables):
+by the time an output variable is reached its function value is fully
+determined by the variables above it, so the "choose y knowing only
+the upper variables" strategy is exact, not conservative.
+
+Compatibility of two columns (Definition 3.7 lifted to CFs, as used by
+Lemma 3.1 and Algorithms 3.1/3.3) is then ``total(χ_a · χ_b)``.
+"""
+
+from __future__ import annotations
+
+from repro.bdd.manager import FALSE, TRUE, BDD
+
+
+def ordered_total(bdd: BDD, u: int) -> bool:
+    """Decide ``∀X ∃Y : χ = 1`` along the variable order.
+
+    Output variables are quantified existentially, input variables
+    universally, in BDD order.  Exact for well-formed CF columns (see
+    module docstring); for arbitrary functions it is a sound (possibly
+    strict) under-approximation of ``∀X ∃Y``.
+    """
+    cache = bdd._cache
+    kinds = bdd._kinds
+    lo_arr, hi_arr, vid_arr = bdd._lo, bdd._hi, bdd._vid
+
+    def walk(v: int) -> bool:
+        if v == TRUE:
+            return True
+        if v == FALSE:
+            return False
+        key = ("tot", v)
+        r = cache.get(key)
+        if r is not None:
+            return r
+        if kinds[vid_arr[v]] == "output":
+            r = walk(lo_arr[v]) or walk(hi_arr[v])
+        else:
+            r = walk(lo_arr[v]) and walk(hi_arr[v])
+        cache[key] = r
+        return r
+
+    return walk(u)
+
+
+def compatible_columns(bdd: BDD, a: int, b: int) -> bool:
+    """Compatibility of two CF column functions: ``total(a · b)``.
+
+    ``a ~ b`` iff their product still allows an output choice for every
+    input — Definition 3.7 applied to the ISFs the columns encode.
+    Conjunction results are hash-consed, so the quadratic pair loop of
+    Algorithm 3.3 shares most of its work across pairs.
+    """
+    if a == FALSE or b == FALSE:
+        return False
+    product = bdd.apply_and(a, b)
+    if product == FALSE:
+        return False
+    return ordered_total(bdd, product)

@@ -1,0 +1,146 @@
+"""Espresso-style PLA input/output for incompletely specified functions.
+
+Supported directives: ``.i``, ``.o``, ``.ilb``, ``.ob``, ``.p``,
+``.type fr`` (the default interpretation), ``.e``.  Cube lines use
+``0``/``1``/``-`` for inputs and ``0``/``1``/``-``/``~`` for outputs
+(``-``/``~`` = don't change / don't care; with type ``fr`` an output
+``1`` adds to the onset, ``0`` to the offset, anything else to neither).
+Inputs not covered by any cube are don't care for every output.
+
+PLA is the lingua franca of two-level logic tools, so this is the entry
+point for running the width-reduction algorithms on user functions:
+
+    >>> from repro.isf.pla import loads_pla
+    >>> isf = loads_pla('.i 2\\n.o 1\\n01 1\\n10 0\\n.e\\n')
+    >>> isf.n_inputs, isf.n_outputs
+    (2, 1)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.bdd.manager import BDD, FALSE
+from repro.bdd.builder import from_cube
+from repro.errors import SpecificationError
+from repro.isf.function import ISF, MultiOutputISF
+from repro.isf.ternary import MultiOutputSpec
+
+
+def loads_pla(text: str, *, name: str = "pla") -> MultiOutputISF:
+    """Parse PLA text into a :class:`MultiOutputISF` (fresh manager)."""
+    n_inputs = n_outputs = None
+    input_names: list[str] | None = None
+    output_names: list[str] | None = None
+    cubes: list[tuple[str, str]] = []
+    pla_type = "fr"
+
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".i":
+                n_inputs = int(parts[1])
+            elif directive == ".o":
+                n_outputs = int(parts[1])
+            elif directive == ".ilb":
+                input_names = parts[1:]
+            elif directive == ".ob":
+                output_names = parts[1:]
+            elif directive == ".type":
+                pla_type = parts[1]
+            elif directive in (".p", ".e", ".end"):
+                continue
+            else:
+                raise SpecificationError(f"unsupported PLA directive {directive!r}")
+            continue
+        fields = line.split()
+        if len(fields) != 2:
+            raise SpecificationError(f"malformed PLA cube line: {raw!r}")
+        cubes.append((fields[0], fields[1]))
+
+    if n_inputs is None or n_outputs is None:
+        raise SpecificationError("PLA must declare .i and .o before cubes")
+    if pla_type not in ("fr", "f", "fd", "fdr"):
+        raise SpecificationError(f"unsupported PLA type {pla_type!r}")
+    if input_names is None:
+        input_names = [f"x{i + 1}" for i in range(n_inputs)]
+    if output_names is None:
+        output_names = [f"f{i + 1}" for i in range(n_outputs)]
+    if len(input_names) != n_inputs or len(output_names) != n_outputs:
+        raise SpecificationError("PLA label count disagrees with .i/.o")
+
+    bdd = BDD()
+    input_vids = bdd.add_vars(input_names, kind="input")
+    onsets = [FALSE] * n_outputs
+    offsets = [FALSE] * n_outputs
+
+    for in_part, out_part in cubes:
+        if len(in_part) != n_inputs or len(out_part) != n_outputs:
+            raise SpecificationError(
+                f"cube width mismatch: {in_part} {out_part}"
+            )
+        cube: dict[int, int] = {}
+        for vid, ch in zip(input_vids, in_part):
+            if ch == "1":
+                cube[vid] = 1
+            elif ch == "0":
+                cube[vid] = 0
+            elif ch not in "-2":
+                raise SpecificationError(f"bad input literal {ch!r}")
+        cube_fn = from_cube(bdd, cube)
+        for i, ch in enumerate(out_part):
+            if ch == "1":
+                onsets[i] = bdd.apply_or(onsets[i], cube_fn)
+            elif ch == "0":
+                offsets[i] = bdd.apply_or(offsets[i], cube_fn)
+            elif ch not in "-~234":
+                raise SpecificationError(f"bad output literal {ch!r}")
+
+    outputs = []
+    for i in range(n_outputs):
+        if bdd.apply_and(onsets[i], offsets[i]) != FALSE:
+            raise SpecificationError(
+                f"output {output_names[i]} has overlapping on/off sets"
+            )
+        outputs.append(ISF(bdd, offsets[i], onsets[i]))
+    return MultiOutputISF(
+        bdd, input_vids, outputs, name=name, output_names=output_names
+    )
+
+
+def load_pla(path: str, *, name: str | None = None) -> MultiOutputISF:
+    """Read a PLA file from disk."""
+    with open(path) as handle:
+        text = handle.read()
+    return loads_pla(text, name=name if name is not None else path)
+
+
+def dumps_pla(spec: MultiOutputSpec) -> str:
+    """Serialize a tabular spec as minterm-per-line PLA text (type fr)."""
+    lines = [
+        f".i {spec.n_inputs}",
+        f".o {spec.n_outputs}",
+        ".ilb " + " ".join(spec.input_names),
+        ".ob " + " ".join(spec.output_names),
+        ".type fr",
+        f".p {len(spec.care)}",
+    ]
+    n = spec.n_inputs
+    for minterm in sorted(spec.care):
+        in_part = format(minterm, f"0{n}b")
+        out_part = "".join(
+            "-" if v is None else str(v) for v in spec.care[minterm]
+        )
+        lines.append(f"{in_part} {out_part}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+def dump_pla(spec: MultiOutputSpec, path: str) -> None:
+    """Write a tabular spec to a PLA file."""
+    with open(path, "w") as handle:
+        handle.write(dumps_pla(spec))

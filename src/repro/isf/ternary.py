@@ -1,0 +1,208 @@
+"""Tabular representation of incompletely specified multiple-output functions.
+
+A :class:`MultiOutputSpec` is the ground-truth, BDD-free description of
+a function ``F = (f_1, ..., f_m)`` with ``f_i : {0,1}^n -> {0,1,d}``
+(Definition 2.1).  It stores only the *care* entries: any input not
+listed has every output equal to don't care.  Individual outputs of a
+listed input may still be ``None`` (= d), as in the paper's Table 1.
+
+Inputs are integers whose MSB-first bits correspond to
+``input_names``; output values are tuples over ``{0, 1, None}``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import SpecificationError
+from repro.utils.bitops import int_to_bits
+
+DONT_CARE = None
+
+OutputValue = int | None
+
+
+@dataclass(frozen=True)
+class MultiOutputSpec:
+    """Sparse ternary truth table of a multiple-output function.
+
+    Attributes:
+        n_inputs: number of input variables (paper's ``n``).
+        n_outputs: number of output functions (paper's ``m``).
+        care: mapping input minterm -> tuple of per-output values
+            (0, 1, or ``None`` for don't care).  Missing minterms are
+            all-don't-care.
+        input_names / output_names: display names; defaults are
+            ``x1..xn`` and ``f1..fm`` to match the paper.
+        name: label used in experiment reports.
+    """
+
+    n_inputs: int
+    n_outputs: int
+    care: Mapping[int, tuple[OutputValue, ...]]
+    input_names: tuple[str, ...] = field(default=())
+    output_names: tuple[str, ...] = field(default=())
+    name: str = "f"
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1 or self.n_outputs < 1:
+            raise SpecificationError("need at least one input and one output")
+        if not self.input_names:
+            object.__setattr__(
+                self, "input_names", tuple(f"x{i + 1}" for i in range(self.n_inputs))
+            )
+        if not self.output_names:
+            object.__setattr__(
+                self, "output_names", tuple(f"f{i + 1}" for i in range(self.n_outputs))
+            )
+        if len(self.input_names) != self.n_inputs:
+            raise SpecificationError("input_names length mismatch")
+        if len(self.output_names) != self.n_outputs:
+            raise SpecificationError("output_names length mismatch")
+        limit = 1 << self.n_inputs
+        for minterm, values in self.care.items():
+            if not (0 <= minterm < limit):
+                raise SpecificationError(f"minterm {minterm} out of range")
+            if len(values) != self.n_outputs:
+                raise SpecificationError(
+                    f"minterm {minterm} has {len(values)} values, expected {self.n_outputs}"
+                )
+            for v in values:
+                if v not in (0, 1, None):
+                    raise SpecificationError(f"output value must be 0/1/None, got {v!r}")
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def from_rows(
+        rows: Iterable[tuple[Sequence[int], Sequence[OutputValue]]],
+        *,
+        n_inputs: int,
+        n_outputs: int,
+        name: str = "f",
+    ) -> "MultiOutputSpec":
+        """Build from (input bits, output values) rows — Table 1 style."""
+        care: dict[int, tuple[OutputValue, ...]] = {}
+        for bits, values in rows:
+            minterm = 0
+            for b in bits:
+                minterm = (minterm << 1) | b
+            care[minterm] = tuple(values)
+        return MultiOutputSpec(n_inputs, n_outputs, care, name=name)
+
+    @staticmethod
+    def from_int_mapping(
+        mapping: Mapping[int, int],
+        *,
+        n_inputs: int,
+        n_outputs: int,
+        name: str = "f",
+    ) -> "MultiOutputSpec":
+        """Build from minterm -> output integer (MSB-first); rest is all-d."""
+        care = {
+            x: tuple(int_to_bits(y, n_outputs)) for x, y in mapping.items()
+        }
+        return MultiOutputSpec(n_inputs, n_outputs, care, name=name)
+
+    @staticmethod
+    def from_callable(
+        func: Callable[[int], int | None],
+        *,
+        n_inputs: int,
+        n_outputs: int,
+        name: str = "f",
+    ) -> "MultiOutputSpec":
+        """Evaluate ``func`` on the whole input space (None = don't care)."""
+        care: dict[int, tuple[OutputValue, ...]] = {}
+        for x in range(1 << n_inputs):
+            y = func(x)
+            if y is not None:
+                care[x] = tuple(int_to_bits(y, n_outputs))
+        return MultiOutputSpec(n_inputs, n_outputs, care, name=name)
+
+    # -- queries ---------------------------------------------------------
+
+    def value(self, minterm: int, output: int) -> OutputValue:
+        """Value of output ``output`` (0-based) on ``minterm``."""
+        row = self.care.get(minterm)
+        if row is None:
+            return DONT_CARE
+        return row[output]
+
+    def output_sets(self, output: int) -> tuple[list[int], list[int]]:
+        """Sorted onset and offset minterm lists of one output."""
+        onset: list[int] = []
+        offset: list[int] = []
+        for minterm, values in self.care.items():
+            v = values[output]
+            if v == 1:
+                onset.append(minterm)
+            elif v == 0:
+                offset.append(minterm)
+        onset.sort()
+        offset.sort()
+        return onset, offset
+
+    def dc_ratio(self) -> float:
+        """Fraction of (input, output) pairs that are don't care.
+
+        This matches the paper's DC column: the fraction of function
+        values (over all inputs and all outputs) equal to ``d``.
+        """
+        total = (1 << self.n_inputs) * self.n_outputs
+        specified = sum(
+            1 for values in self.care.values() for v in values if v is not None
+        )
+        return 1.0 - specified / total
+
+    def restrict_outputs(self, indices: Sequence[int], name: str | None = None) -> "MultiOutputSpec":
+        """Project onto a subset of outputs (used for bi-partitioning)."""
+        care = {
+            x: tuple(values[i] for i in indices) for x, values in self.care.items()
+        }
+        return MultiOutputSpec(
+            self.n_inputs,
+            len(indices),
+            care,
+            input_names=self.input_names,
+            output_names=tuple(self.output_names[i] for i in indices),
+            name=name if name is not None else self.name,
+        )
+
+    def bipartition(self) -> tuple["MultiOutputSpec", "MultiOutputSpec"]:
+        """Split outputs into F1 = most significant half, F2 = the rest.
+
+        Sect. 5.1: ``F1 = (f_1 .. f_ceil(m/2))``, ``F2`` the remainder —
+        F2 holds the least significant bits.
+        """
+        m = self.n_outputs
+        half = (m + 1) // 2
+        return (
+            self.restrict_outputs(range(half), name=f"{self.name}/F1"),
+            self.restrict_outputs(range(half, m), name=f"{self.name}/F2"),
+        )
+
+
+def table1_spec() -> MultiOutputSpec:
+    """The paper's Table 1: a 4-input, 2-output incompletely specified function."""
+    d = DONT_CARE
+    rows = [
+        ((0, 0, 0, 0), (d, 1)),
+        ((0, 0, 0, 1), (d, 1)),
+        ((0, 0, 1, 0), (0, 0)),
+        ((0, 0, 1, 1), (0, 0)),
+        ((0, 1, 0, 0), (d, d)),
+        ((0, 1, 0, 1), (d, d)),
+        ((0, 1, 1, 0), (1, 0)),
+        ((0, 1, 1, 1), (1, 1)),
+        ((1, 0, 0, 0), (0, 1)),
+        ((1, 0, 0, 1), (0, 1)),
+        ((1, 0, 1, 0), (1, 0)),
+        ((1, 0, 1, 1), (1, 0)),
+        ((1, 1, 0, 0), (1, d)),
+        ((1, 1, 0, 1), (1, d)),
+        ((1, 1, 1, 0), (d, 0)),
+        ((1, 1, 1, 1), (d, 1)),
+    ]
+    return MultiOutputSpec.from_rows(rows, n_inputs=4, n_outputs=2, name="table1")

@@ -1,0 +1,28 @@
+"""Width/node reduction algorithms of Sect. 3 of the paper."""
+
+from repro.reduce.alg31 import algorithm_3_1
+from repro.reduce.alg33 import Alg33Stats, algorithm_3_3
+from repro.reduce.cliquecover import (
+    build_compatibility_graph,
+    heuristic_clique_cover,
+    verify_clique_cover,
+)
+from repro.reduce.dc import DontCareOracle
+from repro.reduce.exact import exact_minimum_clique_cover
+from repro.reduce.pipeline import ReductionReport, RoundReport, full_reduction
+from repro.reduce.support import reduce_support
+
+__all__ = [
+    "Alg33Stats",
+    "DontCareOracle",
+    "algorithm_3_1",
+    "algorithm_3_3",
+    "build_compatibility_graph",
+    "ReductionReport",
+    "RoundReport",
+    "exact_minimum_clique_cover",
+    "full_reduction",
+    "heuristic_clique_cover",
+    "reduce_support",
+    "verify_clique_cover",
+]

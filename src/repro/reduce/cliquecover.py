@@ -1,0 +1,108 @@
+"""Algorithm 3.2: heuristic minimal clique cover.
+
+Covering the compatibility graph (Definition 3.8) with a minimum number
+of cliques is NP-hard [5], so the paper uses a min-degree greedy
+heuristic: repeatedly seed a clique with the minimum-degree remaining
+node and grow it with minimum-degree common neighbours.  Ties are
+broken by node identity for determinism.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+
+
+def heuristic_clique_cover(
+    nodes: Sequence[Hashable],
+    adjacency: Mapping[Hashable, set],
+) -> list[list[Hashable]]:
+    """Cover ``nodes`` with cliques of the graph given by ``adjacency``.
+
+    ``adjacency[v]`` holds the neighbours of ``v`` (the relation must be
+    symmetric and irreflexive).  Returns a partition of ``nodes`` into
+    cliques; isolated nodes come out as singletons first, matching the
+    paper's initialization step.
+    """
+    remaining = set(nodes)
+    cover: list[list[Hashable]] = []
+
+    def degree_in(v: Hashable, pool: set) -> int:
+        return sum(1 for w in adjacency.get(v, ()) if w in pool)
+
+    # Isolated nodes go straight into the cover.
+    isolated = sorted(
+        (v for v in remaining if degree_in(v, remaining) == 0), key=_sort_key
+    )
+    for v in isolated:
+        cover.append([v])
+        remaining.discard(v)
+
+    while remaining:
+        seed = min(remaining, key=lambda v: (degree_in(v, remaining), _sort_key(v)))
+        clique = [seed]
+        candidates = {w for w in adjacency.get(seed, ()) if w in remaining}
+        candidates.discard(seed)
+        while candidates:
+            nxt = min(
+                candidates, key=lambda v: (degree_in(v, candidates), _sort_key(v))
+            )
+            clique.append(nxt)
+            candidates.discard(nxt)
+            candidates &= adjacency.get(nxt, set())
+        cover.append(sorted(clique, key=_sort_key))
+        remaining -= set(clique)
+    return cover
+
+
+def build_compatibility_graph(
+    items: Sequence[Hashable],
+    compatible,
+    *,
+    max_pairs: int | None = None,
+) -> tuple[dict[Hashable, set], bool]:
+    """Pairwise compatibility graph over ``items``.
+
+    ``compatible(a, b)`` decides edges.  When ``max_pairs`` is given and
+    the quadratic pair count would exceed it, only the first ``k`` items
+    (with ``k*(k-1)/2 <= max_pairs``) are connected and the rest stay
+    isolated; the second return value reports whether truncation
+    happened.
+    """
+    adjacency: dict[Hashable, set] = {v: set() for v in items}
+    n = len(items)
+    truncated = False
+    limit = n
+    if max_pairs is not None and n * (n - 1) // 2 > max_pairs:
+        truncated = True
+        limit = max(2, int((2 * max_pairs) ** 0.5))
+    for i in range(limit):
+        a = items[i]
+        for j in range(i + 1, limit):
+            b = items[j]
+            if compatible(a, b):
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+    return adjacency, truncated
+
+
+def verify_clique_cover(
+    nodes: Iterable[Hashable],
+    adjacency: Mapping[Hashable, set],
+    cover: Sequence[Sequence[Hashable]],
+) -> bool:
+    """Check that ``cover`` partitions ``nodes`` into genuine cliques."""
+    flat = [v for clique in cover for v in clique]
+    if sorted(map(_sort_key, flat)) != sorted(map(_sort_key, nodes)):
+        return False
+    for clique in cover:
+        for i, a in enumerate(clique):
+            for b in clique[i + 1 :]:
+                if b not in adjacency.get(a, ()):
+                    return False
+    return True
+
+
+def _sort_key(v: Hashable):
+    if isinstance(v, int):
+        return (0, v, "")
+    return (1, 0, repr(v))

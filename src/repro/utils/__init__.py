@@ -1,0 +1,19 @@
+"""Shared helpers: bit manipulation and plain-text report tables."""
+
+from repro.utils.bitops import (
+    bits_for,
+    bits_to_int,
+    int_to_bits,
+    iter_assignments,
+    popcount,
+)
+from repro.utils.tables import TextTable
+
+__all__ = [
+    "TextTable",
+    "bits_for",
+    "bits_to_int",
+    "int_to_bits",
+    "iter_assignments",
+    "popcount",
+]

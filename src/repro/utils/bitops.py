@@ -1,0 +1,68 @@
+"""Bit-vector helpers used throughout the package.
+
+Conventions:
+    * Bit vectors are tuples of ints in {0, 1}.
+    * ``bits[0]`` is the most significant bit, matching the paper's
+      output numbering where ``f_1`` is the most significant output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+
+def bits_for(n: int) -> int:
+    """Number of bits needed to represent values ``0 .. n - 1``.
+
+    This is the paper's ``b_i = ceil(log2 p_i)`` for a radix-``p_i``
+    digit.  ``bits_for(1)`` is 1 so that a constant digit still occupies
+    one line.
+
+    >>> [bits_for(k) for k in (1, 2, 3, 4, 5, 8, 9)]
+    [1, 1, 2, 2, 3, 3, 4]
+    """
+    if n < 1:
+        raise ValueError(f"bits_for() requires n >= 1, got {n}")
+    return max(1, (n - 1).bit_length())
+
+
+def int_to_bits(value: int, width: int) -> tuple[int, ...]:
+    """Encode ``value`` as an MSB-first tuple of ``width`` bits.
+
+    >>> int_to_bits(5, 4)
+    (0, 1, 0, 1)
+    """
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return tuple((value >> (width - 1 - i)) & 1 for i in range(width))
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Decode an MSB-first bit sequence into an integer.
+
+    >>> bits_to_int((0, 1, 0, 1))
+    5
+    """
+    value = 0
+    for b in bits:
+        if b not in (0, 1):
+            raise ValueError(f"bit values must be 0 or 1, got {b!r}")
+        value = (value << 1) | b
+    return value
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    if value < 0:
+        raise ValueError("popcount() requires a non-negative integer")
+    return value.bit_count()
+
+
+def iter_assignments(nvars: int) -> Iterator[tuple[int, ...]]:
+    """Iterate all ``2 ** nvars`` MSB-first assignments in numeric order.
+
+    >>> list(iter_assignments(2))
+    [(0, 0), (0, 1), (1, 0), (1, 1)]
+    """
+    for value in range(1 << nvars):
+        yield int_to_bits(value, nvars)

@@ -1,0 +1,87 @@
+"""Minimal plain-text table formatter for the experiment reports.
+
+The benchmark harness prints tables that mirror the paper's Table 4 and
+Table 6 layouts; this module renders them without third-party
+dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+class TextTable:
+    """Accumulates rows and renders an aligned ASCII table.
+
+    Example:
+        >>> t = TextTable(["name", "width"])
+        >>> t.add_row(["adder", 27])
+        >>> print(t.render())
+        name  | width
+        ------+------
+        adder |    27
+    """
+
+    def __init__(self, headers: Sequence[str], *, align: Sequence[str] | None = None):
+        """``align`` holds 'l' or 'r' per column; numbers default to 'r'."""
+        self._headers = [str(h) for h in headers]
+        self._align = list(align) if align is not None else []
+        self._rows: list[list[str]] = []
+        self._row_is_numeric: list[list[bool]] = []
+
+    def add_row(self, cells: Sequence[object]) -> None:
+        """Append one row; cells are converted with str()."""
+        if len(cells) != len(self._headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self._headers)} columns"
+            )
+        self._rows.append([_format_cell(c) for c in cells])
+        self._row_is_numeric.append([isinstance(c, (int, float)) for c in cells])
+
+    def add_separator(self) -> None:
+        """Append a horizontal rule (rendered as dashes)."""
+        self._rows.append([])
+        self._row_is_numeric.append([])
+
+    def render(self) -> str:
+        """Render the table as a string (no trailing newline)."""
+        ncols = len(self._headers)
+        widths = [len(h) for h in self._headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        aligns = []
+        for i in range(ncols):
+            if i < len(self._align):
+                aligns.append(self._align[i])
+            else:
+                numeric = any(
+                    flags[i]
+                    for flags in self._row_is_numeric
+                    if len(flags) == ncols
+                )
+                aligns.append("r" if numeric else "l")
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            parts = []
+            for i, cell in enumerate(cells):
+                if aligns[i] == "r":
+                    parts.append(cell.rjust(widths[i]))
+                else:
+                    parts.append(cell.ljust(widths[i]))
+            return " | ".join(parts).rstrip()
+
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [fmt_row(self._headers), rule]
+        for row in self._rows:
+            if not row:
+                lines.append(rule)
+            else:
+                lines.append(fmt_row(row))
+        return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

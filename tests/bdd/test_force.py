@@ -1,0 +1,80 @@
+"""Tests for the FORCE ordering heuristic."""
+
+from repro.bdd.force import force_input_order, force_order
+from repro.benchfns import decimal_adder_benchmark
+from repro.cf import CharFunction
+from repro.isf import MultiOutputISF, table1_spec
+
+
+class TestForceOrder:
+    def test_no_edges_keeps_order(self):
+        assert force_order(4, []) == [0, 1, 2, 3]
+
+    def test_permutation_always(self):
+        order = force_order(6, [[0, 5], [1, 4], [2, 3]])
+        assert sorted(order) == list(range(6))
+
+    def test_groups_connected_vertices(self):
+        # Two disjoint cliques maximally interleaved initially: FORCE
+        # must separate them.
+        edges = [[0, 2, 4], [1, 3, 5]]
+        order = force_order(6, edges, initial=[0, 1, 2, 3, 4, 5])
+        positions = {v: i for i, v in enumerate(order)}
+        span_a = max(positions[v] for v in edges[0]) - min(
+            positions[v] for v in edges[0]
+        )
+        span_b = max(positions[v] for v in edges[1]) - min(
+            positions[v] for v in edges[1]
+        )
+        assert span_a == 2 and span_b == 2
+
+    def test_deterministic(self):
+        edges = [[0, 3], [1, 2], [0, 2]]
+        assert force_order(4, edges) == force_order(4, edges)
+
+    def test_never_worse_span_than_initial(self):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(10):
+            n = rng.randint(3, 10)
+            edges = [
+                rng.sample(range(n), rng.randint(2, n))
+                for _ in range(rng.randint(1, 6))
+            ]
+
+            def cost(order):
+                pos = {v: i for i, v in enumerate(order)}
+                return sum(
+                    max(pos[v] for v in e) - min(pos[v] for v in e)
+                    for e in edges
+                )
+
+            assert cost(force_order(n, edges)) <= cost(list(range(n)))
+
+
+class TestForceInputOrder:
+    def test_adder_interleaves_operand_digits(self):
+        """FORCE groups a_i with b_i (they share the stage-i supports)."""
+        isf = decimal_adder_benchmark(3).build()
+        order = force_input_order(isf)
+        names = [isf.bdd.name_of(v) for v in order]
+        # Every a-digit block must sit adjacent to its b-digit block:
+        # positions of a{i}_* and b{i}_* span at most 8 slots.
+        for i in range(3):
+            span = [
+                j for j, n in enumerate(names) if n.startswith((f"a{i}_", f"b{i}_"))
+            ]
+            assert max(span) - min(span) <= 7, names
+
+    def test_cf_from_force_order_is_valid(self):
+        isf = MultiOutputISF.from_spec(table1_spec())
+        order = force_input_order(isf)
+        cf = CharFunction.from_isf(isf, input_order=order)
+        assert cf.is_wellformed()
+        spec = table1_spec()
+        for m, values in spec.care.items():
+            got = cf.sample_output(m)
+            for g, want in zip(got, values):
+                if want is not None:
+                    assert g == want

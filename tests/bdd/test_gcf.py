@@ -1,0 +1,96 @@
+"""Tests for generalized cofactors (constrain / restrict)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD, FALSE, TRUE, from_truth_table
+from repro.bdd.gcf import constrain, restrict_gc
+from repro.errors import BDDError
+
+from tests.conftest import brute_force_truth
+
+N = 4
+TABLE = st.lists(st.integers(0, 1), min_size=1 << N, max_size=1 << N)
+
+
+def build(table_f, table_c):
+    bdd = BDD()
+    vids = bdd.add_vars([f"x{i}" for i in range(N)])
+    f = from_truth_table(bdd, vids, table_f)
+    c = from_truth_table(bdd, vids, table_c)
+    return bdd, vids, f, c
+
+
+class TestConstrain:
+    def test_empty_care_rejected(self):
+        bdd = BDD()
+        with pytest.raises(BDDError):
+            constrain(bdd, TRUE, FALSE)
+
+    def test_full_care_is_identity(self):
+        bdd, vids, f, _ = build([0, 1] * 8, [1] * 16)
+        assert constrain(bdd, f, TRUE) == f
+
+    @settings(max_examples=50, deadline=None)
+    @given(TABLE, TABLE)
+    def test_agrees_on_care_set(self, tf, tc):
+        if not any(tc):
+            tc = list(tc)
+            tc[0] = 1
+        bdd, vids, f, c = build(tf, tc)
+        g = constrain(bdd, f, c)
+        truth_f = brute_force_truth(bdd, f, vids)
+        truth_g = brute_force_truth(bdd, g, vids)
+        for m in range(1 << N):
+            if tc[m]:
+                assert truth_g[m] == truth_f[m], m
+
+    @settings(max_examples=30, deadline=None)
+    @given(TABLE)
+    def test_constrain_by_self(self, tf):
+        if not any(tf):
+            return
+        bdd, vids, f, _ = build(tf, tf)
+        assert constrain(bdd, f, f) == TRUE
+
+
+class TestRestrict:
+    def test_empty_care_rejected(self):
+        bdd = BDD()
+        with pytest.raises(BDDError):
+            restrict_gc(bdd, TRUE, FALSE)
+
+    @settings(max_examples=50, deadline=None)
+    @given(TABLE, TABLE)
+    def test_agrees_on_care_set(self, tf, tc):
+        if not any(tc):
+            tc = list(tc)
+            tc[-1] = 1
+        bdd, vids, f, c = build(tf, tc)
+        g = restrict_gc(bdd, f, c)
+        truth_f = brute_force_truth(bdd, f, vids)
+        truth_g = brute_force_truth(bdd, g, vids)
+        for m in range(1 << N):
+            if tc[m]:
+                assert truth_g[m] == truth_f[m], m
+
+    @settings(max_examples=30, deadline=None)
+    @given(TABLE, TABLE)
+    def test_support_never_grows(self, tf, tc):
+        """Restrict's defining advantage over constrain."""
+        if not any(tc):
+            return
+        bdd, vids, f, c = build(tf, tc)
+        g = restrict_gc(bdd, f, c)
+        assert bdd.support(g) <= bdd.support(f)
+
+    def test_often_smaller_than_f(self):
+        # The classic use: a function specified only on a narrow care set
+        # collapses to something tiny.
+        bdd = BDD()
+        vids = bdd.add_vars([f"x{i}" for i in range(6)])
+        table_f = [1 if bin(m).count("1") % 2 else 0 for m in range(64)]
+        f = from_truth_table(bdd, vids, table_f)
+        care = from_truth_table(bdd, vids, [1 if m < 2 else 0 for m in range(64)])
+        g = restrict_gc(bdd, f, care)
+        assert bdd.count_nodes(g) < bdd.count_nodes(f)

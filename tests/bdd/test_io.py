@@ -1,0 +1,106 @@
+"""Tests for BDD / CharFunction serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD, from_truth_table
+from repro.bdd.io import (
+    dump_charfunction,
+    dump_forest,
+    load_charfunction,
+    load_forest,
+)
+from repro.cf import CharFunction, max_width, width_profile
+from repro.errors import BDDError
+from repro.isf import table1_spec
+from repro.reduce import algorithm_3_3
+
+from tests.conftest import brute_force_truth
+
+
+class TestForestRoundtrip:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 1), min_size=16, max_size=16))
+    def test_roundtrip_semantics(self, table):
+        bdd = BDD()
+        vids = bdd.add_vars([f"x{i}" for i in range(4)])
+        f = from_truth_table(bdd, vids, table)
+        text = dump_forest(bdd, {"f": f})
+        bdd2, roots = load_forest(text)
+        vids2 = [bdd2.vid(f"x{i}") for i in range(4)]
+        assert brute_force_truth(bdd2, roots["f"], vids2) == table
+
+    def test_terminal_roots(self):
+        bdd = BDD()
+        bdd.add_var("x")
+        text = dump_forest(bdd, {"t": 1, "f": 0})
+        _, roots = load_forest(text)
+        assert roots == {"t": 1, "f": 0}
+
+    def test_shared_structure_preserved(self):
+        bdd = BDD()
+        vids = bdd.add_vars(["a", "b", "c"])
+        f = bdd.apply_xor(bdd.var(vids[0]), bdd.var(vids[2]))
+        g = bdd.apply_and(f, bdd.var(vids[1]))
+        text = dump_forest(bdd, {"f": f, "g": g})
+        nodes = json.loads(text)["nodes"]
+        bdd2, roots = load_forest(text)
+        assert bdd2.count_nodes(roots["f"], roots["g"]) == len(nodes)
+        assert bdd.count_nodes(f, g) == len(nodes)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(BDDError):
+            load_forest('{"format": "other"}')
+
+    def test_non_topological_rejected(self):
+        doc = {
+            "format": "repro-bdd-forest",
+            "version": 1,
+            "variables": [{"name": "x", "kind": "input"}],
+            "nodes": [[0, 5, 1]],
+            "roots": {"f": 2},
+        }
+        with pytest.raises(BDDError):
+            load_forest(json.dumps(doc))
+
+
+class TestCharFunctionRoundtrip:
+    def test_roundtrip_preserves_everything(self):
+        spec = table1_spec()
+        cf = CharFunction.from_spec(spec)
+        reduced, _ = algorithm_3_3(cf)
+        text = dump_charfunction(reduced)
+        back = load_charfunction(text)
+        assert back.name == reduced.name
+        assert back.bdd.order() == reduced.bdd.order()
+        assert width_profile(back.bdd, back.root) == width_profile(
+            reduced.bdd, reduced.root
+        )
+        assert max_width(back.bdd, back.root) == 4
+        for m, values in spec.care.items():
+            got = back.sample_output(m)
+            for g, want in zip(got, values):
+                if want is not None:
+                    assert g == want
+
+    def test_precedence_survives(self):
+        cf = CharFunction.from_spec(table1_spec())
+        back = load_charfunction(dump_charfunction(cf))
+        names = {
+            (back.bdd.name_of(a), back.bdd.name_of(b))
+            for a, b in back.precedence_constraints()
+        }
+        orig = {
+            (cf.bdd.name_of(a), cf.bdd.name_of(b))
+            for a, b in cf.precedence_constraints()
+        }
+        assert names == orig
+
+    def test_plain_forest_rejected(self):
+        bdd = BDD()
+        bdd.add_var("x")
+        text = dump_forest(bdd, {"f": 1})
+        with pytest.raises(BDDError):
+            load_charfunction(text)

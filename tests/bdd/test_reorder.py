@@ -1,0 +1,136 @@
+"""Unit tests for in-place reordering and sifting."""
+
+import random
+
+import pytest
+
+from repro.bdd import BDD, from_truth_table, set_order, sift
+from repro.bdd.reorder import SiftSession
+from repro.errors import OrderingError
+
+from tests.conftest import brute_force_truth
+
+
+def random_function(seed, n=5):
+    rng = random.Random(seed)
+    bdd = BDD()
+    vids = bdd.add_vars([f"x{i}" for i in range(n)])
+    table = [rng.randint(0, 1) for _ in range(1 << n)]
+    f = from_truth_table(bdd, vids, table)
+    return bdd, vids, f, table
+
+
+class TestSwap:
+    def test_swap_preserves_semantics(self):
+        for seed in range(10):
+            bdd, vids, f, table = random_function(seed)
+            session = SiftSession(bdd, [f])
+            for level in (0, 2, 3, 1, 0, 3):
+                session.swap(level)
+                assert brute_force_truth(bdd, f, vids) == table, (seed, level)
+                bdd.check_invariants([f])
+
+    def test_swap_updates_order(self):
+        bdd, vids, f, _ = random_function(1)
+        session = SiftSession(bdd, [f])
+        session.swap(0)
+        assert bdd.order()[:2] == ["x1", "x0"]
+
+    def test_swap_out_of_range(self):
+        bdd, vids, f, _ = random_function(2)
+        session = SiftSession(bdd, [f])
+        with pytest.raises(OrderingError):
+            session.swap(len(vids) - 1)
+        with pytest.raises(OrderingError):
+            session.swap(-1)
+
+    def test_size_tracking_is_exact(self):
+        for seed in range(8):
+            bdd, vids, f, _ = random_function(seed)
+            session = SiftSession(bdd, [f])
+            for level in (1, 3, 0, 2, 1):
+                session.swap(level)
+                assert session.size == bdd.count_nodes(f), seed
+                assert session.size == bdd.num_alive_nodes(), seed
+
+    def test_swap_with_multiple_roots(self):
+        bdd = BDD()
+        vids = bdd.add_vars(["a", "b", "c"])
+        f = bdd.apply_and(bdd.var(vids[0]), bdd.var(vids[2]))
+        g = bdd.apply_xor(bdd.var(vids[1]), bdd.var(vids[2]))
+        tf = brute_force_truth(bdd, f, vids)
+        tg = brute_force_truth(bdd, g, vids)
+        session = SiftSession(bdd, [f, g])
+        session.swap(0)
+        session.swap(1)
+        assert brute_force_truth(bdd, f, vids) == tf
+        assert brute_force_truth(bdd, g, vids) == tg
+
+
+class TestSetOrder:
+    def test_reaches_target_order(self):
+        bdd, vids, f, table = random_function(3)
+        target = ["x3", "x0", "x4", "x2", "x1"]
+        set_order(bdd, [f], target)
+        assert bdd.order() == target
+        assert brute_force_truth(bdd, f, vids) == table
+
+    def test_rejects_non_permutation(self):
+        bdd, vids, f, _ = random_function(4)
+        with pytest.raises(OrderingError):
+            set_order(bdd, [f], ["x0", "x1"])
+
+
+class TestSift:
+    def test_sift_preserves_semantics(self):
+        bdd, vids, f, table = random_function(5)
+        sift(bdd, [f])
+        assert brute_force_truth(bdd, f, vids) == table
+        bdd.check_invariants([f])
+
+    def test_sift_improves_bad_order(self):
+        # f = x0·x3 | x1·x4 | x2·x5 with pairs maximally separated:
+        # the classic case where sifting shrinks the BDD.
+        bdd = BDD()
+        vids = bdd.add_vars([f"x{i}" for i in range(6)])
+        f = 0
+        for i in range(3):
+            f = bdd.apply_or(
+                f, bdd.apply_and(bdd.var(vids[i]), bdd.var(vids[i + 3]))
+            )
+        before = bdd.count_nodes(f)
+        sift(bdd, [f])
+        after = bdd.count_nodes(f)
+        assert after < before
+
+    def test_precedence_respected(self):
+        bdd, vids, f, table = random_function(6)
+        # Force x0 above x4 and x2 above x3.
+        precedence = [(vids[0], vids[4]), (vids[2], vids[3])]
+        sift(bdd, [f], precedence=precedence)
+        for above, below in precedence:
+            assert bdd.level_of_vid(above) < bdd.level_of_vid(below)
+        assert brute_force_truth(bdd, f, vids) == table
+
+    def test_precedence_violated_initially(self):
+        bdd, vids, f, _ = random_function(7)
+        set_order(bdd, [f], ["x4", "x3", "x2", "x1", "x0"])
+        with pytest.raises(OrderingError):
+            sift(bdd, [f], precedence=[(vids[0], vids[4])])
+
+    def test_custom_cost_function(self):
+        bdd, vids, f, table = random_function(8)
+        calls = []
+
+        def cost(bdd_, roots):
+            calls.append(1)
+            return float(bdd_.count_nodes(roots[0]))
+
+        sift(bdd, [f], cost_fn=cost)
+        assert calls  # the cost function was consulted
+        assert brute_force_truth(bdd, f, vids) == table
+
+    def test_multiple_rounds(self):
+        bdd, vids, f, table = random_function(9)
+        sift(bdd, [f], max_rounds=3)
+        assert brute_force_truth(bdd, f, vids) == table

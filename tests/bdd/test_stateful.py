@@ -1,0 +1,144 @@
+"""Stateful property test of the BDD manager.
+
+A hypothesis rule machine interleaves Boolean operations, cofactoring,
+reordering and garbage collection while shadowing every live function
+with its dense truth table; any divergence between the BDD and the
+shadow model fails the run.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+import hypothesis.strategies as st
+
+from repro.bdd import BDD, from_truth_table
+from repro.bdd.reorder import SiftSession, sift
+
+N_VARS = 4
+SIZE = 1 << N_VARS
+
+
+class BDDMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.bdd = BDD()
+        self.vids = self.bdd.add_vars([f"x{i}" for i in range(N_VARS)])
+        self.rng = random.Random(1234)
+        # node -> shadow truth table (tuple of SIZE bits)
+        self.shadow: dict[int, tuple[int, ...]] = {
+            0: tuple([0] * SIZE),
+            1: tuple([1] * SIZE),
+        }
+
+    def _truth(self, node: int) -> tuple[int, ...]:
+        out = []
+        for m in range(SIZE):
+            asg = {
+                v: (m >> (N_VARS - 1 - i)) & 1 for i, v in enumerate(self.vids)
+            }
+            out.append(self.bdd.evaluate(node, asg))
+        return tuple(out)
+
+    def _register(self, node: int, table: tuple[int, ...]):
+        self.shadow[node] = table
+
+    def _pick(self) -> int:
+        return self.rng.choice(list(self.shadow))
+
+    @rule(bits=st.integers(0, (1 << SIZE) - 1))
+    def new_function(self, bits):
+        table = tuple((bits >> i) & 1 for i in range(SIZE))
+        # The variable order may have changed (swaps/sifting), so remap
+        # positional minterms into the current level order before the
+        # sparse build.
+        by_level = sorted(self.vids, key=self.bdd.level_of_vid)
+        position = {v: i for i, v in enumerate(by_level)}
+        onset = []
+        for m in range(SIZE):
+            if table[m]:
+                mapped = 0
+                for i, v in enumerate(self.vids):
+                    bit = (m >> (N_VARS - 1 - i)) & 1
+                    mapped |= bit << (N_VARS - 1 - position[v])
+                onset.append(mapped)
+        from repro.bdd import from_sorted_minterms
+
+        node = from_sorted_minterms(self.bdd, by_level, sorted(onset))
+        self._register(node, table)
+
+    @rule()
+    def conjoin(self):
+        f, g = self._pick(), self._pick()
+        h = self.bdd.apply_and(f, g)
+        self._register(
+            h, tuple(a & b for a, b in zip(self.shadow[f], self.shadow[g]))
+        )
+
+    @rule()
+    def disjoin(self):
+        f, g = self._pick(), self._pick()
+        h = self.bdd.apply_or(f, g)
+        self._register(
+            h, tuple(a | b for a, b in zip(self.shadow[f], self.shadow[g]))
+        )
+
+    @rule()
+    def negate(self):
+        f = self._pick()
+        h = self.bdd.apply_not(f)
+        self._register(h, tuple(1 - a for a in self.shadow[f]))
+
+    @rule(var=st.integers(0, N_VARS - 1), value=st.integers(0, 1))
+    def cofactor(self, var, value):
+        f = self._pick()
+        h = self.bdd.cofactor(f, self.vids[var], value)
+        table = []
+        for m in range(SIZE):
+            forced = m & ~(1 << (N_VARS - 1 - var))
+            if value:
+                forced |= 1 << (N_VARS - 1 - var)
+            table.append(self.shadow[f][forced])
+        self._register(h, tuple(table))
+
+    @rule(level=st.integers(0, N_VARS - 2))
+    def swap_levels(self, level):
+        roots = [n for n in self.shadow if n > 1]
+        session = SiftSession(self.bdd, roots)
+        session.swap(level)
+
+    @rule()
+    def run_sift(self):
+        roots = [n for n in self.shadow if n > 1]
+        if roots:
+            sift(self.bdd, roots)
+
+    @rule()
+    def collect_garbage(self):
+        # Forget a random non-terminal function, then sweep.
+        nodes = [n for n in self.shadow if n > 1]
+        if len(nodes) > 2:
+            victim = self.rng.choice(nodes)
+            del self.shadow[victim]
+        self.bdd.collect([n for n in self.shadow if n > 1])
+        # References into freed space are gone from the shadow, so all
+        # remaining entries must still be valid.
+
+    @invariant()
+    def shadows_match(self):
+        if not hasattr(self, "bdd"):
+            return
+        for node, table in self.shadow.items():
+            assert self._truth(node) == table
+
+    @invariant()
+    def manager_invariants(self):
+        if not hasattr(self, "bdd"):
+            return
+        self.bdd.check_invariants([n for n in self.shadow if n > 1])
+
+
+TestBDDMachine = BDDMachine.TestCase
+TestBDDMachine.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,71 @@
+"""Unit tests for cross-manager transfer."""
+
+import pytest
+
+from repro.bdd import BDD, from_truth_table
+from repro.bdd.transfer import transfer
+from repro.errors import VariableError
+
+from tests.conftest import brute_force_truth
+
+
+class TestTransfer:
+    def test_roundtrip_semantics(self):
+        src = BDD()
+        svids = src.add_vars(["a", "b", "c"])
+        table = [0, 1, 1, 1, 0, 0, 1, 0]
+        f = from_truth_table(src, svids, table)
+
+        dst = BDD()
+        dvids = dst.add_vars(["a", "b", "c"])
+        (g,) = transfer(src, dst, [f], dict(zip(svids, dvids)))
+        assert brute_force_truth(dst, g, dvids) == table
+
+    def test_transfer_into_interleaved_order(self):
+        src = BDD()
+        svids = src.add_vars(["a", "b"])
+        f = src.apply_and(src.var(svids[0]), src.var(svids[1]))
+
+        dst = BDD()
+        dst.add_var("pad0")
+        da = dst.add_var("a")
+        dst.add_var("pad1")
+        db = dst.add_var("b")
+        (g,) = transfer(src, dst, [f], {svids[0]: da, svids[1]: db})
+        assert dst.evaluate(g, {da: 1, db: 1, dst.vid("pad0"): 0, dst.vid("pad1"): 0}) == 1
+
+    def test_terminals_map_to_terminals(self):
+        src, dst = BDD(), BDD()
+        assert transfer(src, dst, [0, 1], {}) == [0, 1]
+
+    def test_missing_map_entry(self):
+        src = BDD()
+        (a,) = src.add_vars(["a"])
+        dst = BDD()
+        with pytest.raises(VariableError):
+            transfer(src, dst, [src.var(a)], {})
+
+    def test_order_mismatch_uses_ite_path(self):
+        src = BDD()
+        svids = src.add_vars(["a", "b", "c"])
+        table = [0, 1, 1, 0, 1, 1, 0, 0]
+        f = from_truth_table(src, svids, table)
+        dst = BDD()
+        dc, db, da = dst.add_vars(["c", "b", "a"])  # reversed order
+        (g,) = transfer(src, dst, [f], dict(zip(svids, (da, db, dc))))
+        # Same function, re-normalized to the destination order.
+        for m in range(8):
+            asg = {da: (m >> 2) & 1, db: (m >> 1) & 1, dc: m & 1}
+            assert dst.evaluate(g, asg) == table[m]
+        dst.check_invariants([g])
+
+    def test_sharing_preserved(self):
+        src = BDD()
+        svids = src.add_vars(["a", "b", "c"])
+        f = src.apply_xor(src.var(svids[0]), src.var(svids[2]))
+        g = src.apply_xor(src.var(svids[1]), src.var(svids[2]))
+        dst = BDD()
+        dvids = dst.add_vars(["a", "b", "c"])
+        nf, ng = transfer(src, dst, [f, g], dict(zip(svids, dvids)))
+        # Shared sub-structure maps to shared nodes in the destination.
+        assert dst.count_nodes(nf, ng) == src.count_nodes(f, g)

@@ -1,0 +1,104 @@
+"""Unit tests for structural traversals (profiles, crossing edges)."""
+
+from repro.bdd import (
+    BDD,
+    FALSE,
+    TRUE,
+    count_paths_to_one,
+    crossing_targets,
+    from_truth_table,
+    internal_nodes,
+    level_profile,
+    nodes_by_level,
+)
+
+
+def chain_function():
+    """f = x0 AND x1 AND x2: a 3-node chain."""
+    bdd = BDD()
+    vids = bdd.add_vars(["x0", "x1", "x2"])
+    f = TRUE
+    for v in reversed(vids):
+        f = bdd.mk(v, FALSE, f)
+    return bdd, vids, f
+
+
+class TestProfiles:
+    def test_internal_nodes(self):
+        bdd, vids, f = chain_function()
+        assert len(internal_nodes(bdd, [f])) == 3
+
+    def test_nodes_by_level(self):
+        bdd, vids, f = chain_function()
+        by_level = nodes_by_level(bdd, [f])
+        assert sorted(by_level) == [0, 1, 2]
+        assert all(len(v) == 1 for v in by_level.values())
+
+    def test_level_profile(self):
+        bdd, vids, f = chain_function()
+        assert level_profile(bdd, [f]) == [1, 1, 1]
+
+    def test_profile_with_skipped_level(self):
+        bdd = BDD()
+        vids = bdd.add_vars(["a", "b", "c"])
+        f = bdd.apply_and(bdd.var(vids[0]), bdd.var(vids[2]))  # b unused
+        assert level_profile(bdd, [f]) == [1, 0, 1]
+
+
+class TestCrossingTargets:
+    def test_chain(self):
+        bdd, vids, f = chain_function()
+        sections = crossing_targets(bdd, [f])
+        # Section 0 (above everything): just the root.
+        assert sections[0] == {f}
+        # Section 3 (above terminals): only TRUE (FALSE is excluded).
+        assert sections[3] == {TRUE}
+
+    def test_long_edge_counted_in_every_section(self):
+        bdd = BDD()
+        vids = bdd.add_vars(["a", "b", "c"])
+        # f = a OR (b AND c): the a-node's 1-edge jumps to TRUE.
+        f = bdd.apply_or(bdd.var(vids[0]), bdd.apply_and(bdd.var(vids[1]), bdd.var(vids[2])))
+        sections = crossing_targets(bdd, [f])
+        # TRUE receives a long edge from the top node, so it appears in
+        # sections 1, 2 and 3.
+        for s in (1, 2, 3):
+            assert TRUE in sections[s]
+
+    def test_count_true_false(self):
+        bdd, vids, f = chain_function()
+        sections = crossing_targets(bdd, [f], count_true=False)
+        assert sections[3] == set()
+
+    def test_false_never_counted(self):
+        bdd, vids, f = chain_function()
+        for section in crossing_targets(bdd, [f]):
+            assert FALSE not in section
+
+    def test_multiple_roots(self):
+        bdd = BDD()
+        vids = bdd.add_vars(["a", "b"])
+        f = bdd.var(vids[0])
+        g = bdd.var(vids[1])
+        sections = crossing_targets(bdd, [f, g])
+        assert f in sections[0]
+        # g's root sits at level 1; the external edge crosses both
+        # sections above it.
+        assert g in sections[0] and g in sections[1]
+
+
+class TestCountPaths:
+    def test_chain_has_one_path(self):
+        bdd, vids, f = chain_function()
+        assert count_paths_to_one(bdd, f) == 1
+
+    def test_xor_paths(self):
+        bdd = BDD()
+        vids = bdd.add_vars(["a", "b"])
+        f = bdd.apply_xor(bdd.var(vids[0]), bdd.var(vids[1]))
+        assert count_paths_to_one(bdd, f) == 2
+
+    def test_terminals(self):
+        bdd = BDD()
+        assert count_paths_to_one(bdd, FALSE) == 0
+        assert count_paths_to_one(bdd, TRUE) == 1

@@ -1,0 +1,103 @@
+"""Unit tests for symbolic bit-vector arithmetic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD, FALSE, TRUE
+from repro.bdd.vector import (
+    add_to_width,
+    const_vector,
+    evaluate_vector,
+    full_add,
+    mux_vector,
+    ripple_add,
+    vector_eq_const,
+    zero_extend,
+)
+
+
+def input_vector(bdd, prefix, width):
+    vids = bdd.add_vars([f"{prefix}{i}" for i in range(width)])
+    return vids, [bdd.var(v) for v in vids]
+
+
+class TestConstAndExtend:
+    def test_const_vector(self):
+        bdd = BDD()
+        vec = const_vector(bdd, 5, 4)
+        assert vec == [FALSE, TRUE, FALSE, TRUE]
+
+    def test_zero_extend(self):
+        bdd = BDD()
+        vec = zero_extend([TRUE], 3)
+        assert vec == [FALSE, FALSE, TRUE]
+        with pytest.raises(ValueError):
+            zero_extend([TRUE, TRUE], 1)
+
+
+class TestFullAdd:
+    def test_exhaustive(self):
+        bdd = BDD()
+        a, b, c = bdd.add_vars(["a", "b", "c"])
+        s, cout = full_add(bdd, bdd.var(a), bdd.var(b), bdd.var(c))
+        for x in range(8):
+            asg = {a: (x >> 2) & 1, b: (x >> 1) & 1, c: x & 1}
+            total = asg[a] + asg[b] + asg[c]
+            assert bdd.evaluate(s, asg) == total & 1
+            assert bdd.evaluate(cout, asg) == total >> 1
+
+
+class TestRippleAdd:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 1))
+    def test_matches_integer_addition(self, x, y, cin):
+        bdd = BDD()
+        xv, xs = input_vector(bdd, "x", 4)
+        yv, ys = input_vector(bdd, "y", 4)
+        out, carry = ripple_add(bdd, xs, ys, TRUE if cin else FALSE)
+        asg = {v: (x >> (3 - i)) & 1 for i, v in enumerate(xv)}
+        asg.update({v: (y >> (3 - i)) & 1 for i, v in enumerate(yv)})
+        got = evaluate_vector(bdd, out, asg)
+        got |= bdd.evaluate(carry, asg) << 4
+        assert got == x + y + cin
+
+    def test_width_mismatch(self):
+        bdd = BDD()
+        with pytest.raises(ValueError):
+            ripple_add(bdd, [TRUE], [TRUE, TRUE])
+
+
+class TestAddToWidth:
+    def test_no_overflow(self):
+        bdd = BDD()
+        a = const_vector(bdd, 3, 2)
+        b = const_vector(bdd, 2, 2)
+        out = add_to_width(bdd, a, b, 3)
+        assert evaluate_vector(bdd, out, {}) == 5
+
+    def test_overflow_detected(self):
+        bdd = BDD()
+        a = const_vector(bdd, 3, 2)
+        with pytest.raises(ValueError):
+            add_to_width(bdd, a, a, 2)
+
+
+class TestMuxAndEq:
+    def test_mux_vector(self):
+        bdd = BDD()
+        s = bdd.add_var("s")
+        ones = const_vector(bdd, 3, 2)
+        zeros = const_vector(bdd, 1, 2)
+        out = mux_vector(bdd, bdd.var(s), ones, zeros)
+        assert evaluate_vector(bdd, out, {s: 1}) == 3
+        assert evaluate_vector(bdd, out, {s: 0}) == 1
+        with pytest.raises(ValueError):
+            mux_vector(bdd, bdd.var(s), ones, [TRUE])
+
+    def test_vector_eq_const(self):
+        bdd = BDD()
+        vids, vec = input_vector(bdd, "x", 3)
+        f = vector_eq_const(bdd, vec, 5)
+        for v in range(8):
+            asg = {vid: (v >> (2 - i)) & 1 for i, vid in enumerate(vids)}
+            assert bdd.evaluate(f, asg) == (1 if v == 5 else 0)

@@ -1,0 +1,94 @@
+"""Tests for the benchmark scaffolding (digit codes, dc sets, encodings)."""
+
+import pytest
+
+from repro.bdd import BDD
+from repro.benchfns import pnary_benchmark
+from repro.benchfns.base import (
+    Benchmark,
+    DigitSpec,
+    input_dc_set,
+    make_input_vars,
+)
+from repro.errors import BenchmarkError
+
+from tests.conftest import brute_force_truth
+
+
+class TestDigitSpec:
+    @pytest.mark.parametrize("encoding", ["binary", "gray", "onehot"])
+    @pytest.mark.parametrize("radix", [2, 3, 5, 10])
+    def test_encode_decode_roundtrip(self, encoding, radix):
+        d = DigitSpec("d", radix, encoding)
+        codes = set()
+        for v in range(radix):
+            c = d.encode(v)
+            assert 0 <= c < (1 << d.bits)
+            assert d.decode(c) == v
+            codes.add(c)
+        assert len(codes) == radix
+        # Unused codes decode to None.
+        for c in range(1 << d.bits):
+            if c not in codes:
+                assert d.decode(c) is None
+
+    def test_bit_widths(self):
+        assert DigitSpec("d", 10, "binary").bits == 4
+        assert DigitSpec("d", 10, "gray").bits == 4
+        assert DigitSpec("d", 10, "onehot").bits == 10
+
+    def test_gray_adjacent_values_differ_one_bit(self):
+        d = DigitSpec("d", 8, "gray")
+        for v in range(7):
+            diff = d.encode(v) ^ d.encode(v + 1)
+            assert bin(diff).count("1") == 1
+
+    def test_unknown_encoding(self):
+        with pytest.raises(BenchmarkError):
+            DigitSpec("d", 3, "bcd")
+
+    def test_encode_out_of_range(self):
+        with pytest.raises(BenchmarkError):
+            DigitSpec("d", 3).encode(3)
+
+    def test_valid_codes_sorted(self):
+        d = DigitSpec("d", 5, "gray")
+        codes = d.valid_codes()
+        assert codes == sorted(codes)
+        assert len(codes) == 5
+
+
+class TestInputDcSet:
+    @pytest.mark.parametrize("encoding", ["binary", "gray", "onehot"])
+    def test_dc_set_marks_exactly_unused_codes(self, encoding):
+        d = DigitSpec("d", 3, encoding)
+        bdd = BDD()
+        (block,) = make_input_vars(bdd, [d])
+        dc = input_dc_set(bdd, [d], [block])
+        truth = brute_force_truth(bdd, dc, block)
+        valid = set(d.valid_codes())
+        for code in range(1 << d.bits):
+            assert truth[code] == (0 if code in valid else 1), (encoding, code)
+
+
+class TestBenchmarkMetadata:
+    def test_care_iteration_matches_reference(self):
+        b = pnary_benchmark(2, 3, encoding="gray")
+        care = list(b.iter_care_minterms())
+        assert len(care) == 9
+        assert care == sorted(care)
+        for m in care:
+            assert b.reference(m) is not None
+        # code 0b10 decodes to gray value 3 >= radix: input don't care.
+        assert b.reference(0b1001) is None
+
+    def test_decode_digits(self):
+        b = pnary_benchmark(2, 3, encoding="gray")
+        # gray(2) = 3, gray(1) = 1
+        m = (0b11 << 2) | 0b01
+        assert b.decode_digits(m) == [2, 1]
+        assert b.decode_digits(0b1010) is None
+
+    def test_input_dc_ratio_onehot(self):
+        b = pnary_benchmark(2, 4, encoding="onehot")
+        assert b.input_dc_ratio() == pytest.approx(1 - (4 / 16) ** 2)

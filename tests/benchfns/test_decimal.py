@@ -1,0 +1,138 @@
+"""Tests for BCD adders and the decimal multiplier."""
+
+import random
+
+import pytest
+
+from repro.bdd import BDD, FALSE
+from repro.benchfns import decimal_adder_benchmark, decimal_multiplier_benchmark
+from repro.benchfns.decimal_arith import (
+    _int_to_bcd,
+    bcd_digit_adder,
+    build_decimal_multiplier,
+)
+from repro.bdd.vector import evaluate_vector
+from repro.errors import BenchmarkError
+
+
+class TestBCDHelpers:
+    def test_int_to_bcd(self):
+        assert _int_to_bcd(0, 2) == 0x00
+        assert _int_to_bcd(42, 2) == 0x42
+        assert _int_to_bcd(7, 3) == 0x007
+
+    def test_int_to_bcd_overflow(self):
+        with pytest.raises(BenchmarkError):
+            _int_to_bcd(100, 2)
+
+
+class TestDigitAdder:
+    def test_exhaustive_512(self):
+        bdd = BDD()
+        a_vids = bdd.add_vars([f"a{j}" for j in range(4)])
+        b_vids = bdd.add_vars([f"b{j}" for j in range(4)])
+        c_vid = bdd.add_var("cin")
+        digit, cout = bcd_digit_adder(
+            bdd,
+            [bdd.var(v) for v in a_vids],
+            [bdd.var(v) for v in b_vids],
+            bdd.var(c_vid),
+        )
+        for a in range(10):
+            for b in range(10):
+                for c in (0, 1):
+                    asg = {v: (a >> (3 - i)) & 1 for i, v in enumerate(a_vids)}
+                    asg.update({v: (b >> (3 - i)) & 1 for i, v in enumerate(b_vids)})
+                    asg[c_vid] = c
+                    total = a + b + c
+                    assert evaluate_vector(bdd, digit, asg) == total % 10
+                    assert bdd.evaluate(cout, asg) == total // 10
+
+    def test_width_check(self):
+        bdd = BDD()
+        with pytest.raises(BenchmarkError):
+            bcd_digit_adder(bdd, [FALSE] * 3, [FALSE] * 4, FALSE)
+
+
+class TestAdderExhaustiveSmall:
+    def test_1_digit_adder_full(self):
+        b = decimal_adder_benchmark(1)
+        isf = b.build()
+        assert (b.n_inputs, b.n_outputs) == (8, 8)
+        for m in range(256):
+            ref = b.reference(m)
+            got = isf.value(m)
+            if ref is None:
+                assert all(v is None for v in got)
+            else:
+                value = 0
+                for v in got:
+                    assert v is not None
+                    value = (value << 1) | v
+                assert value == ref
+
+    def test_reference_semantics(self):
+        b = decimal_adder_benchmark(2)
+        # 34 + 78 = 112 -> BCD 0x112
+        m = (_int_to_bcd(34, 2) << 8) | _int_to_bcd(78, 2)
+        assert b.reference(m) == 0x112
+
+    def test_table4_shapes(self):
+        b3 = decimal_adder_benchmark(3)
+        b4 = decimal_adder_benchmark(4)
+        assert (b3.n_inputs, b3.n_outputs) == (24, 16)
+        assert (b4.n_inputs, b4.n_outputs) == (32, 20)
+        assert round(100 * b3.input_dc_ratio(), 1) == 94.0
+        assert round(100 * b4.input_dc_ratio(), 1) == 97.7
+
+    def test_random_3_digit(self):
+        rng = random.Random(6)
+        b = decimal_adder_benchmark(3)
+        isf = b.build()
+        for _ in range(150):
+            x = rng.randrange(1000)
+            y = rng.randrange(1000)
+            m = (_int_to_bcd(x, 3) << 12) | _int_to_bcd(y, 3)
+            got = isf.value(m)
+            value = 0
+            for v in got:
+                value = (value << 1) | v
+            assert value == _int_to_bcd(x + y, 4)
+
+
+class TestMultiplier:
+    def test_table4_shape(self):
+        b = decimal_multiplier_benchmark(2)
+        assert (b.n_inputs, b.n_outputs) == (16, 16)
+        assert round(100 * b.input_dc_ratio(), 1) == 84.7
+
+    def test_1_digit_exhaustive(self):
+        b = decimal_multiplier_benchmark(1)
+        isf = b.build()
+        for m in range(256):
+            ref = b.reference(m)
+            got = isf.value(m)
+            if ref is None:
+                assert all(v is None for v in got)
+            else:
+                value = 0
+                for v in got:
+                    value = (value << 1) | v
+                assert value == ref
+
+    def test_2_digit_samples(self):
+        b = decimal_multiplier_benchmark(2)
+        isf = b.build()
+        rng = random.Random(8)
+        for _ in range(100):
+            x, y = rng.randrange(100), rng.randrange(100)
+            m = (_int_to_bcd(x, 2) << 8) | _int_to_bcd(y, 2)
+            got = isf.value(m)
+            value = 0
+            for v in got:
+                value = (value << 1) | v
+            assert value == _int_to_bcd(x * y, 4)
+
+    def test_unsupported_sizes(self):
+        with pytest.raises(BenchmarkError):
+            build_decimal_multiplier(4)

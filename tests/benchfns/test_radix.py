@@ -1,0 +1,100 @@
+"""Tests for p-nary to binary converters."""
+
+import random
+
+import pytest
+
+from repro.benchfns import build_pnary_converter, pnary_benchmark
+from repro.errors import BenchmarkError
+
+
+class TestSmallExhaustive:
+    @pytest.mark.parametrize("digits,radix", [(2, 3), (3, 3), (2, 5), (2, 6)])
+    def test_full_truth_table(self, digits, radix):
+        b = pnary_benchmark(digits, radix)
+        isf = b.build()
+        for m in range(1 << b.n_inputs):
+            ref = b.reference(m)
+            got = isf.value(m)
+            if ref is None:
+                assert all(v is None for v in got), m
+            else:
+                value = 0
+                for v in got:
+                    assert v is not None
+                    value = (value << 1) | v
+                assert value == ref, m
+
+
+class TestStructure:
+    def test_table4_shapes(self):
+        # In/Out columns of Table 4.
+        expect = {
+            (4, 11): (16, 14),
+            (4, 13): (16, 15),
+            (5, 10): (20, 17),
+            (6, 5): (18, 14),
+            (6, 6): (18, 16),
+            (6, 7): (18, 17),
+            (10, 3): (20, 16),
+        }
+        for (k, p), (n_in, n_out) in expect.items():
+            b = pnary_benchmark(k, p)
+            assert (b.n_inputs, b.n_outputs) == (n_in, n_out), (k, p)
+
+    def test_example_4_7_dc_ratio(self):
+        """Example 4.7: 10-digit ternary -> 94.37% input don't cares."""
+        b = pnary_benchmark(10, 3)
+        assert b.input_dc_ratio() == pytest.approx(1 - 0.75**10)
+        assert round(100 * b.input_dc_ratio(), 1) == 94.4
+
+    def test_table4_dc_column(self):
+        expect = {
+            (4, 11): 77.7,
+            (4, 13): 56.4,
+            (5, 10): 90.5,
+            (6, 5): 94.0,
+            (6, 6): 82.2,
+            (6, 7): 55.1,
+        }
+        for (k, p), dc in expect.items():
+            b = pnary_benchmark(k, p)
+            assert round(100 * b.input_dc_ratio(), 1) == dc
+
+    def test_care_count(self):
+        b = pnary_benchmark(4, 11)
+        assert b.care_count() == 11**4
+        care = list(b.iter_care_minterms())
+        assert len(care) == 11**4
+        assert care == sorted(care)
+
+    def test_decode_digits(self):
+        b = pnary_benchmark(2, 3)
+        assert b.decode_digits(0b0100) == [1, 0]
+        assert b.decode_digits(0b1100) is None  # digit code 3 unused
+
+
+class TestRandomLarge:
+    def test_random_spot_checks(self):
+        rng = random.Random(2)
+        b = pnary_benchmark(5, 10)
+        isf = b.build()
+        for _ in range(200):
+            m = rng.randrange(1 << b.n_inputs)
+            ref = b.reference(m)
+            got = isf.value(m)
+            if ref is None:
+                assert all(v is None for v in got)
+            else:
+                value = 0
+                for v in got:
+                    value = (value << 1) | v
+                assert value == ref
+
+
+class TestErrors:
+    def test_bad_params(self):
+        with pytest.raises(BenchmarkError):
+            build_pnary_converter(0, 3)
+        with pytest.raises(BenchmarkError):
+            build_pnary_converter(2, 1)

@@ -1,0 +1,80 @@
+"""Tests for the Table 4 benchmark registry."""
+
+import pytest
+
+from repro.benchfns import arithmetic_names, get_benchmark, table4_names, wordlist_names
+from repro._config import word_list_sizes
+from repro.errors import BenchmarkError
+
+
+class TestRegistry:
+    def test_sixteen_rows_at_paper_scale(self):
+        # 13 arithmetic + 3 word lists, matching Table 4.
+        assert len(arithmetic_names()) == 13
+        assert len(wordlist_names()) == 3
+        assert len(table4_names()) == 16
+
+    def test_row_order_matches_paper(self):
+        names = arithmetic_names()
+        assert names[0] == "5-7-11-13 RNS"
+        assert names[-1] == "2-digit decimal multiplier"
+        assert names[10] == "3-digit decimal adder"
+
+    def test_every_name_instantiates(self):
+        for name in arithmetic_names():
+            b = get_benchmark(name)
+            assert b.name == name
+            assert b.n_inputs > 0 and b.n_outputs > 0
+
+    def test_wordlist_names_follow_config(self):
+        assert wordlist_names() == [f"{k} words" for k in word_list_sizes()]
+
+    def test_wordlist_lookup(self):
+        b = get_benchmark("25 words")
+        assert b.n_inputs == 40
+
+    def test_unknown_rejected(self):
+        with pytest.raises(BenchmarkError):
+            get_benchmark("frobnicator")
+
+    def test_table4_in_out_columns(self):
+        """The In/Out columns of Table 4, asserted exactly."""
+        expect = {
+            "5-7-11-13 RNS": (14, 13),
+            "7-11-13-17 RNS": (16, 15),
+            "11-13-15-17 RNS": (17, 16),
+            "4-digit 11-nary to binary": (16, 14),
+            "4-digit 13-nary to binary": (16, 15),
+            "5-digit 10-nary to binary": (20, 17),
+            "6-digit 5-nary to binary": (18, 14),
+            "6-digit 6-nary to binary": (18, 16),
+            "6-digit 7-nary to binary": (18, 17),
+            "10-digit 3-nary to binary": (20, 16),
+            "3-digit decimal adder": (24, 16),
+            "4-digit decimal adder": (32, 20),
+            "2-digit decimal multiplier": (16, 16),
+        }
+        for name, (n_in, n_out) in expect.items():
+            b = get_benchmark(name)
+            assert (b.n_inputs, b.n_outputs) == (n_in, n_out), name
+
+    def test_table4_dc_column(self):
+        """The DC[%] column of Table 4 (input-dc formula of Sect. 4.1)."""
+        expect = {
+            "5-7-11-13 RNS": 69.5,
+            "7-11-13-17 RNS": 74.0,
+            "11-13-15-17 RNS": 72.2,
+            "4-digit 11-nary to binary": 77.7,
+            "4-digit 13-nary to binary": 56.4,
+            "5-digit 10-nary to binary": 90.5,
+            "6-digit 5-nary to binary": 94.0,
+            "6-digit 6-nary to binary": 82.2,
+            "6-digit 7-nary to binary": 55.1,
+            "10-digit 3-nary to binary": 94.4,
+            "3-digit decimal adder": 94.0,
+            "4-digit decimal adder": 97.7,
+            "2-digit decimal multiplier": 84.7,
+        }
+        for name, dc in expect.items():
+            b = get_benchmark(name)
+            assert round(100 * b.input_dc_ratio(), 1) == dc, name

@@ -1,0 +1,90 @@
+"""Tests for RNS to binary converters."""
+
+import random
+
+import pytest
+
+from repro.benchfns import build_rns_converter, crt_reconstruct, rns_benchmark
+from repro.benchfns.rns import encode_residues
+from repro.benchfns.base import DigitSpec
+from repro.errors import BenchmarkError
+
+
+class TestCRT:
+    def test_reconstruction(self):
+        moduli = [5, 7, 11, 13]
+        for x in (0, 1, 4999, 5004):
+            residues = [x % m for m in moduli]
+            assert crt_reconstruct(residues, moduli) == x
+
+    def test_exhaustive_small(self):
+        moduli = [3, 5]
+        for x in range(15):
+            assert crt_reconstruct([x % 3, x % 5], moduli) == x
+
+
+class TestSmallExhaustive:
+    def test_full_truth_table_3_5(self):
+        b = rns_benchmark([3, 5])
+        isf = b.build()
+        for m in range(1 << b.n_inputs):
+            ref = b.reference(m)
+            got = isf.value(m)
+            if ref is None:
+                assert all(v is None for v in got)
+            else:
+                value = 0
+                for v in got:
+                    assert v is not None
+                    value = (value << 1) | v
+                assert value == ref
+
+
+class TestStructure:
+    def test_table4_shapes(self):
+        expect = {
+            (5, 7, 11, 13): (14, 13, 69.5),
+            (7, 11, 13, 17): (16, 15, 74.0),
+            (11, 13, 15, 17): (17, 16, 72.2),
+        }
+        for moduli, (n_in, n_out, dc) in expect.items():
+            b = rns_benchmark(list(moduli))
+            assert (b.n_inputs, b.n_outputs) == (n_in, n_out)
+            assert round(100 * b.input_dc_ratio(), 1) == dc
+
+    def test_encode_residues(self):
+        digits = [DigitSpec("r5", 5), DigitSpec("r7", 7)]
+        assert encode_residues([4, 6], digits) == (4 << 3) | 6
+
+    def test_reference_rejects_invalid_codes(self):
+        b = rns_benchmark([5, 7])
+        # r5 code 7 (>= 5) is an input don't care.
+        assert b.reference((7 << 3) | 0) is None
+
+
+class TestRandomLarge:
+    def test_random_spot_checks_5_7_11_13(self):
+        rng = random.Random(4)
+        b = rns_benchmark([5, 7, 11, 13])
+        isf = b.build()
+        for _ in range(150):
+            m = rng.randrange(1 << b.n_inputs)
+            ref = b.reference(m)
+            got = isf.value(m)
+            if ref is None:
+                assert all(v is None for v in got)
+            else:
+                value = 0
+                for v in got:
+                    value = (value << 1) | v
+                assert value == ref
+
+
+class TestErrors:
+    def test_non_coprime_rejected(self):
+        with pytest.raises(BenchmarkError):
+            build_rns_converter([4, 6])
+
+    def test_single_modulus_rejected(self):
+        with pytest.raises(BenchmarkError):
+            build_rns_converter([5])

@@ -1,0 +1,107 @@
+"""Tests for the synthetic English word lists (Sect. 4.2)."""
+
+import pytest
+
+from repro.benchfns import (
+    WordList,
+    build_wordlist_isf,
+    decode_word,
+    encode_word,
+    generate_words,
+    wordlist_benchmark,
+)
+from repro.benchfns.wordlist import BLANK_CODE, WORD_BITS
+from repro.errors import BenchmarkError
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        for w in ("cat", "stranger", "a", "zzz"):
+            assert decode_word(encode_word(w)) == w
+
+    def test_blank_padding(self):
+        code = encode_word("ab")
+        letters = [(code >> (5 * (7 - i))) & 0x1F for i in range(8)]
+        assert letters[:2] == [0, 1]
+        assert letters[2:] == [BLANK_CODE] * 6
+
+    def test_invalid_codes_decode_to_none(self):
+        assert decode_word(0b11111 << 35) is None
+
+    def test_invalid_words_rejected(self):
+        with pytest.raises(BenchmarkError):
+            encode_word("toolongword")
+        with pytest.raises(BenchmarkError):
+            encode_word("Bad!")
+        with pytest.raises(BenchmarkError):
+            encode_word("")
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate_words(50) == generate_words(50)
+        assert generate_words(50, seed=1) != generate_words(50, seed=2)
+
+    def test_count_and_shape(self):
+        words = generate_words(120)
+        assert len(words) == 120
+        assert len(set(words)) == 120
+        assert words == sorted(words)
+        assert all(3 <= len(w) <= 8 for w in words)
+        assert all(w.isalpha() and w.islower() for w in words)
+
+    def test_paper_sizes_reachable(self):
+        # The generator can produce the paper's largest list.
+        words = generate_words(4705)
+        assert len(words) == 4705
+
+
+class TestWordList:
+    def test_indices_dense_from_one(self):
+        wl = WordList(generate_words(30))
+        assert sorted(wl.word_to_index.values()) == list(range(1, 31))
+
+    def test_index_bits_match_paper(self):
+        # Paper: 1730 -> 11, 3366 -> 12, 4705 -> 13 bits.
+        for k, m in ((1730, 11), (3366, 12), (4705, 13)):
+            wl = WordList(generate_words(k))
+            assert wl.index_bits == m
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(BenchmarkError):
+            WordList(["cat", "cat"])
+
+    def test_index_of(self):
+        wl = WordList(generate_words(10))
+        assert wl.index_of(wl.words[3]) == 4
+        assert wl.index_of("notaword") == 0
+
+
+class TestISFConstruction:
+    def test_dc_variant_values(self):
+        wl = WordList(generate_words(15))
+        isf = build_wordlist_isf(wl, dc_outside=True)
+        for word, idx in wl.word_to_index.items():
+            got = isf.value(word)
+            value = 0
+            for v in got:
+                assert v is not None
+                value = (value << 1) | v
+            assert value == idx
+        # A non-word is all don't care.
+        assert all(v is None for v in isf.value(12345))
+
+    def test_zero_variant_values(self):
+        wl = WordList(generate_words(15))
+        isf = build_wordlist_isf(wl, dc_outside=False)
+        assert all(v == 0 for v in isf.value(12345))
+
+    def test_benchmark_wrapper(self):
+        b = wordlist_benchmark(20)
+        assert b.n_inputs == WORD_BITS
+        assert b.name == "20 words"
+        assert round(b.input_dc_ratio(), 2) == round(1 - (27 / 32) ** 8, 2)
+        # reference: indices on words, None elsewhere.
+        words = generate_words(20)
+        assert b.reference(encode_word(words[0])) == 1
+        assert b.reference(1) is None

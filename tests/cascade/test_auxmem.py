@@ -1,0 +1,89 @@
+"""Tests for the Fig. 8 architecture (cascade + AUX memory + comparator)."""
+
+import random
+
+import pytest
+
+from repro.benchfns.wordlist import (
+    WORD_BITS,
+    WordList,
+    encode_word,
+    generate_words,
+)
+from repro.cascade import AddressGenerator
+from repro.errors import CascadeError
+from repro.experiments.table6 import design_dc0, design_fig8, verify_dc0, verify_generator
+
+
+@pytest.fixture(scope="module")
+def tiny_list():
+    return WordList(generate_words(25, seed=7), name="tiny")
+
+
+class TestAddressGeneratorBuild:
+    def test_reject_wrong_output_width(self, tiny_list):
+        _, generator = design_fig8(tiny_list, sift=False)
+        with pytest.raises(CascadeError):
+            AddressGenerator.build(
+                generator.realization,
+                tiny_list.word_to_index,
+                n_bits=WORD_BITS,
+                m_bits=tiny_list.index_bits + 1,
+            )
+
+    def test_reject_duplicate_index(self, tiny_list):
+        _, generator = design_fig8(tiny_list, sift=False)
+        words = dict(tiny_list.word_to_index)
+        first_two = list(words)[:2]
+        words[first_two[0]] = words[first_two[1]]
+        with pytest.raises(CascadeError):
+            AddressGenerator.build(
+                generator.realization,
+                words,
+                n_bits=WORD_BITS,
+                m_bits=tiny_list.index_bits,
+            )
+
+    def test_reject_index_zero(self, tiny_list):
+        _, generator = design_fig8(tiny_list, sift=False)
+        words = dict(tiny_list.word_to_index)
+        words[next(iter(words))] = 0
+        with pytest.raises(CascadeError):
+            AddressGenerator.build(
+                generator.realization,
+                words,
+                n_bits=WORD_BITS,
+                m_bits=tiny_list.index_bits,
+            )
+
+
+class TestFig8Designs:
+    def test_generator_accepts_exactly_the_word_list(self, tiny_list):
+        _, generator = design_fig8(tiny_list, sift=False)
+        verify_generator(tiny_list, generator, samples=150)
+
+    def test_dc0_design_exact(self, tiny_list):
+        _, realization = design_dc0(tiny_list, sift=False)
+        verify_dc0(tiny_list, realization, samples=150)
+
+    def test_fig8_much_smaller_than_dc0(self, tiny_list):
+        cost0, _ = design_dc0(tiny_list, sift=False)
+        cost8, _ = design_fig8(tiny_list, sift=False)
+        assert cost8.lut_memory_bits < cost0.lut_memory_bits
+        assert cost8.cells <= cost0.cells
+        assert cost8.aux_memory_bits == WORD_BITS * (1 << tiny_list.index_bits)
+
+    def test_lookup_by_string(self, tiny_list):
+        _, generator = design_fig8(tiny_list, sift=False)
+        word = tiny_list.words[0]
+        assert generator.lookup(encode_word(word)) == 1
+
+    def test_invalid_letter_codes_rejected_by_comparator(self, tiny_list):
+        _, generator = design_fig8(tiny_list, sift=False)
+        rng = random.Random(3)
+        # Words containing unused letter codes (27..31) are never
+        # registered, so the comparator must return 0.
+        for _ in range(30):
+            x = rng.getrandbits(WORD_BITS)
+            x |= 0b11111 << (5 * rng.randrange(8))  # force an invalid letter
+            assert generator.lookup(x) == 0

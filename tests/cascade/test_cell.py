@@ -1,0 +1,87 @@
+"""Tests for LUT cells and the cascade container."""
+
+import pytest
+
+from repro.cascade import Cascade, Cell, rail_width
+from repro.errors import CascadeError
+
+
+def make_cell():
+    """A 1-rail-in, 1-input, 1-output, 1-rail-out cell: (rail XOR x)."""
+    table = []
+    for rail in (0, 1):
+        for x in (0, 1):
+            out = rail ^ x
+            table.append((out, out))
+    return Cell(
+        index=0,
+        rail_in_width=1,
+        input_vids=(7,),
+        output_vids=(9,),
+        rail_out_width=1,
+        table=table,
+    )
+
+
+class TestCell:
+    def test_dimensions(self):
+        cell = make_cell()
+        assert cell.num_inputs == 2
+        assert cell.num_outputs == 2
+        assert cell.memory_bits == 4 * 2
+
+    def test_lookup(self):
+        cell = make_cell()
+        assert cell.lookup(0, 1) == (1, 1)
+        assert cell.lookup(1, 1) == (0, 0)
+
+
+class TestRailWidth:
+    def test_values(self):
+        assert rail_width(0) == 0
+        assert rail_width(1) == 0
+        assert rail_width(2) == 1
+        assert rail_width(4) == 2
+        assert rail_width(5) == 3
+        assert rail_width(1024) == 10
+        assert rail_width(1025) == 11
+
+
+class TestCascade:
+    def test_evaluate_chains_rails(self):
+        c1 = Cell(
+            index=0,
+            rail_in_width=0,
+            input_vids=(1,),
+            output_vids=(),
+            rail_out_width=1,
+            table=[(0, 0), (0, 1)],  # rail = x1
+        )
+        c2 = Cell(
+            index=1,
+            rail_in_width=1,
+            input_vids=(2,),
+            output_vids=(5,),
+            rail_out_width=0,
+            table=[(r ^ x, 0) for r in (0, 1) for x in (0, 1)],  # y = rail ^ x2
+        )
+        cascade = Cascade([c1, c2])
+        assert cascade.num_cells == 2
+        assert cascade.num_lut_outputs == 1 + 1
+        assert cascade.memory_bits == 2 * 1 + 4 * 1
+        assert cascade.input_vids == [1, 2]
+        assert cascade.output_vids == [5]
+        for a in (0, 1):
+            for b in (0, 1):
+                out = cascade.evaluate({1: a, 2: b})
+                assert out[5] == a ^ b
+
+    def test_missing_input_raises(self):
+        cascade = Cascade([make_cell()])
+        with pytest.raises(CascadeError):
+            cascade.evaluate({})
+
+    def test_extra_inputs_ignored(self):
+        cascade = Cascade([make_cell()])
+        out = cascade.evaluate({7: 1, 99: 0})
+        assert out[9] == 1

@@ -1,0 +1,46 @@
+"""Tests for the cascade PLD device-fit model."""
+
+from repro.cascade import synthesize_cascade
+from repro.cascade.device import NAKAMURA_2005, DeviceSpec, fit_report
+from repro.cf import CharFunction
+from repro.isf import table1_spec
+
+
+def table1_cascade():
+    cf = CharFunction.from_spec(table1_spec())
+    return synthesize_cascade(cf, max_cell_inputs=3, max_cell_outputs=3)
+
+
+class TestFitReport:
+    def test_tiny_cascade_fits_reference_device(self):
+        cascade = table1_cascade()
+        report = fit_report([cascade], NAKAMURA_2005)
+        assert report.fits
+        assert report.chips_needed == 1
+        assert "fits" in str(report)
+
+    def test_too_many_inputs_flagged(self):
+        cascade = table1_cascade()
+        tiny = DeviceSpec("tiny", 8, 1 << 16, max_cell_inputs=2, max_cell_outputs=10)
+        report = fit_report([cascade], tiny)
+        assert not report.fits
+        assert any("inputs" in v for v in report.violations)
+
+    def test_memory_limit_flagged(self):
+        cascade = table1_cascade()
+        tiny = DeviceSpec("tiny", 8, cell_memory_bits=4, max_cell_inputs=12, max_cell_outputs=10)
+        report = fit_report([cascade], tiny)
+        assert not report.fits
+        assert any("bits" in v for v in report.violations)
+
+    def test_chip_folding(self):
+        cascade = table1_cascade()
+        one_stage = DeviceSpec("one", 1, 1 << 16, 12, 10)
+        report = fit_report([cascade, cascade], one_stage)
+        assert report.chips_needed == 2 * cascade.num_cells
+
+    def test_reference_device_shape(self):
+        assert NAKAMURA_2005.max_stages == 8
+        assert NAKAMURA_2005.cell_memory_bits == 65536
+        assert NAKAMURA_2005.max_cell_inputs == 12
+        assert NAKAMURA_2005.max_cell_outputs == 10

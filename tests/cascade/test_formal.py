@@ -1,0 +1,75 @@
+"""Formal (BDD-level) verification of synthesized cascades."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cascade import synthesize_cascade
+from repro.cascade.formal import (
+    symbolic_cascade_outputs,
+    verify_cascade_against_cf,
+)
+from repro.cf import CharFunction
+from repro.errors import CascadeError
+from repro.isf import table1_spec
+from repro.reduce import algorithm_3_3, full_reduction
+
+from tests.conftest import spec_strategy
+
+
+class TestFormalVerification:
+    def test_table1_cascade_proven(self):
+        cf = CharFunction.from_spec(table1_spec())
+        cascade = synthesize_cascade(cf, max_cell_inputs=3, max_cell_outputs=3)
+        assert verify_cascade_against_cf(cascade, cf)
+
+    def test_reduced_cascade_proven_against_original(self):
+        """The cascade of the reduced CF refines the *original* χ too."""
+        cf = CharFunction.from_spec(table1_spec())
+        reduced, _ = algorithm_3_3(cf)
+        cascade = synthesize_cascade(reduced, max_cell_inputs=3, max_cell_outputs=3)
+        assert verify_cascade_against_cf(cascade, reduced)
+        assert verify_cascade_against_cf(cascade, cf)
+
+    def test_symbolic_outputs_match_simulation(self):
+        cf = CharFunction.from_spec(table1_spec())
+        cascade = synthesize_cascade(cf, max_cell_inputs=3, max_cell_outputs=3)
+        outputs = symbolic_cascade_outputs(cf.bdd, cascade)
+        for m in range(16):
+            bits = {
+                v: (m >> (3 - i)) & 1 for i, v in enumerate(cf.input_vids)
+            }
+            simulated = cascade.evaluate(bits)
+            for vid, fn in outputs.items():
+                assert cf.bdd.evaluate(fn, bits) == simulated[vid]
+
+    def test_detects_corrupted_cell(self):
+        cf = CharFunction.from_spec(table1_spec())
+        cascade = synthesize_cascade(cf, max_cell_inputs=3, max_cell_outputs=3)
+        # Invert one realized output bit everywhere: f2 is specified on
+        # most of the Table 1 care set, so the refinement must break.
+        last = cascade.cells[-1]
+        last.table = [(out_bits ^ 1, rail) for out_bits, rail in last.table]
+        assert not verify_cascade_against_cf(cascade, cf)
+
+    def test_missing_output_detected(self):
+        cf = CharFunction.from_spec(table1_spec())
+        cascade = synthesize_cascade(cf, max_cell_inputs=3, max_cell_outputs=3)
+        cascade.cells[-1].output_vids = ()
+        with pytest.raises(CascadeError):
+            verify_cascade_against_cf(cascade, cf)
+
+    @settings(max_examples=15, deadline=None)
+    @given(spec_strategy(max_inputs=4, max_outputs=2))
+    def test_every_synthesized_cascade_proves(self, spec):
+        cf = CharFunction.from_spec(spec)
+        cascade = synthesize_cascade(cf, max_cell_inputs=4, max_cell_outputs=4)
+        assert verify_cascade_against_cf(cascade, cf)
+
+    @settings(max_examples=10, deadline=None)
+    @given(spec_strategy(max_inputs=4, max_outputs=2))
+    def test_fully_reduced_cascades_prove_against_original(self, spec):
+        cf = CharFunction.from_spec(spec)
+        reduced, _ = full_reduction(cf, max_rounds=2)
+        cascade = synthesize_cascade(reduced, max_cell_inputs=4, max_cell_outputs=4)
+        assert verify_cascade_against_cf(cascade, reduced)
+        assert verify_cascade_against_cf(cascade, cf)

@@ -1,0 +1,70 @@
+"""Tests for wiring cascades back to integer functions."""
+
+import pytest
+
+from repro.cascade import realize_forest, synthesize_forest
+from repro.cf import CharFunction
+from repro.errors import CascadeError
+from repro.isf import MultiOutputISF, table1_spec
+
+
+def make_forest(max_out=10):
+    isf = MultiOutputISF.from_spec(table1_spec())
+
+    def pipeline(indices):
+        part = MultiOutputISF(
+            isf.bdd,
+            isf.input_vids,
+            [isf.outputs[i] for i in indices],
+            output_names=[isf.output_names[i] for i in indices],
+        )
+        return CharFunction.from_isf(part)
+
+    return synthesize_forest([0, 1], pipeline, max_cell_outputs=max_out)
+
+
+class TestRealization:
+    def test_single_part(self):
+        forest = make_forest()
+        fr = realize_forest(forest, 4, 2)
+        assert len(fr.parts) == 1
+        spec = table1_spec()
+        for m, values in spec.care.items():
+            got = fr.evaluate(m)
+            bits = [(got >> 1) & 1, got & 1]
+            for g, want in zip(bits, values):
+                if want is not None:
+                    assert g == want
+
+    def test_multi_part_wiring(self):
+        forest = make_forest(max_out=1)  # forces one cascade per output
+        assert len(forest) >= 2
+        fr = realize_forest(forest, 4, 2)
+        spec = table1_spec()
+        for m, values in spec.care.items():
+            got = fr.evaluate(m)
+            bits = [(got >> 1) & 1, got & 1]
+            for g, want in zip(bits, values):
+                if want is not None:
+                    assert g == want
+
+    def test_input_range_guard(self):
+        fr = realize_forest(make_forest(), 4, 2)
+        with pytest.raises(CascadeError):
+            fr.evaluate(-1)
+        with pytest.raises(CascadeError):
+            fr.evaluate(16)
+
+    def test_output_index_mismatch_detected(self):
+        forest = make_forest()
+        cascade, cf, indices = forest[0]
+        with pytest.raises(CascadeError):
+            realize_forest([(cascade, cf, indices[:-1])], 4, 2)
+
+    def test_unused_inputs_ignored(self):
+        # A realization over a wider input space than the cascade reads.
+        forest = make_forest()
+        fr = realize_forest(forest, 4, 2)
+        # Positions map only the CF's inputs; evaluation works for all m.
+        for m in range(16):
+            fr.evaluate(m)

@@ -1,0 +1,150 @@
+"""Tests for cascade synthesis from a BDD_for_CF."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cascade import (
+    cost_of,
+    realize_forest,
+    synthesize_cascade,
+    synthesize_forest,
+)
+from repro.cf import CharFunction
+from repro.errors import CascadeError
+from repro.isf import MultiOutputISF, table1_spec
+from repro.reduce import algorithm_3_3
+
+from tests.conftest import spec_strategy, spec_allows
+
+
+class TestSynthesizeCascade:
+    def test_respects_cell_limits(self):
+        cf = CharFunction.from_spec(table1_spec())
+        cascade = synthesize_cascade(cf, max_cell_inputs=3, max_cell_outputs=3)
+        for cell in cascade.cells:
+            assert cell.num_inputs <= 3
+            assert cell.num_outputs <= 3
+
+    def test_single_cell_when_unconstrained(self):
+        cf = CharFunction.from_spec(table1_spec())
+        cascade = synthesize_cascade(cf, max_cell_inputs=12, max_cell_outputs=10)
+        assert cascade.num_cells == 1
+
+    def test_cascade_matches_care_set(self):
+        spec = table1_spec()
+        cf = CharFunction.from_spec(spec)
+        cascade = synthesize_cascade(cf, max_cell_inputs=3, max_cell_outputs=3)
+        for m, values in spec.care.items():
+            bits = {
+                v: (m >> (3 - i)) & 1 for i, v in enumerate(cf.input_vids)
+            }
+            out = cascade.evaluate(bits)
+            for vid, want in zip(cf.output_vids, values):
+                if want is not None:
+                    assert out[vid] == want
+
+    def test_infeasible_raises(self):
+        cf = CharFunction.from_spec(table1_spec())
+        with pytest.raises(CascadeError):
+            synthesize_cascade(cf, max_cell_inputs=1, max_cell_outputs=1)
+
+    def test_empty_cf_rejected(self):
+        cf = CharFunction.from_spec(table1_spec())
+        broken = cf.replaced(0)
+        with pytest.raises(CascadeError):
+            synthesize_cascade(broken)
+
+    def test_reduced_cf_still_correct(self):
+        spec = table1_spec()
+        cf = CharFunction.from_spec(spec)
+        reduced, _ = algorithm_3_3(cf)
+        cascade = synthesize_cascade(reduced, max_cell_inputs=3, max_cell_outputs=3)
+        for m, values in spec.care.items():
+            bits = {
+                v: (m >> (3 - i)) & 1 for i, v in enumerate(cf.input_vids)
+            }
+            out = cascade.evaluate(bits)
+            for vid, want in zip(cf.output_vids, values):
+                if want is not None:
+                    assert out[vid] == want
+
+    @settings(max_examples=20, deadline=None)
+    @given(spec_strategy(max_inputs=4, max_outputs=2))
+    def test_cascade_realizes_an_extension(self, spec):
+        cf = CharFunction.from_spec(spec)
+        cascade = synthesize_cascade(cf, max_cell_inputs=4, max_cell_outputs=4)
+        n = spec.n_inputs
+        for m in range(1 << n):
+            bits = {
+                v: (m >> (n - 1 - i)) & 1 for i, v in enumerate(cf.input_vids)
+            }
+            out = cascade.evaluate(bits)
+            vector = tuple(out.get(v, 0) for v in cf.output_vids)
+            assert spec_allows(spec, m, vector)
+
+
+class TestForestAndRealization:
+    def _pipeline(self, spec):
+        isf = MultiOutputISF.from_spec(spec)
+
+        def pipeline(indices):
+            part = MultiOutputISF(
+                isf.bdd,
+                isf.input_vids,
+                [isf.outputs[i] for i in indices],
+                output_names=[isf.output_names[i] for i in indices],
+            )
+            return CharFunction.from_isf(part)
+
+        return pipeline
+
+    def test_forest_single_when_feasible(self):
+        spec = table1_spec()
+        forest = synthesize_forest([0, 1], self._pipeline(spec))
+        assert len(forest) == 1
+
+    def test_forest_splits_when_needed(self):
+        spec = table1_spec()
+        # Max 1 output per cell forces the two outputs into separate
+        # cascades (each cascade still needs rails).
+        forest = synthesize_forest(
+            [0, 1], self._pipeline(spec), max_cell_inputs=4, max_cell_outputs=1
+        )
+        assert len(forest) >= 2
+        covered = sorted(i for _, _, idx in forest for i in idx)
+        assert covered == [0, 1]
+
+    def test_forest_raises_when_single_output_infeasible(self):
+        spec = table1_spec()
+        with pytest.raises(CascadeError):
+            synthesize_forest(
+                [0, 1], self._pipeline(spec), max_cell_inputs=1, max_cell_outputs=1
+            )
+
+    def test_realize_forest_evaluates_integers(self):
+        spec = table1_spec()
+        forest = synthesize_forest([0, 1], self._pipeline(spec))
+        fr = realize_forest(forest, 4, 2)
+        for m, values in spec.care.items():
+            got = fr.evaluate(m)
+            bits = [(got >> 1) & 1, got & 1]
+            for g, want in zip(bits, values):
+                if want is not None:
+                    assert g == want
+
+    def test_realize_input_range_checked(self):
+        spec = table1_spec()
+        forest = synthesize_forest([0, 1], self._pipeline(spec))
+        fr = realize_forest(forest, 4, 2)
+        with pytest.raises(CascadeError):
+            fr.evaluate(16)
+
+    def test_cost_accounting(self):
+        spec = table1_spec()
+        forest = synthesize_forest([0, 1], self._pipeline(spec))
+        cascades = [c for c, _, _ in forest]
+        cost = cost_of(cascades, redundant_vars=2, aux_memory_bits=64)
+        assert cost.cells == sum(c.num_cells for c in cascades)
+        assert cost.cascades == len(cascades)
+        assert cost.redundant_vars == 2
+        assert cost.total_memory_bits == cost.lut_memory_bits + 64

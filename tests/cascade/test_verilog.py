@@ -1,0 +1,63 @@
+"""Tests for Verilog export of cascades."""
+
+import re
+
+import pytest
+
+from repro.cascade import Cascade, cascade_to_verilog, synthesize_cascade
+from repro.cf import CharFunction
+from repro.errors import CascadeError
+from repro.isf import table1_spec
+
+
+@pytest.fixture(scope="module")
+def cascade_and_cf():
+    cf = CharFunction.from_spec(table1_spec())
+    cascade = synthesize_cascade(cf, max_cell_inputs=3, max_cell_outputs=3)
+    return cascade, cf
+
+
+class TestVerilogExport:
+    def test_module_structure(self, cascade_and_cf):
+        cascade, cf = cascade_and_cf
+        v = cascade_to_verilog(cascade, module_name="table1")
+        assert v.startswith("//")
+        assert "module table1 (" in v
+        assert v.rstrip().endswith("endmodule")
+        assert v.count("case (") == cascade.num_cells
+
+    def test_ports_for_all_vars(self, cascade_and_cf):
+        cascade, cf = cascade_and_cf
+        names = {v: cf.bdd.name_of(v) for v in cascade.input_vids}
+        onames = {v: cf.bdd.name_of(v) for v in cascade.output_vids}
+        v = cascade_to_verilog(cascade, input_names=names, output_names=onames)
+        for nm in names.values():
+            assert f"input  wire {nm}" in v
+        for nm in onames.values():
+            assert f"output wire {nm}" in v
+
+    def test_case_entries_match_tables(self, cascade_and_cf):
+        cascade, _ = cascade_and_cf
+        v = cascade_to_verilog(cascade)
+        for cell in cascade.cells:
+            # One case arm per table entry plus a default.
+            arms = re.findall(rf"cell{cell.index}_data = ", v)
+            assert len(arms) == len(cell.table) + 1
+
+    def test_rail_wires_chain(self, cascade_and_cf):
+        cascade, _ = cascade_and_cf
+        v = cascade_to_verilog(cascade)
+        for cell in cascade.cells[:-1]:
+            if cell.rail_out_width:
+                assert f"cell{cell.index}_rail" in v
+
+    def test_name_sanitization(self):
+        from repro.cascade.verilog import _sanitize
+
+        assert _sanitize("a-b c") == "a_b_c"
+        assert _sanitize("1bad") == "p_1bad"
+        assert _sanitize("") == "p_"
+
+    def test_empty_cascade_rejected(self):
+        with pytest.raises(CascadeError):
+            cascade_to_verilog(Cascade([]))

@@ -1,0 +1,132 @@
+"""Round-trip test of the Verilog export through a mini interpreter.
+
+The generated Verilog uses a small, fixed subset (wire concatenations,
+case-statement ROMs, bit selects); this test implements an evaluator
+for exactly that subset and checks the module computes the same
+function as the cascade simulator on every input — i.e. the export is
+semantics-preserving, not just syntactically plausible.
+"""
+
+import re
+
+from repro.cascade import cascade_to_verilog, synthesize_cascade
+from repro.cf import CharFunction
+from repro.isf import table1_spec
+
+
+class MiniVerilog:
+    """Evaluator for the exact subset cascade_to_verilog emits."""
+
+    def __init__(self, source: str):
+        self.inputs = re.findall(r"input\s+wire\s+(\w+)", source)
+        self.outputs = re.findall(r"output\s+wire\s+(\w+)", source)
+        # Statements in source order; each is (kind, payload).
+        self.statements: list[tuple] = []
+        self.widths: dict[str, int] = {name: 1 for name in self.inputs}
+
+        addr_re = re.compile(
+            r"wire\s+\[(\d+):0\]\s+(\w+_addr)\s*=\s*(\{[^}]*\}|\w+);"
+        )
+        reg_re = re.compile(r"reg\s+\[(\d+):0\]\s+(\w+_data);")
+        case_re = re.compile(r"case \((\w+)\)(.*?)endcase", re.S)
+        entry_re = re.compile(r"\d+'d(\d+):\s*(\w+)\s*=\s*\d+'d(\d+);")
+        assign_re = re.compile(r"assign\s+(\w+)\s*=\s*(\w+)\[(\d+)\];")
+        rail_re = re.compile(
+            r"wire\s+\[(\d+):0\]\s+(\w+_rail)\s*=\s*(\w+)\[(\d+):(\d+)\];"
+        )
+
+        for m in addr_re.finditer(source):
+            width, name, expr = int(m.group(1)) + 1, m.group(2), m.group(3)
+            parts = (
+                [p.strip() for p in expr.strip("{}").split(",")]
+                if expr.startswith("{")
+                else [expr]
+            )
+            self.widths[name] = width
+            self.statements.append(("concat", m.start(), name, parts))
+        for m in reg_re.finditer(source):
+            self.widths[m.group(2)] = int(m.group(1)) + 1
+        for m in case_re.finditer(source):
+            addr_wire, body = m.group(1), m.group(2)
+            table = {}
+            reg_name = None
+            for e in entry_re.finditer(body):
+                table[int(e.group(1))] = int(e.group(3))
+                reg_name = e.group(2)
+            self.statements.append(("rom", m.start(), addr_wire, reg_name, table))
+        for m in assign_re.finditer(source):
+            self.statements.append(
+                ("bit", m.start(), m.group(1), m.group(2), int(m.group(3)))
+            )
+            self.widths[m.group(1)] = 1
+        for m in rail_re.finditer(source):
+            width, name, src_reg, hi, lo = (
+                int(m.group(1)) + 1,
+                m.group(2),
+                m.group(3),
+                int(m.group(4)),
+                int(m.group(5)),
+            )
+            self.widths[name] = width
+            self.statements.append(("slice", m.start(), name, src_reg, hi, lo))
+        # Execute in textual order — the generator emits producer before
+        # consumer, so a single pass evaluates the whole chain.
+        self.statements.sort(key=lambda s: s[1])
+
+    def evaluate(self, input_bits: dict[str, int]) -> dict[str, int]:
+        values = dict(input_bits)
+        for statement in self.statements:
+            kind = statement[0]
+            if kind == "concat":
+                _, _, name, parts = statement
+                acc = 0
+                for part in parts:
+                    acc = (acc << self.widths[part]) | values[part]
+                values[name] = acc
+            elif kind == "rom":
+                _, _, addr_wire, reg_name, table = statement
+                values[reg_name] = table.get(values[addr_wire], 0)
+            elif kind == "bit":
+                _, _, name, src, bit = statement
+                values[name] = (values[src] >> bit) & 1
+            else:  # slice
+                _, _, name, src, hi, lo = statement
+                values[name] = (values[src] >> lo) & ((1 << (hi - lo + 1)) - 1)
+        return {name: values[name] for name in self.outputs}
+
+
+class TestVerilogRoundTrip:
+    def _build(self, max_in, max_out):
+        cf = CharFunction.from_spec(table1_spec())
+        cascade = synthesize_cascade(
+            cf, max_cell_inputs=max_in, max_cell_outputs=max_out
+        )
+        names = {v: cf.bdd.name_of(v) for v in cascade.input_vids}
+        onames = {v: cf.bdd.name_of(v) for v in cascade.output_vids}
+        source = cascade_to_verilog(cascade, input_names=names, output_names=onames)
+        return cf, cascade, names, onames, MiniVerilog(source)
+
+    def test_ports_discovered(self):
+        _, cascade, names, onames, sim = self._build(3, 3)
+        assert set(sim.inputs) == set(names.values())
+        assert set(sim.outputs) == set(onames.values())
+
+    def test_exhaustive_equivalence_multicell(self):
+        cf, cascade, names, onames, sim = self._build(3, 3)
+        assert cascade.num_cells >= 2  # rails are exercised
+        self._check_all(cf, cascade, names, onames, sim)
+
+    def test_exhaustive_equivalence_single_cell(self):
+        cf, cascade, names, onames, sim = self._build(12, 10)
+        assert cascade.num_cells == 1
+        self._check_all(cf, cascade, names, onames, sim)
+
+    def _check_all(self, cf, cascade, names, onames, sim):
+        for m in range(16):
+            bits = {
+                v: (m >> (3 - i)) & 1 for i, v in enumerate(cf.input_vids)
+            }
+            expected = cascade.evaluate(bits)
+            got = sim.evaluate({names[v]: b for v, b in bits.items()})
+            for vid, want in expected.items():
+                assert got[onames[vid]] == want, (m, got, expected)

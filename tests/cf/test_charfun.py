@@ -1,0 +1,158 @@
+"""Unit tests for BDD_for_CF construction and semantics."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd import BDD
+from repro.cf import CharFunction, max_width, width_profile
+from repro.errors import SpecificationError
+from repro.isf import MultiOutputISF, MultiOutputSpec, table1_spec
+
+from tests.conftest import spec_strategy, spec_allows
+
+
+class TestConstruction:
+    def test_table1_exact_shape(self):
+        """Fig. 2(b): 15 non-terminal nodes, max width 8, Def. 2.4 order."""
+        cf = CharFunction.from_spec(table1_spec())
+        assert cf.bdd.order() == ["x1", "x2", "x3", "y1", "x4", "y2"]
+        assert cf.num_nodes() == 15
+        assert max_width(cf.bdd, cf.root) == 8
+        assert width_profile(cf.bdd, cf.root) == [1, 3, 4, 8, 4, 2, 1]
+
+    def test_output_below_support(self):
+        cf = CharFunction.from_spec(table1_spec())
+        bdd = cf.bdd
+        for x, y in cf.precedence_constraints():
+            assert bdd.level_of_vid(x) < bdd.level_of_vid(y)
+
+    def test_constant_output_goes_to_top(self):
+        spec = MultiOutputSpec(2, 1, {m: (0,) for m in range(4)})
+        cf = CharFunction.from_spec(spec)
+        assert cf.bdd.order()[0] == "y1"
+
+    def test_unique_y_names_required(self):
+        isf = MultiOutputISF.from_spec(table1_spec())
+        with pytest.raises(SpecificationError):
+            CharFunction.from_isf(isf, y_names=["y", "y"])
+
+    def test_fresh_manager_per_cf(self):
+        isf = MultiOutputISF.from_spec(table1_spec())
+        cf1 = CharFunction.from_isf(isf)
+        cf2 = CharFunction.from_isf(isf)
+        assert cf1.bdd is not cf2.bdd
+
+
+class TestSemantics:
+    def test_evaluate_chi(self):
+        spec = table1_spec()
+        cf = CharFunction.from_spec(spec)
+        # Row 0110 -> f = (1, 0): chi accepts exactly that output pair.
+        assert cf.evaluate([0, 1, 1, 0], [1, 0]) == 1
+        assert cf.evaluate([0, 1, 1, 0], [0, 0]) == 0
+        # Row 0100 -> both outputs d: chi accepts everything.
+        for yy in ((0, 0), (0, 1), (1, 0), (1, 1)):
+            assert cf.evaluate([0, 1, 0, 0], list(yy)) == 1
+
+    def test_output_pattern_matches_spec(self):
+        spec = table1_spec()
+        cf = CharFunction.from_spec(spec)
+        for m, values in spec.care.items():
+            assert cf.output_pattern(m) == values
+
+    def test_sample_output_respects_care(self):
+        spec = table1_spec()
+        cf = CharFunction.from_spec(spec)
+        for m, values in spec.care.items():
+            sample = cf.sample_output(m)
+            for got, want in zip(sample, values):
+                if want is not None:
+                    assert got == want
+
+    def test_input_bits_validation(self):
+        cf = CharFunction.from_spec(table1_spec())
+        with pytest.raises(SpecificationError):
+            cf.output_pattern([0, 1])
+
+    def test_wellformed_and_strict(self):
+        cf = CharFunction.from_spec(table1_spec())
+        assert cf.is_wellformed()
+        assert cf.is_strictly_determined()
+
+    def test_heights(self):
+        cf = CharFunction.from_spec(table1_spec())
+        assert cf.num_vars == 6
+        assert cf.height_of_level(0) == 6
+        assert cf.level_of_height(6) == 0
+
+    def test_refines_self(self):
+        cf = CharFunction.from_spec(table1_spec())
+        assert cf.refines(cf)
+
+    def test_refines_requires_same_manager(self):
+        cf1 = CharFunction.from_spec(table1_spec())
+        cf2 = CharFunction.from_spec(table1_spec())
+        with pytest.raises(SpecificationError):
+            cf1.refines(cf2)
+
+
+class TestSift:
+    def test_sift_keeps_semantics_and_constraints(self):
+        spec = table1_spec()
+        cf = CharFunction.from_spec(spec)
+        cf.sift(cost="widthsum")
+        bdd = cf.bdd
+        for x, y in cf.precedence_constraints():
+            assert bdd.level_of_vid(x) < bdd.level_of_vid(y)
+        for m, values in spec.care.items():
+            assert cf.output_pattern(m) == values
+
+    def test_sift_nodes_cost(self):
+        cf = CharFunction.from_spec(table1_spec())
+        cf.sift(cost="nodes")
+        assert cf.is_wellformed()
+
+    def test_sift_bad_cost(self):
+        cf = CharFunction.from_spec(table1_spec())
+        with pytest.raises(ValueError):
+            cf.sift(cost="entropy")
+
+
+class TestPlacementHints:
+    def test_hint_moves_output_up(self):
+        # Output 0 depends only on x1 as a care value; the dc region
+        # depends on x2.  Without hints y sits below x2, with a hint it
+        # sits right below x1.
+        care = {0b00: (0,), 0b10: (1,)}  # x2=1 rows are dc
+        spec = MultiOutputSpec(2, 1, care)
+        isf = MultiOutputISF.from_spec(spec)
+        cf_plain = CharFunction.from_isf(isf)
+        isf.placement_supports = [frozenset({isf.input_vids[0]})]
+        cf_hint = CharFunction.from_isf(isf)
+        assert cf_plain.bdd.order() == ["x1", "x2", "y1"]
+        assert cf_hint.bdd.order() == ["x1", "y1", "x2"]
+        # Semantics unchanged: care rows keep their values.
+        for cf in (cf_plain, cf_hint):
+            assert cf.sample_output(0b00) == (0,)
+            assert cf.sample_output(0b10) == (1,)
+            assert cf.is_wellformed()
+
+
+class TestHypothesis:
+    @settings(max_examples=30, deadline=None)
+    @given(spec_strategy())
+    def test_cf_accepts_exactly_allowed_vectors(self, spec):
+        cf = CharFunction.from_spec(spec)
+        n, m = spec.n_inputs, spec.n_outputs
+        for x in range(1 << n):
+            bits = [(x >> (n - 1 - i)) & 1 for i in range(n)]
+            for y in range(1 << m):
+                ybits = [(y >> (m - 1 - j)) & 1 for j in range(m)]
+                allowed = spec_allows(spec, x, tuple(ybits))
+                assert cf.evaluate(bits, ybits) == (1 if allowed else 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec_strategy())
+    def test_cf_always_wellformed(self, spec):
+        cf = CharFunction.from_spec(spec)
+        assert cf.is_wellformed()

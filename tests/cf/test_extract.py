@@ -1,0 +1,50 @@
+"""Unit tests for CF -> spec extraction."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cf import CharFunction, refines_spec, to_spec
+from repro.isf import MultiOutputSpec, table1_spec
+
+from tests.conftest import spec_strategy
+
+
+class TestToSpec:
+    def test_roundtrip_table1(self):
+        spec = table1_spec()
+        cf = CharFunction.from_spec(spec)
+        back = to_spec(cf)
+        assert back.care == {
+            m: v for m, v in spec.care.items() if any(x is not None for x in v)
+        }
+
+    def test_refuses_large_inputs(self):
+        cf = CharFunction.from_spec(table1_spec())
+        cf.input_vids = list(range(25))  # simulate a huge function
+        with pytest.raises(ValueError):
+            to_spec(cf)
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec_strategy())
+    def test_roundtrip_property(self, spec):
+        cf = CharFunction.from_spec(spec)
+        back = to_spec(cf)
+        for m in range(1 << spec.n_inputs):
+            for i in range(spec.n_outputs):
+                assert back.value(m, i) == spec.value(m, i)
+
+
+class TestRefinesSpec:
+    def test_accepts_itself(self):
+        spec = table1_spec()
+        cf = CharFunction.from_spec(spec)
+        assert refines_spec(cf, spec)
+
+    def test_detects_flipped_value(self):
+        spec = table1_spec()
+        cf = CharFunction.from_spec(spec)
+        # Build a broken spec expecting the opposite value somewhere.
+        care = dict(spec.care)
+        care[0b0010] = (1, 0)  # spec says f1 = 0 here
+        broken = MultiOutputSpec(4, 2, care)
+        assert not refines_spec(cf, broken)

@@ -1,0 +1,110 @@
+"""Tests for decomposition charts (Definition 3.6, Tables 2-3, Fig. 7)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cf import CharFunction, width_profile
+from repro.decomp import (
+    DecompositionChart,
+    columns_compatible,
+    merge_columns,
+    table2_spec,
+)
+from repro.errors import DecompositionError, IncompatibleError
+from repro.isf import MultiOutputSpec
+
+from tests.conftest import spec_strategy
+
+
+class TestTable2:
+    def test_mu_is_4(self):
+        chart = DecompositionChart(table2_spec(), [0, 1])
+        assert chart.column_multiplicity() == 4
+
+    def test_compatible_pairs_match_example34(self):
+        chart = DecompositionChart(table2_spec(), [0, 1])
+        p = chart.column_patterns()
+        compat = {
+            (i + 1, j + 1)
+            for i in range(4)
+            for j in range(i + 1, 4)
+            if columns_compatible(p[i], p[j])
+        }
+        assert compat == {(1, 2), (1, 3), (3, 4)}
+
+    def test_minimized_mu_is_2(self):
+        chart = DecompositionChart(table2_spec(), [0, 1])
+        mu, cliques = chart.minimized_multiplicity()
+        assert mu == 2
+        merged = chart.merged(cliques)
+        assert merged.column_multiplicity() == 2
+
+    def test_merged_chart_refines(self):
+        chart = DecompositionChart(table2_spec(), [0, 1])
+        _, cliques = chart.minimized_multiplicity()
+        merged = chart.merged(cliques)
+        for c in range(chart.num_columns):
+            for before, after in zip(chart.column(c), merged.column(c)):
+                if before is not None:
+                    assert after == before
+
+
+class TestChartMechanics:
+    def test_row_column_layout(self):
+        spec = MultiOutputSpec(2, 1, {0b10: (1,), 0b11: (0,)})
+        chart = DecompositionChart(spec, [0])  # bound = x1
+        assert chart.column(1) == (1, 0)  # x1=1 column over x2 rows
+        assert chart.column(0) == (None, None)
+
+    def test_invalid_bound_vars(self):
+        spec = MultiOutputSpec(2, 1, {})
+        with pytest.raises(DecompositionError):
+            DecompositionChart(spec, [0, 0])
+        with pytest.raises(DecompositionError):
+            DecompositionChart(spec, [5])
+
+    def test_invalid_output(self):
+        spec = MultiOutputSpec(2, 1, {})
+        with pytest.raises(DecompositionError):
+            DecompositionChart(spec, [0], output=3)
+
+    def test_merge_columns_errors(self):
+        with pytest.raises(IncompatibleError):
+            merge_columns([(0, 1), (1, 1)])
+
+    def test_merge_columns_product(self):
+        assert merge_columns([(None, 1, None), (0, None, None)]) == (0, 1, None)
+
+    def test_columns_compatible(self):
+        assert columns_compatible((0, None), (None, 1))
+        assert not columns_compatible((0, 1), (1, 1))
+
+
+class TestChartVsBDDWidth:
+    @settings(max_examples=25, deadline=None)
+    @given(spec_strategy(max_inputs=4, max_outputs=1))
+    def test_column_multiplicity_equals_cf_width(self, spec):
+        """The CF width at the X1/X2 cut equals the chart's µ.
+
+        For a single-output function with order (X1, X2, y) — the y
+        variable below everything — the distinct crossing targets at
+        the cut below X1 correspond one-to-one to distinct ternary
+        column patterns (the all-zero column cannot occur: a CF is
+        total).
+        """
+        n = spec.n_inputs
+        if n < 2:
+            return
+        bound = [0]  # X1 = {x1}
+        chart = DecompositionChart(spec, bound)
+        cf = CharFunction.from_spec(spec)
+        # Force the order x1 | x2..xn | y.
+        from repro.bdd import set_order
+
+        order = [f"x{i + 1}" for i in range(n)] + ["y1"]
+        set_order(cf.bdd, [cf.root], order)
+        from repro.cf import columns_at_height
+
+        cut_height = cf.num_vars - 1  # below x1
+        width = len(columns_at_height(cf.bdd, cf.root, cut_height))
+        assert width == chart.column_multiplicity()

@@ -1,0 +1,77 @@
+"""Cross-cutting properties tying charts, widths, and decompositions together."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.bdd import set_order
+from repro.cf import CharFunction, columns_at_height
+from repro.decomp import DecompositionChart, decompose_at_height
+from repro.isf import MultiOutputSpec
+from repro.utils.bitops import bits_for
+
+from tests.conftest import random_spec, spec_strategy
+
+
+class TestWidthChartAgreement:
+    def test_width_never_below_minimized_multiplicity(self):
+        """Merged-chart µ is a lower bound on any same-cut CF width."""
+        rng = random.Random(31)
+        for _ in range(15):
+            spec = random_spec(rng, n_inputs=4, n_outputs=1)
+            chart = DecompositionChart(spec, [0, 1])
+            mu_min, _ = chart.minimized_multiplicity()
+            cf = CharFunction.from_spec(spec)
+            order = [f"x{i}" for i in range(1, 5)] + ["y1"]
+            set_order(cf.bdd, [cf.root], order)
+            width = len(columns_at_height(cf.bdd, cf.root, 3))
+            # The raw CF width equals the unmerged multiplicity, which
+            # is >= the minimized one.
+            assert width >= mu_min
+
+
+class TestDecompositionNetworkSize:
+    @settings(max_examples=15, deadline=None)
+    @given(spec_strategy(max_inputs=4, max_outputs=2))
+    def test_rails_bounded_by_bound_set_size(self, spec):
+        """Decomposition is only useful when rails < |X1| — check the
+        Theorem 3.1 accounting is at least consistent: rails is the
+        exact ceil(log2) of the column count."""
+        cf = CharFunction.from_spec(spec)
+        t = cf.num_vars
+        for height in range(1, t):
+            d = decompose_at_height(cf, height)
+            w = len(d.columns)
+            assert d.rails == (bits_for(w) if w > 1 else 0)
+            assert (1 << max(d.rails, 0)) >= w
+
+    def test_cut_blocks_partition_variables(self):
+        spec = MultiOutputSpec(3, 2, {0: (1, 0), 5: (0, 1)})
+        cf = CharFunction.from_spec(spec)
+        t = cf.num_vars
+        for height in range(1, t):
+            d = decompose_at_height(cf, height)
+            all_vars = set(d.h_inputs) | set(d.h_outputs) | set(d.g_inputs) | set(d.g_outputs)
+            assert all_vars == set(cf.input_vids) | set(cf.output_vids)
+            assert not (set(d.h_inputs) & set(d.g_inputs))
+
+
+class TestExtensionContainment:
+    @settings(max_examples=15, deadline=None)
+    @given(spec_strategy(max_inputs=3, max_outputs=2))
+    def test_isf_cf_contains_both_extensions(self, spec):
+        """χ_ISF admits every input/output pair each extension admits."""
+        from repro.isf import MultiOutputISF
+
+        isf = MultiOutputISF.from_spec(spec)
+        cf_isf = CharFunction.from_isf(isf)
+        cf_0 = CharFunction.from_isf(isf.extension(0))
+        cf_1 = CharFunction.from_isf(isf.extension(1))
+        n, m = spec.n_inputs, spec.n_outputs
+        for x in range(1 << n):
+            xbits = [(x >> (n - 1 - i)) & 1 for i in range(n)]
+            for y in range(1 << m):
+                ybits = [(y >> (m - 1 - j)) & 1 for j in range(m)]
+                for ext in (cf_0, cf_1):
+                    if ext.evaluate(xbits, ybits):
+                        assert cf_isf.evaluate(xbits, ybits) == 1

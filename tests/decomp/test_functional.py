@@ -1,0 +1,86 @@
+"""Tests for Theorem 3.1 decomposition and segment walking."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cf import CharFunction, columns_at_height
+from repro.decomp import decompose_at_height, walk_segment
+from repro.errors import DecompositionError
+from repro.isf import table1_spec
+from repro.utils.bitops import bits_for
+
+from tests.conftest import spec_strategy, spec_allows
+
+
+class TestWalkSegment:
+    def test_full_walk_table1(self):
+        spec = table1_spec()
+        cf = CharFunction.from_spec(spec)
+        bdd = cf.bdd
+        for m, values in spec.care.items():
+            bits = [(m >> (3 - i)) & 1 for i in range(4)]
+            assignment = dict(zip(cf.input_vids, bits))
+            outputs, exit_node = walk_segment(bdd, cf.root, assignment, bdd.num_vars)
+            assert exit_node == 1
+            for vid, want in zip(cf.output_vids, values):
+                if want is not None:
+                    assert outputs[vid] == want
+                else:
+                    # don't care: the variable may be skipped
+                    assert outputs.get(vid, 0) in (0, 1)
+
+    def test_missing_assignment_raises(self):
+        cf = CharFunction.from_spec(table1_spec())
+        with pytest.raises(DecompositionError):
+            walk_segment(cf.bdd, cf.root, {}, cf.bdd.num_vars)
+
+
+class TestDecomposeAtHeight:
+    def test_theorem31_rail_count(self):
+        cf = CharFunction.from_spec(table1_spec())
+        for height in range(1, cf.num_vars):
+            d = decompose_at_height(cf, height)
+            width = len(columns_at_height(cf.bdd, cf.root, height))
+            assert d.rails == (bits_for(width) if width > 1 else 0)
+            assert len(d.columns) == width
+
+    def test_invalid_heights(self):
+        cf = CharFunction.from_spec(table1_spec())
+        with pytest.raises(DecompositionError):
+            decompose_at_height(cf, 0)
+        with pytest.raises(DecompositionError):
+            decompose_at_height(cf, cf.num_vars)
+
+    def test_block_variable_split(self):
+        cf = CharFunction.from_spec(table1_spec())
+        d = decompose_at_height(cf, 2)  # below (x1,x2,x3,y1)
+        names = lambda vids: [cf.bdd.name_of(v) for v in vids]
+        assert names(d.h_inputs) == ["x1", "x2", "x3"]
+        assert names(d.h_outputs) == ["y1"]
+        assert names(d.g_inputs) == ["x4"]
+        assert names(d.g_outputs) == ["y2"]
+
+    def test_composed_network_matches_table1(self):
+        spec = table1_spec()
+        cf = CharFunction.from_spec(spec)
+        d = decompose_at_height(cf, 2)
+        for m, values in spec.care.items():
+            bits = [(m >> (3 - i)) & 1 for i in range(4)]
+            out = d.evaluate(bits)
+            for vid, want in zip(cf.output_vids, values):
+                if want is not None:
+                    assert out[vid] == want
+
+    @settings(max_examples=20, deadline=None)
+    @given(spec_strategy(max_inputs=4, max_outputs=2))
+    def test_composed_network_is_valid_extension(self, spec):
+        cf = CharFunction.from_spec(spec)
+        t = cf.num_vars
+        height = max(1, t // 2)
+        d = decompose_at_height(cf, height)
+        n = spec.n_inputs
+        for m in range(1 << n):
+            bits = [(m >> (n - 1 - i)) & 1 for i in range(n)]
+            out = d.evaluate(bits)
+            vector = tuple(out[v] for v in cf.output_vids)
+            assert spec_allows(spec, m, vector), (m, vector)

@@ -1,0 +1,73 @@
+"""Tests for the MTBDD layer and the paper's motivating comparison."""
+
+import pytest
+
+from repro.cf import CharFunction, max_width
+from repro.decomp import mtbdd_from_function, mtbdd_from_isf
+from repro.errors import ReproError
+from repro.isf import MultiOutputISF, table1_spec
+
+
+class TestMTBDDBasics:
+    def test_parity(self):
+        m = mtbdd_from_function(4, lambda x: bin(x).count("1") & 1)
+        for x in range(16):
+            assert m.evaluate(x) == bin(x).count("1") & 1
+        assert m.num_terminals() == 2
+
+    def test_identity_function(self):
+        m = mtbdd_from_function(3, lambda x: x)
+        assert m.num_terminals() == 8
+        for x in range(8):
+            assert m.evaluate(x) == x
+
+    def test_constant(self):
+        m = mtbdd_from_function(2, lambda x: 7)
+        assert m.num_nodes() == 0
+        assert m.evaluate(3) == 7
+        assert m.max_width() == 1
+
+    def test_reduction_shares_nodes(self):
+        # f(x) = x0: one internal node regardless of n.
+        m = mtbdd_from_function(5, lambda x: (x >> 4) & 1)
+        assert m.num_nodes() == 1
+
+    def test_custom_order(self):
+        m = mtbdd_from_function(3, lambda x: x & 1, order=[2, 0, 1])
+        for x in range(8):
+            assert m.evaluate(x) == x & 1
+        assert m.num_nodes() == 1
+
+    def test_order_validation(self):
+        with pytest.raises(ReproError):
+            mtbdd_from_function(2, lambda x: x, order=[0, 0])
+
+    def test_size_guard(self):
+        with pytest.raises(ReproError):
+            mtbdd_from_function(30, lambda x: 0)
+
+
+class TestWidths:
+    def test_width_profile_identity(self):
+        m = mtbdd_from_function(2, lambda x: x)
+        # Full binary tree: 4 terminals, 2 nodes, 1 root (bottom-up).
+        assert m.width_profile() == [4, 2, 1]
+
+    def test_from_isf_matches_extension(self):
+        spec = table1_spec()
+        isf = MultiOutputISF.from_spec(spec)
+        m = mtbdd_from_isf(isf, dc_value=0)
+        ext = isf.extension(0)
+        for x in range(16):
+            want = 0
+            for v in ext.value(x):
+                want = (want << 1) | v
+            assert m.evaluate(x) == want
+
+    def test_paper_motivation_on_table1(self):
+        """Intro claim: BDD_for_CF widths tend to be <= MTBDD widths."""
+        spec = table1_spec()
+        isf = MultiOutputISF.from_spec(spec)
+        mtbdd = mtbdd_from_isf(isf, dc_value=0)
+        cf = CharFunction.from_isf(isf.extension(0))
+        assert max_width(cf.bdd, cf.root) <= mtbdd.max_width() + 1

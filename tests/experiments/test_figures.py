@@ -1,0 +1,54 @@
+"""Tests for the figure reproductions."""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure2_report,
+    figure5_report,
+    figure6_report,
+    figure7_report,
+    figure8_report,
+    figure9_report,
+    render_reports,
+)
+
+
+class TestFigureReports:
+    def test_figure2(self):
+        r = figure2_report()
+        assert "15 nodes, max width 8" in r.text
+        assert r.dot and r.dot.startswith("digraph")
+
+    def test_figure5_paper_numbers(self):
+        r = figure5_report()
+        assert "before Alg 3.1: max width 8, nodes 15" in r.text
+        assert "after  Alg 3.1: max width 5, nodes 12" in r.text
+
+    def test_figure6_paper_numbers(self):
+        r = figure6_report()
+        assert "before Alg 3.3: max width 8, nodes 15" in r.text
+        assert "after  Alg 3.3: max width 4, nodes 12" in r.text
+
+    def test_figure7_edges(self):
+        r = figure7_report()
+        assert "edge: Phi1 -- Phi2" in r.text
+        assert "edge: Phi1 -- Phi3" in r.text
+        assert "edge: Phi3 -- Phi4" in r.text
+        assert "mu = 2" in r.text
+
+    def test_figure8(self):
+        r = figure8_report(num_words=30, verify=True)
+        assert "AUX memory" in r.text
+        assert "comparator" in r.text
+        assert "redundant bits unused" in r.text
+
+    @pytest.mark.slow
+    def test_figure9(self):
+        r = figure9_report(verify=True)
+        assert "DC=0:" in r.text
+        assert "Alg3.3:" in r.text
+        assert "->" in r.text or "cells" in r.text
+
+    def test_render(self):
+        out = render_reports([figure7_report()])
+        assert "Fig. 7" in out

@@ -1,0 +1,34 @@
+"""Tests for the word-list scaling study."""
+
+import pytest
+
+from repro.experiments.scaling import format_scaling, measure_point, run_scaling
+
+
+@pytest.fixture(scope="module")
+def point():
+    return measure_point(30, sift=False)
+
+
+class TestScaling:
+    def test_point_sane(self, point):
+        assert point.num_words == 30
+        assert point.alg33_width <= point.dc0_width
+        assert point.alg33_nodes <= point.dc0_nodes
+        assert point.fig8_cells <= point.dc0_cells
+        assert point.fig8_lut_bits < point.dc0_lut_bits
+
+    def test_factors(self, point):
+        assert point.width_factor >= 1.0
+        assert point.node_factor >= 1.0
+        assert point.memory_factor > 1.0
+
+    def test_format(self, point):
+        text = format_scaling([point])
+        assert "30" in text
+        assert "mem factor" in text
+        assert "x" in text
+
+    def test_run_scaling_order(self):
+        points = run_scaling([20, 30], sift=False)
+        assert [p.num_words for p in points] == [20, 30]

@@ -1,0 +1,41 @@
+"""Integration tests for Table 6 (word lists, Fig. 8 architecture)."""
+
+import pytest
+
+from repro.experiments.table6 import format_table6, run_table6
+
+
+@pytest.fixture(scope="module")
+def rows():
+    # A small word list keeps the full pipeline (sifting + Alg 3.3 +
+    # synthesis + AUX memory) under a few seconds while exercising every
+    # code path, with end-to-end verification on.
+    return run_table6([40], verify=True)
+
+
+class TestRunTable6:
+    def test_both_designs_present(self, rows):
+        assert [r.method for r in rows] == ["DC=0", "Fig.8"]
+        assert all(r.num_words == 40 for r in rows)
+
+    def test_fig8_adds_aux_memory(self, rows):
+        dc0, fig8 = rows
+        assert dc0.cost.aux_memory_bits == 0
+        assert fig8.cost.aux_memory_bits == 40 * (1 << 6)  # n * 2^m, m=6 for 40 words
+
+    def test_fig8_shrinks_lut_memory(self, rows):
+        """The paper's headline: Fig. 8 cuts LUT cells and memory."""
+        dc0, fig8 = rows
+        assert fig8.cost.lut_memory_bits < dc0.cost.lut_memory_bits
+        assert fig8.cost.cells <= dc0.cost.cells
+        assert fig8.cost.lut_outputs <= dc0.cost.lut_outputs
+
+    def test_fig8_removes_variables(self, rows):
+        _, fig8 = rows
+        assert fig8.cost.redundant_vars > 0  # small lists free many bits
+
+    def test_format(self, rows):
+        text = format_table6(rows)
+        assert "DC=0" in text and "Fig.8" in text
+        assert "MemBits AUX" in text
+        assert "#RV" in text

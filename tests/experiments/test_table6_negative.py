@@ -1,0 +1,57 @@
+"""Negative-path tests for the Table 6 verifiers and the env-scale knob."""
+
+import pytest
+
+from repro.benchfns import WordList, generate_words, wordlist_names
+from repro.errors import ReproError
+from repro.experiments.table6 import (
+    design_fig8,
+    verify_dc0,
+    verify_generator,
+)
+
+
+@pytest.fixture(scope="module")
+def small():
+    word_list = WordList(generate_words(20, seed=9))
+    cost, generator = design_fig8(word_list, sift=False)
+    return word_list, generator
+
+
+class TestVerifierCatchesCorruption:
+    def test_corrupted_aux_detected(self, small):
+        word_list, generator = small
+        # Swap two AUX entries: two words now fail the comparator.
+        idx = [i for i, w in enumerate(generator.aux) if w is not None]
+        a, b = idx[0], idx[1]
+        generator.aux[a], generator.aux[b] = generator.aux[b], generator.aux[a]
+        with pytest.raises(ReproError):
+            verify_generator(word_list, generator, samples=10)
+        # restore for other tests
+        generator.aux[a], generator.aux[b] = generator.aux[b], generator.aux[a]
+
+    def test_wrong_wordlist_detected(self, small):
+        word_list, generator = small
+        other = WordList(generate_words(20, seed=10))
+        with pytest.raises(ReproError):
+            verify_generator(other, generator, samples=10)
+
+    def test_dc0_verifier_rejects_fig8_semantics(self, small):
+        word_list, generator = small
+
+        class NotZeroOutside:
+            def evaluate(self, x):
+                return generator.realization.evaluate(x)  # no comparator!
+
+        # The raw cascade outputs junk indices for non-words, which the
+        # DC=0 verifier must flag.
+        with pytest.raises(ReproError):
+            verify_dc0(word_list, NotZeroOutside(), samples=400)
+
+
+class TestScaleKnob:
+    def test_wordlist_names_follow_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        assert wordlist_names() == ["400 words", "800 words", "1200 words"]
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert wordlist_names() == ["1730 words", "3366 words", "4705 words"]

@@ -1,0 +1,108 @@
+"""Tests for totality / column compatibility of characteristic functions."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.bdd import BDD, FALSE, TRUE
+from repro.cf import CharFunction
+from repro.isf import MultiOutputISF, compatible_columns, ordered_total
+
+from tests.conftest import spec_strategy, random_spec
+
+
+def brute_force_total(bdd, u, input_vids, output_vids):
+    """Literal ∀X ∃Y check by enumeration."""
+    n, m = len(input_vids), len(output_vids)
+    for x in range(1 << n):
+        asg = {v: (x >> (n - 1 - i)) & 1 for i, v in enumerate(input_vids)}
+        ok = False
+        for y in range(1 << m):
+            asg2 = dict(asg)
+            asg2.update(
+                {v: (y >> (m - 1 - j)) & 1 for j, v in enumerate(output_vids)}
+            )
+            if bdd.evaluate(u, asg2):
+                ok = True
+                break
+        if not ok:
+            return False
+    return True
+
+
+class TestOrderedTotal:
+    def test_terminals(self):
+        bdd = BDD()
+        assert ordered_total(bdd, TRUE)
+        assert not ordered_total(bdd, FALSE)
+
+    def test_simple_cf(self):
+        bdd = BDD()
+        x = bdd.add_var("x")
+        y = bdd.add_var("y", kind="output")
+        # chi = (y == x): total.
+        chi = bdd.apply_not(bdd.apply_xor(bdd.var(x), bdd.var(y)))
+        assert ordered_total(bdd, chi)
+        # chi = x AND y: not total (x=0 admits no output).
+        assert not ordered_total(bdd, bdd.apply_and(bdd.var(x), bdd.var(y)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec_strategy(max_inputs=3, max_outputs=2))
+    def test_matches_brute_force_on_cf(self, spec):
+        cf = CharFunction.from_spec(spec)
+        got = ordered_total(cf.bdd, cf.root)
+        want = brute_force_total(cf.bdd, cf.root, cf.input_vids, cf.output_vids)
+        assert got == want
+        assert want  # every CF of an ISF is total by construction
+
+
+class TestCompatibleColumns:
+    def test_zero_incompatible_with_everything(self):
+        bdd = BDD()
+        assert not compatible_columns(bdd, FALSE, TRUE)
+        assert not compatible_columns(bdd, FALSE, FALSE)
+
+    def test_true_compatible_with_total(self):
+        bdd = BDD()
+        x = bdd.add_var("x")
+        y = bdd.add_var("y", kind="output")
+        chi = bdd.apply_not(bdd.apply_xor(bdd.var(x), bdd.var(y)))
+        assert compatible_columns(bdd, TRUE, chi)
+
+    def test_matches_isf_compatibility(self):
+        """Column compatibility on CFs == Definition 3.7 on the ISFs.
+
+        Two CFs over one manager (shared inputs, shared y variables at
+        the bottom) are compatible as columns exactly when every output
+        pair is compatible per Definition 3.7.
+        """
+        rng = random.Random(42)
+        for trial in range(30):
+            spec_a = random_spec(rng, n_inputs=3, n_outputs=2)
+            spec_b = random_spec(rng, n_inputs=3, n_outputs=2)
+            bdd = BDD()
+            input_vids = bdd.add_vars(["x1", "x2", "x3"])
+            y_vids = [bdd.add_var(f"y{i}", kind="output") for i in range(2)]
+            isf_a = MultiOutputISF.from_spec(spec_a, bdd=bdd)
+            spec_b2 = type(spec_b)(3, 2, spec_b.care, name="b")
+            isf_b = MultiOutputISF.from_spec(spec_b2, bdd=bdd)
+
+            def chi_of(isf):
+                chi = TRUE
+                for y, out in zip(y_vids, isf.outputs):
+                    term = bdd.apply_or(
+                        bdd.apply_or(
+                            bdd.apply_and(bdd.nvar(y), out.f0),
+                            bdd.apply_and(bdd.var(y), out.f1),
+                        ),
+                        out.fd,
+                    )
+                    chi = bdd.apply_and(chi, term)
+                return chi
+
+            got = compatible_columns(bdd, chi_of(isf_a), chi_of(isf_b))
+            want = all(
+                fa.compatible(fb)
+                for fa, fb in zip(isf_a.outputs, isf_b.outputs)
+            )
+            assert got == want, trial

@@ -1,0 +1,175 @@
+"""Unit tests for ISF BDD triples (Definitions 2.1, 3.7)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd import BDD, TRUE, FALSE, from_truth_table
+from repro.errors import IncompatibleError, SpecificationError
+from repro.isf import ISF, MultiOutputISF, table1_spec
+
+from tests.conftest import spec_strategy
+
+
+def make(table0, table1):
+    bdd = BDD()
+    vids = bdd.add_vars(["a", "b"])
+    f0 = from_truth_table(bdd, vids, table0)
+    f1 = from_truth_table(bdd, vids, table1)
+    return bdd, vids, ISF(bdd, f0, f1)
+
+
+class TestISFInvariants:
+    def test_disjointness_enforced(self):
+        bdd = BDD()
+        v = bdd.add_var("a")
+        x = bdd.var(v)
+        with pytest.raises(SpecificationError):
+            ISF(bdd, x, x)
+
+    def test_fd_is_complement(self):
+        bdd, vids, isf = make([1, 0, 0, 0], [0, 1, 0, 0])
+        assert isf.fd == from_truth_table(bdd, vids, [0, 0, 1, 1])
+
+    def test_has_dc(self):
+        _, _, isf = make([1, 0, 0, 0], [0, 1, 1, 1])
+        assert not isf.has_dc()
+        _, _, isf2 = make([1, 0, 0, 0], [0, 1, 0, 1])
+        assert isf2.has_dc()
+
+    def test_from_onset_dc(self):
+        bdd = BDD()
+        vids = bdd.add_vars(["a", "b"])
+        onset = from_truth_table(bdd, vids, [1, 1, 0, 0])
+        dc = from_truth_table(bdd, vids, [0, 1, 1, 0])
+        isf = ISF.from_onset_dc(bdd, onset, dc)
+        assert isf.value({vids[0]: 0, vids[1]: 0}) == 1
+        assert isf.value({vids[0]: 0, vids[1]: 1}) is None  # dc wins
+        assert isf.value({vids[0]: 1, vids[1]: 1}) == 0
+
+    def test_completely_specified(self):
+        bdd = BDD()
+        v = bdd.add_var("a")
+        isf = ISF.completely_specified(bdd, bdd.var(v))
+        assert not isf.has_dc()
+        assert isf.fd == FALSE
+
+
+class TestCompatibility:
+    def test_definition_3_7(self):
+        # f: 0 1 d d      g: d 1 1 0  -> compatible (no 0-vs-1 clash)
+        _, _, f = make([1, 0, 0, 0], [0, 1, 0, 0])
+        _, _, _ = f, f, f
+        bdd = f.bdd
+        vids = [bdd.vid("a"), bdd.vid("b")]
+        g = ISF(
+            bdd,
+            from_truth_table(bdd, vids, [0, 0, 0, 1]),
+            from_truth_table(bdd, vids, [0, 1, 1, 0]),
+        )
+        assert f.compatible(g)
+        # h clashes with f on minterm 0 (f says 0, h says 1).
+        h = ISF(
+            bdd,
+            from_truth_table(bdd, vids, [0, 0, 0, 0]),
+            from_truth_table(bdd, vids, [1, 0, 0, 0]),
+        )
+        assert not f.compatible(h)
+
+    def test_compatible_is_symmetric(self):
+        _, _, f = make([1, 0, 0, 0], [0, 0, 1, 0])
+        bdd = f.bdd
+        vids = [bdd.vid("a"), bdd.vid("b")]
+        g = ISF(
+            bdd,
+            from_truth_table(bdd, vids, [0, 1, 0, 0]),
+            from_truth_table(bdd, vids, [0, 0, 0, 1]),
+        )
+        assert f.compatible(g) == g.compatible(f)
+
+    def test_intersect_refines_both(self):
+        _, _, f = make([1, 0, 0, 0], [0, 0, 1, 0])
+        bdd = f.bdd
+        vids = [bdd.vid("a"), bdd.vid("b")]
+        g = ISF(
+            bdd,
+            from_truth_table(bdd, vids, [0, 1, 0, 0]),
+            from_truth_table(bdd, vids, [0, 0, 0, 1]),
+        )
+        merged = f.intersect(g)
+        assert merged.extends(f)
+        assert merged.extends(g)
+        # Lemma 3.1: the product is compatible with both operands.
+        assert merged.compatible(f) and merged.compatible(g)
+
+    def test_intersect_incompatible_raises(self):
+        _, _, f = make([1, 0, 0, 0], [0, 0, 0, 0])
+        bdd = f.bdd
+        vids = [bdd.vid("a"), bdd.vid("b")]
+        h = ISF(
+            bdd,
+            from_truth_table(bdd, vids, [0, 0, 0, 0]),
+            from_truth_table(bdd, vids, [1, 0, 0, 0]),
+        )
+        with pytest.raises(IncompatibleError):
+            f.intersect(h)
+
+    def test_extension(self):
+        _, _, f = make([1, 0, 0, 0], [0, 1, 0, 0])
+        e0 = f.extension(0)
+        e1 = f.extension(1)
+        assert not e0.has_dc() and not e1.has_dc()
+        assert e0.extends(f) and e1.extends(f)
+        bdd = f.bdd
+        a, b = bdd.vid("a"), bdd.vid("b")
+        assert e0.value({a: 1, b: 0}) == 0
+        assert e1.value({a: 1, b: 0}) == 1
+        with pytest.raises(SpecificationError):
+            f.extension(2)
+
+
+class TestMultiOutput:
+    def test_from_spec_values(self):
+        spec = table1_spec()
+        isf = MultiOutputISF.from_spec(spec)
+        for m, values in spec.care.items():
+            assert isf.value(m) == values
+
+    def test_dc_ratio_matches_spec(self):
+        spec = table1_spec()
+        isf = MultiOutputISF.from_spec(spec)
+        assert isf.dc_ratio() == pytest.approx(spec.dc_ratio())
+
+    def test_bipartition_sizes(self):
+        isf = MultiOutputISF.from_spec(table1_spec())
+        f1, f2 = isf.bipartition()
+        assert f1.n_outputs == 1 and f2.n_outputs == 1
+        assert f1.output_names == ["f1"]
+
+    def test_extension_roundtrip(self):
+        spec = table1_spec()
+        isf = MultiOutputISF.from_spec(spec)
+        ext = isf.extension(0)
+        for m, values in spec.care.items():
+            got = ext.value(m)
+            for g, want in zip(got, values):
+                assert g is not None
+                if want is not None:
+                    assert g == want
+
+    def test_shared_manager_enforced(self):
+        bdd1, bdd2 = BDD(), BDD()
+        a = bdd1.add_var("a")
+        b = bdd2.add_var("a")
+        isf1 = ISF.completely_specified(bdd1, bdd1.var(a))
+        isf2 = ISF.completely_specified(bdd2, bdd2.var(b))
+        with pytest.raises(SpecificationError):
+            MultiOutputISF(bdd1, [a], [isf1, isf2])
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec_strategy())
+    def test_spec_roundtrip_property(self, spec):
+        isf = MultiOutputISF.from_spec(spec)
+        for m in range(1 << spec.n_inputs):
+            assert isf.value(m) == tuple(
+                spec.value(m, i) for i in range(spec.n_outputs)
+            )

@@ -1,0 +1,90 @@
+"""Tests for PLA reading/writing."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.isf import MultiOutputISF, dumps_pla, load_pla, loads_pla, table1_spec
+from repro.cf import CharFunction, to_spec
+
+
+SIMPLE = """\
+# a 2-input 2-output example
+.i 2
+.o 2
+.ilb a b
+.ob f g
+.type fr
+01 1-
+10 01
+11 00
+.e
+"""
+
+
+class TestLoads:
+    def test_simple(self):
+        isf = loads_pla(SIMPLE)
+        assert isf.n_inputs == 2 and isf.n_outputs == 2
+        assert isf.output_names == ["f", "g"]
+        assert isf.value(0b01) == (1, None)
+        assert isf.value(0b10) == (0, 1)
+        assert isf.value(0b11) == (0, 0)
+        assert isf.value(0b00) == (None, None)  # uncovered input
+
+    def test_dash_inputs_expand(self):
+        isf = loads_pla(".i 2\n.o 1\n-1 1\n")
+        assert isf.value(0b01) == (1,)
+        assert isf.value(0b11) == (1,)
+        assert isf.value(0b00) == (None,)
+
+    def test_missing_header(self):
+        with pytest.raises(SpecificationError):
+            loads_pla("01 1\n")
+
+    def test_width_mismatch(self):
+        with pytest.raises(SpecificationError):
+            loads_pla(".i 2\n.o 1\n011 1\n")
+
+    def test_bad_literal(self):
+        with pytest.raises(SpecificationError):
+            loads_pla(".i 1\n.o 1\nX 1\n")
+        with pytest.raises(SpecificationError):
+            loads_pla(".i 1\n.o 1\n1 Z\n")
+
+    def test_conflicting_cubes_rejected(self):
+        with pytest.raises(SpecificationError):
+            loads_pla(".i 1\n.o 1\n1 1\n1 0\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(SpecificationError):
+            loads_pla(".i 1\n.o 1\n.frobnicate\n1 1\n")
+
+    def test_unsupported_type(self):
+        with pytest.raises(SpecificationError):
+            loads_pla(".i 1\n.o 1\n.type q\n1 1\n")
+
+
+class TestRoundtrip:
+    def test_table1_roundtrip(self, tmp_path):
+        spec = table1_spec()
+        text = dumps_pla(spec)
+        path = tmp_path / "table1.pla"
+        path.write_text(text)
+        isf = load_pla(str(path))
+        for m, values in spec.care.items():
+            assert isf.value(m) == values
+
+    def test_roundtrip_through_cf(self):
+        spec = table1_spec()
+        isf = loads_pla(dumps_pla(spec))
+        cf = CharFunction.from_isf(isf)
+        back = to_spec(cf)
+        for m in range(16):
+            for i in range(2):
+                assert back.value(m, i) == spec.value(m, i)
+
+    def test_dumps_header(self):
+        text = dumps_pla(table1_spec())
+        assert ".i 4" in text
+        assert ".o 2" in text
+        assert text.strip().endswith(".e")

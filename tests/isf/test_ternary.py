@@ -1,0 +1,119 @@
+"""Unit tests for the tabular ISF representation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SpecificationError
+from repro.isf import MultiOutputSpec, table1_spec
+
+from tests.conftest import spec_strategy
+
+
+class TestConstruction:
+    def test_default_names(self):
+        spec = MultiOutputSpec(2, 2, {0: (1, 0)})
+        assert spec.input_names == ("x1", "x2")
+        assert spec.output_names == ("f1", "f2")
+
+    def test_minterm_out_of_range(self):
+        with pytest.raises(SpecificationError):
+            MultiOutputSpec(2, 1, {4: (1,)})
+
+    def test_wrong_value_arity(self):
+        with pytest.raises(SpecificationError):
+            MultiOutputSpec(2, 2, {0: (1,)})
+
+    def test_bad_value(self):
+        with pytest.raises(SpecificationError):
+            MultiOutputSpec(2, 1, {0: (2,)})
+
+    def test_zero_sizes_rejected(self):
+        with pytest.raises(SpecificationError):
+            MultiOutputSpec(0, 1, {})
+
+    def test_from_rows(self):
+        spec = MultiOutputSpec.from_rows(
+            [((0, 1), (1, None)), ((1, 0), (0, 0))], n_inputs=2, n_outputs=2
+        )
+        assert spec.value(0b01, 0) == 1
+        assert spec.value(0b01, 1) is None
+        assert spec.value(0b10, 1) == 0
+
+    def test_from_int_mapping(self):
+        spec = MultiOutputSpec.from_int_mapping({3: 2}, n_inputs=2, n_outputs=2)
+        assert spec.care[3] == (1, 0)
+
+    def test_from_callable(self):
+        spec = MultiOutputSpec.from_callable(
+            lambda x: x % 2 if x < 2 else None, n_inputs=2, n_outputs=1
+        )
+        assert spec.care == {0: (0,), 1: (1,)}
+
+
+class TestQueries:
+    def test_value_missing_is_dc(self):
+        spec = MultiOutputSpec(2, 1, {0: (1,)})
+        assert spec.value(3, 0) is None
+
+    def test_output_sets_sorted(self):
+        spec = MultiOutputSpec(2, 1, {2: (1,), 0: (1,), 1: (0,)})
+        onset, offset = spec.output_sets(0)
+        assert onset == [0, 2]
+        assert offset == [1]
+
+    def test_dc_ratio(self):
+        spec = MultiOutputSpec(2, 2, {0: (1, None), 1: (0, 0)})
+        # 3 specified values out of 8.
+        assert spec.dc_ratio() == pytest.approx(1 - 3 / 8)
+
+    def test_restrict_outputs(self):
+        spec = table1_spec()
+        only_f2 = spec.restrict_outputs([1])
+        assert only_f2.n_outputs == 1
+        assert only_f2.value(0, 0) == spec.value(0, 1)
+
+    def test_bipartition_msb_first(self):
+        spec = MultiOutputSpec(1, 3, {0: (1, 0, None)})
+        f1, f2 = spec.bipartition()
+        assert f1.n_outputs == 2 and f2.n_outputs == 1
+        assert f1.output_names == ("f1", "f2")
+        assert f2.output_names == ("f3",)
+
+
+class TestTable1:
+    def test_shape(self):
+        spec = table1_spec()
+        assert spec.n_inputs == 4 and spec.n_outputs == 2
+        assert len(spec.care) == 16
+
+    def test_example21_cover_functions(self):
+        # Example 2.1: f1_d = ~x1~x3 | x1x2x3 (8 minterms),
+        # f2_d = x2~x3 (4 minterms).
+        spec = table1_spec()
+        f1_d = {m for m in range(16) if spec.value(m, 0) is None}
+        f2_d = {m for m in range(16) if spec.value(m, 1) is None}
+        expect_f1d = {
+            m
+            for m in range(16)
+            if (not (m >> 3) & 1 and not (m >> 1) & 1)
+            or ((m >> 3) & 1 and (m >> 2) & 1 and (m >> 1) & 1)
+        }
+        expect_f2d = {m for m in range(16) if (m >> 2) & 1 and not (m >> 1) & 1}
+        assert f1_d == expect_f1d
+        assert f2_d == expect_f2d
+
+
+class TestHypothesis:
+    @settings(max_examples=30, deadline=None)
+    @given(spec_strategy())
+    def test_partition_invariant(self, spec):
+        # For every output: onset, offset and dc partition the space.
+        for i in range(spec.n_outputs):
+            onset, offset = spec.output_sets(i)
+            dc = [
+                m
+                for m in range(1 << spec.n_inputs)
+                if spec.value(m, i) is None
+            ]
+            assert len(onset) + len(offset) + len(dc) == 1 << spec.n_inputs
+            assert not (set(onset) & set(offset))

@@ -1,0 +1,100 @@
+"""Tests for Algorithm 3.3 (clique-cover width reduction)."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.cf import CharFunction, max_width, refines_spec, width_profile
+from repro.isf import table1_spec
+from repro.reduce import algorithm_3_3
+
+from tests.conftest import spec_strategy, random_spec
+
+
+class TestExample36:
+    def test_paper_numbers(self):
+        """Example 3.6: max width 8 -> 4, non-terminal nodes 15 -> 12."""
+        cf = CharFunction.from_spec(table1_spec())
+        reduced, stats = algorithm_3_3(cf)
+        assert max_width(reduced.bdd, reduced.root) == 4
+        assert reduced.num_nodes() == 12
+        assert stats.merges >= 2
+        assert not stats.truncated_heights
+
+    def test_refinement_and_spec(self):
+        spec = table1_spec()
+        cf = CharFunction.from_spec(spec)
+        reduced, _ = algorithm_3_3(cf)
+        assert reduced.refines(cf)
+        assert reduced.is_wellformed()
+        assert refines_spec(reduced, spec)
+
+    def test_beats_or_matches_alg31_width(self):
+        """Sect. 5.1: Algorithm 3.3 targets width, 3.1 only node count."""
+        from repro.reduce import algorithm_3_1
+
+        cf = CharFunction.from_spec(table1_spec())
+        w31 = max_width(*(lambda c: (c.bdd, c.root))(algorithm_3_1(cf)))
+        r33, _ = algorithm_3_3(cf)
+        assert max_width(r33.bdd, r33.root) <= w31
+
+    def test_completely_specified_untouched(self):
+        from repro.isf import MultiOutputISF
+
+        isf = MultiOutputISF.from_spec(table1_spec()).extension(1)
+        cf = CharFunction.from_isf(isf)
+        reduced, stats = algorithm_3_3(cf)
+        assert reduced.root == cf.root
+        assert stats.merges == 0
+
+
+class TestGuards:
+    def test_truncation_records_heights(self):
+        cf = CharFunction.from_spec(table1_spec())
+        reduced, stats = algorithm_3_3(cf, max_pairs=1)
+        assert stats.truncated_heights  # the guard kicked in
+        assert reduced.refines(cf)
+        assert reduced.is_wellformed()
+
+    def test_stats_pair_accounting(self):
+        cf = CharFunction.from_spec(table1_spec())
+        _, stats = algorithm_3_3(cf)
+        assert stats.pairs_checked > 0
+        assert stats.heights_processed >= 1
+
+
+class TestRandomized:
+    @settings(max_examples=25, deadline=None)
+    @given(spec_strategy())
+    def test_soundness_properties(self, spec):
+        cf = CharFunction.from_spec(spec)
+        reduced, _ = algorithm_3_3(cf)
+        assert reduced.refines(cf)
+        assert reduced.is_wellformed()
+        for m, values in spec.care.items():
+            sample = reduced.sample_output(m)
+            for got, want in zip(sample, values):
+                if want is not None:
+                    assert got == want
+
+    def test_max_width_never_increases(self):
+        rng = random.Random(9)
+        for _ in range(15):
+            spec = random_spec(rng, n_inputs=4, n_outputs=2)
+            cf = CharFunction.from_spec(spec)
+            reduced, _ = algorithm_3_3(cf)
+            assert max_width(reduced.bdd, reduced.root) <= max_width(
+                cf.bdd, cf.root
+            )
+
+    def test_widths_reduced_pointwise_at_top(self):
+        # The first processed height (t-1) can only shrink.
+        rng = random.Random(11)
+        for _ in range(10):
+            spec = random_spec(rng, n_inputs=3, n_outputs=2)
+            cf = CharFunction.from_spec(spec)
+            before = width_profile(cf.bdd, cf.root)
+            reduced, _ = algorithm_3_3(cf)
+            after = width_profile(reduced.bdd, reduced.root)
+            t = cf.num_vars
+            assert after[t - 1] <= before[t - 1]

@@ -1,0 +1,104 @@
+"""Tests for Algorithm 3.2 (heuristic minimal clique cover)."""
+
+import random
+
+from repro.reduce import (
+    build_compatibility_graph,
+    heuristic_clique_cover,
+    verify_clique_cover,
+)
+
+
+def cover_of(nodes, edges):
+    adjacency = {v: set() for v in nodes}
+    for a, b in edges:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    return adjacency, heuristic_clique_cover(nodes, adjacency)
+
+
+class TestCliqueCover:
+    def test_empty_graph(self):
+        adjacency, cover = cover_of([], [])
+        assert cover == []
+
+    def test_isolated_nodes_are_singletons(self):
+        adjacency, cover = cover_of([1, 2, 3], [])
+        assert cover == [[1], [2], [3]]
+
+    def test_triangle_is_one_clique(self):
+        adjacency, cover = cover_of([1, 2, 3], [(1, 2), (2, 3), (1, 3)])
+        assert len(cover) == 1
+        assert sorted(cover[0]) == [1, 2, 3]
+
+    def test_path_graph(self):
+        # 1-2-3: optimal cover is 2 cliques.
+        adjacency, cover = cover_of([1, 2, 3], [(1, 2), (2, 3)])
+        assert len(cover) == 2
+        assert verify_clique_cover([1, 2, 3], adjacency, cover)
+
+    def test_paper_fig7_structure(self):
+        # Example 3.4: edges {1,2}, {1,3}, {3,4} -> cover of size 2.
+        adjacency, cover = cover_of([1, 2, 3, 4], [(1, 2), (1, 3), (3, 4)])
+        assert len(cover) == 2
+        assert verify_clique_cover([1, 2, 3, 4], adjacency, cover)
+
+    def test_deterministic(self):
+        nodes = list(range(12))
+        rng = random.Random(1)
+        edges = [
+            (a, b)
+            for a in nodes
+            for b in nodes
+            if a < b and rng.random() < 0.4
+        ]
+        covers = [cover_of(nodes, edges)[1] for _ in range(3)]
+        assert covers[0] == covers[1] == covers[2]
+
+    def test_random_graphs_give_valid_covers(self):
+        rng = random.Random(7)
+        for trial in range(20):
+            n = rng.randint(1, 14)
+            nodes = list(range(n))
+            edges = [
+                (a, b)
+                for a in nodes
+                for b in nodes
+                if a < b and rng.random() < 0.5
+            ]
+            adjacency, cover = cover_of(nodes, edges)
+            assert verify_clique_cover(nodes, adjacency, cover), trial
+
+    def test_verify_rejects_non_clique(self):
+        adjacency, _ = cover_of([1, 2, 3], [(1, 2)])
+        assert not verify_clique_cover([1, 2, 3], adjacency, [[1, 2, 3]])
+
+    def test_verify_rejects_missing_node(self):
+        adjacency, _ = cover_of([1, 2], [(1, 2)])
+        assert not verify_clique_cover([1, 2], adjacency, [[1]])
+
+
+class TestBuildGraph:
+    def test_basic(self):
+        adjacency, truncated = build_compatibility_graph(
+            [1, 2, 3], lambda a, b: (a + b) % 2 == 1
+        )
+        assert not truncated
+        assert adjacency[1] == {2}
+        assert adjacency[2] == {1, 3}
+
+    def test_truncation(self):
+        calls = []
+
+        def compat(a, b):
+            calls.append((a, b))
+            return True
+
+        items = list(range(100))
+        adjacency, truncated = build_compatibility_graph(
+            items, compat, max_pairs=10
+        )
+        assert truncated
+        assert len(calls) <= 10
+        # Untouched items remain isolated but present.
+        assert all(v in adjacency for v in items)

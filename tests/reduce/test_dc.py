@@ -1,0 +1,70 @@
+"""Unit tests for the don't-care oracle."""
+
+from repro.bdd import BDD, FALSE, TRUE
+from repro.cf import CharFunction
+from repro.isf import MultiOutputISF, MultiOutputSpec, table1_spec
+from repro.reduce import DontCareOracle
+
+
+class TestDontCareOracle:
+    def test_terminals_have_no_dc(self):
+        bdd = BDD()
+        bdd.add_var("y", kind="output")
+        oracle = DontCareOracle(bdd)
+        assert not oracle.node_has_dc(TRUE)
+        assert not oracle.node_has_dc(FALSE)
+
+    def test_skipped_output_level_is_dc(self):
+        bdd = BDD()
+        x = bdd.add_var("x")
+        y = bdd.add_var("y", kind="output")
+        # chi = x (the y level is skipped on the 1-branch): y is dc there.
+        chi = bdd.var(x)
+        oracle = DontCareOracle(bdd)
+        assert oracle.edge_has_dc(-1, chi)
+
+    def test_determined_output_is_not_dc(self):
+        bdd = BDD()
+        x = bdd.add_var("x")
+        y = bdd.add_var("y", kind="output")
+        # chi = (y == x): both paths determine y.
+        chi = bdd.apply_not(bdd.apply_xor(bdd.var(x), bdd.var(y)))
+        oracle = DontCareOracle(bdd)
+        assert not oracle.node_has_dc(chi)
+        assert not oracle.edge_has_dc(-1, chi)
+
+    def test_two_live_children_is_dc(self):
+        bdd = BDD()
+        y = bdd.add_var("y", kind="output")
+        z = bdd.add_var("z")  # an input *below* the output level
+        # y node with two live children (arises with care-value hints:
+        # the don't-care region depends on the variable below).
+        node = bdd.mk(y, bdd.var(z), TRUE)
+        oracle = DontCareOracle(bdd)
+        assert oracle.node_has_dc(node)
+
+    def test_table1_cf_has_dc(self):
+        cf = CharFunction.from_spec(table1_spec())
+        oracle = DontCareOracle(cf.bdd)
+        assert oracle.node_has_dc(cf.root)
+
+    def test_completely_specified_cf_has_none(self):
+        isf = MultiOutputISF.from_spec(table1_spec()).extension(0)
+        cf = CharFunction.from_isf(isf)
+        oracle = DontCareOracle(cf.bdd)
+        assert not oracle.node_has_dc(cf.root)
+        assert not oracle.edge_has_dc(-1, cf.root)
+
+    def test_column_has_dc_counts_section_skips(self):
+        # Output above the column's top var was skipped by the edge.
+        spec = MultiOutputSpec(2, 1, {0b00: (0,), 0b01: (1,)})
+        # f depends only on x2; rows with x1=1 are dc.
+        cf = CharFunction.from_spec(spec)
+        oracle = DontCareOracle(cf.bdd)
+        assert oracle.node_has_dc(cf.root)
+
+    def test_edge_to_false_is_not_dc(self):
+        bdd = BDD()
+        bdd.add_var("y", kind="output")
+        oracle = DontCareOracle(bdd)
+        assert not oracle.edge_has_dc(-1, FALSE)

@@ -1,0 +1,61 @@
+"""Tests for the exact minimum clique cover (ablation baseline)."""
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.reduce import (
+    exact_minimum_clique_cover,
+    heuristic_clique_cover,
+    verify_clique_cover,
+)
+
+
+def random_graph(rng, n, p):
+    nodes = list(range(n))
+    adjacency = {v: set() for v in nodes}
+    for a in nodes:
+        for b in nodes:
+            if a < b and rng.random() < p:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+    return nodes, adjacency
+
+
+class TestExactCover:
+    def test_empty(self):
+        assert exact_minimum_clique_cover([], {}) == []
+
+    def test_triangle(self):
+        nodes, adjacency = [1, 2, 3], {1: {2, 3}, 2: {1, 3}, 3: {1, 2}}
+        cover = exact_minimum_clique_cover(nodes, adjacency)
+        assert len(cover) == 1
+
+    def test_independent_set(self):
+        nodes, adjacency = [1, 2, 3], {1: set(), 2: set(), 3: set()}
+        cover = exact_minimum_clique_cover(nodes, adjacency)
+        assert len(cover) == 3
+
+    def test_five_cycle_needs_three(self):
+        # C5: clique cover number is 3 (cliques are edges/vertices).
+        nodes = list(range(5))
+        adjacency = {i: {(i + 1) % 5, (i - 1) % 5} for i in nodes}
+        cover = exact_minimum_clique_cover(nodes, adjacency)
+        assert len(cover) == 3
+        assert verify_clique_cover(nodes, adjacency, cover)
+
+    def test_size_limit(self):
+        nodes = list(range(30))
+        with pytest.raises(ReproError):
+            exact_minimum_clique_cover(nodes, {v: set() for v in nodes})
+
+    def test_exact_never_worse_than_heuristic(self):
+        rng = random.Random(3)
+        for trial in range(25):
+            n = rng.randint(1, 12)
+            nodes, adjacency = random_graph(rng, n, rng.random())
+            exact = exact_minimum_clique_cover(nodes, adjacency)
+            greedy = heuristic_clique_cover(nodes, adjacency)
+            assert verify_clique_cover(nodes, adjacency, exact), trial
+            assert len(exact) <= len(greedy), trial

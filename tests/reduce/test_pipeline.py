@@ -1,0 +1,62 @@
+"""Tests for the iterated reduction pipeline (sift + support + Alg 3.3)."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.cf import CharFunction, max_width
+from repro.isf import table1_spec
+from repro.reduce import full_reduction
+
+from tests.conftest import random_spec, spec_strategy
+
+
+class TestFullReduction:
+    def test_table1_reaches_paper_optimum(self):
+        cf = CharFunction.from_spec(table1_spec())
+        reduced, report = full_reduction(cf)
+        assert report.initial_max_width == 8
+        assert report.final_max_width <= 4  # one Alg 3.3 pass already gives 4
+        assert reduced.is_wellformed()
+
+    def test_report_structure(self):
+        cf = CharFunction.from_spec(table1_spec())
+        _, report = full_reduction(cf, max_rounds=5)
+        assert 1 <= len(report.rounds) <= 5
+        for r in report.rounds:
+            assert r.max_width >= 1
+            assert r.width_sum >= r.max_width
+            assert r.nodes >= 1
+        assert report.total_removed_vars >= 0
+
+    def test_no_sift_mode(self):
+        cf = CharFunction.from_spec(table1_spec())
+        reduced, report = full_reduction(cf, sift=False)
+        assert reduced.is_wellformed()
+        assert report.final_max_width <= report.initial_max_width
+
+    def test_never_worse_than_single_pass(self):
+        rng = random.Random(21)
+        from repro.reduce import algorithm_3_3
+
+        for _ in range(10):
+            spec = random_spec(rng, n_inputs=4, n_outputs=2)
+            cf1 = CharFunction.from_spec(spec)
+            single, _ = algorithm_3_3(cf1)
+            cf2 = CharFunction.from_spec(spec)
+            iterated, _ = full_reduction(cf2, sift=False)
+            assert max_width(iterated.bdd, iterated.root) <= max_width(
+                single.bdd, single.root
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(spec_strategy())
+    def test_soundness(self, spec):
+        cf = CharFunction.from_spec(spec)
+        reduced, _ = full_reduction(cf)
+        assert reduced.is_wellformed()
+        for m, values in spec.care.items():
+            sample = reduced.sample_output(m)
+            for got, want in zip(sample, values):
+                if want is not None:
+                    assert got == want

@@ -1,0 +1,86 @@
+"""Tests for support-variable reduction (Sect. 3.3)."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.cf import CharFunction, refines_spec
+from repro.isf import MultiOutputSpec, table1_spec
+from repro.reduce import reduce_support
+
+from tests.conftest import spec_strategy, random_spec
+
+
+class TestReduceSupport:
+    def test_removes_redundant_variable(self):
+        # f depends on x1 only on rows where x2 = 0; with the x2 = 1
+        # rows don't care, x2... here we make x2 itself redundant:
+        # f(x1, x2) specified only on x2 = 0 and equal to x1.
+        care = {0b00: (0,), 0b10: (1,)}
+        spec = MultiOutputSpec(2, 1, care)
+        cf = CharFunction.from_spec(spec)
+        reduced, removed = reduce_support(cf)
+        names = {cf.bdd.name_of(v) for v in removed}
+        assert names == {"x2"}
+        assert "x2" not in {
+            cf.bdd.name_of(v) for v in cf.bdd.support(reduced.root)
+        }
+        assert refines_spec(reduced, spec)
+
+    def test_no_removal_on_tight_function(self):
+        # Table 1's function needs all four inputs.
+        spec = table1_spec()
+        cf = CharFunction.from_spec(spec)
+        reduced, removed = reduce_support(cf)
+        assert removed == []
+        assert reduced.root == cf.root
+
+    def test_parity_with_dc_half(self):
+        # f = x1 XOR x2 on x3 = 0 rows, dc on x3 = 1 rows: x3 removable.
+        care = {}
+        for m in range(8):
+            x1, x2, x3 = (m >> 2) & 1, (m >> 1) & 1, m & 1
+            if x3 == 0:
+                care[m] = (x1 ^ x2,)
+        spec = MultiOutputSpec(3, 1, care)
+        cf = CharFunction.from_spec(spec)
+        reduced, removed = reduce_support(cf)
+        assert {cf.bdd.name_of(v) for v in removed} == {"x3"}
+
+    def test_sect53_memory_halving(self):
+        """Removing i variables shrinks a single-memory LUT by 2^-i."""
+        care = {0b00: (0,), 0b10: (1,)}
+        spec = MultiOutputSpec(2, 1, care)
+        cf = CharFunction.from_spec(spec)
+        reduced, removed = reduce_support(cf)
+        from repro.cascade import synthesize_cascade
+
+        before = synthesize_cascade(cf).memory_bits
+        after = synthesize_cascade(reduced).memory_bits
+        assert after * (2 ** len(removed)) <= before * 2  # one cell each
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec_strategy())
+    def test_soundness(self, spec):
+        cf = CharFunction.from_spec(spec)
+        reduced, removed = reduce_support(cf)
+        assert reduced.refines(cf)
+        assert reduced.is_wellformed()
+        support = cf.bdd.support(reduced.root)
+        assert all(v not in support for v in removed)
+        for m, values in spec.care.items():
+            sample = reduced.sample_output(m)
+            for got, want in zip(sample, values):
+                if want is not None:
+                    assert got == want
+
+    def test_greedy_is_top_down(self):
+        # Both variables are individually removable but not both; the
+        # greedy removes the topmost one.
+        # f(x1,x2) care: (0,0)->0, (1,1)->1; dc elsewhere.
+        care = {0b00: (0,), 0b11: (1,)}
+        spec = MultiOutputSpec(2, 1, care)
+        cf = CharFunction.from_spec(spec)
+        reduced, removed = reduce_support(cf)
+        assert len(removed) == 1
+        assert cf.bdd.name_of(removed[0]) == cf.bdd.order()[0]

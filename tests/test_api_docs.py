@@ -1,0 +1,25 @@
+"""docs/api.md must stay in sync with the public API."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "scripts"))
+
+import gen_api_docs  # noqa: E402
+
+
+def test_api_docs_up_to_date():
+    current = (
+        pathlib.Path(__file__).parent.parent / "docs" / "api.md"
+    ).read_text()
+    assert current == gen_api_docs.render(), (
+        "docs/api.md is stale; run python scripts/gen_api_docs.py"
+    )
+
+
+def test_every_symbol_has_summary():
+    text = gen_api_docs.render()
+    for line in text.splitlines():
+        if line.startswith("- **"):
+            summary = line.split("—", 1)[1].strip()
+            assert summary != ".", line

@@ -1,0 +1,56 @@
+"""Tests for the configuration module and the exception hierarchy."""
+
+import pytest
+
+from repro import _config
+from repro import errors
+
+
+class TestConfig:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        assert not _config.full_scale()
+        assert _config.word_list_sizes() == (400, 800, 1200)
+
+    def test_full_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert _config.full_scale()
+        assert _config.word_list_sizes() == (1730, 3366, 4705)
+
+    def test_falsey_values(self, monkeypatch):
+        for value in ("0", "false", ""):
+            monkeypatch.setenv("REPRO_FULL_SCALE", value)
+            assert not _config.full_scale()
+
+    def test_limits_defaults(self):
+        limits = _config.Limits()
+        assert limits.max_compat_pairs > 0
+        assert limits.sift_max_growth > 1.0
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.BDDError,
+            errors.VariableError,
+            errors.OrderingError,
+            errors.ForeignNodeError,
+            errors.SpecificationError,
+            errors.IncompatibleError,
+            errors.DecompositionError,
+            errors.CascadeError,
+            errors.BenchmarkError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_bdd_suberrors(self):
+        assert issubclass(errors.VariableError, errors.BDDError)
+        assert issubclass(errors.OrderingError, errors.BDDError)
+        assert issubclass(errors.ForeignNodeError, errors.BDDError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CascadeError("boom")

@@ -1,0 +1,18 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.isf.pla
+import repro.utils.bitops
+import repro.utils.tables
+
+MODULES = [repro.utils.bitops, repro.utils.tables, repro.isf.pla]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, raise_on_error=False)
+    assert result.attempted > 0, f"{module.__name__} has no doctests"
+    assert result.failed == 0

@@ -1,0 +1,60 @@
+"""The example scripts run end to end.
+
+Fast examples run in-process on every test invocation; the heavier
+dictionary and converter demos are marked slow.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, cwd, timeout: int = 600) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=cwd,  # artefacts (.v / .dot files) land in the temp dir
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        out = run_example("quickstart.py", tmp_path)
+        assert "max width: 8   (paper: 8)" in out
+        assert "max width: 4, nodes: 12" in out
+        assert "LUT cascade:" in out
+
+    def test_pla_width_reduction(self, tmp_path):
+        out = run_example("pla_width_reduction.py", tmp_path)
+        assert "loaded PLA: 6 inputs, 3 outputs" in out
+        assert "verified: all specified PLA lines preserved" in out
+        assert (tmp_path / "priority_cf.dot").exists()
+
+    @pytest.mark.slow
+    def test_radix_converter_cascade(self, tmp_path):
+        out = run_example("radix_converter_cascade.py", tmp_path)
+        assert "verified against the CRT reference" in out
+        assert "Verilog for the MSB cascade" in out
+        assert (tmp_path / "rns_cascade.v").exists()
+
+    @pytest.mark.slow
+    def test_english_word_dictionary(self, tmp_path):
+        out = run_example("english_word_dictionary.py", tmp_path)
+        assert "not in the dictionary" in out
+        assert "% smaller" in out
+
+    @pytest.mark.slow
+    def test_design_flow(self, tmp_path):
+        out = run_example("design_flow.py", tmp_path)
+        assert "formally verified" in out
+        assert "fits" in out
+        assert (tmp_path / "rns_f1.v").exists()
+        assert (tmp_path / "rns_f1_reduced.json").exists()

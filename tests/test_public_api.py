@@ -1,0 +1,49 @@
+"""The public API surface: every __all__ name resolves and is documented."""
+
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.bdd",
+    "repro.isf",
+    "repro.cf",
+    "repro.reduce",
+    "repro.decomp",
+    "repro.cascade",
+    "repro.benchfns",
+    "repro.experiments",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a docstring"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_public_callables_documented():
+    """Every public function/class exported by the subpackages has a docstring."""
+    undocumented = []
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if callable(obj) and not getattr(obj, "__doc__", None):
+                undocumented.append(f"{module_name}.{name}")
+    assert not undocumented, undocumented

@@ -1,0 +1,49 @@
+"""Regression pins: stable measured values that must not drift.
+
+These pin the *deterministic* parts of the reproduction (exact matches
+with the paper and structurally-forced values).  If an algorithm change
+moves one of these, EXPERIMENTS.md needs re-validation.
+"""
+
+import pytest
+
+from repro.benchfns import get_benchmark
+from repro.experiments.table4 import run_row
+
+
+@pytest.mark.slow
+class TestTable4Pins:
+    def test_4digit_11nary_f2_line(self):
+        """Paper-exact: DC=0/DC=1/ISF/Alg3.1/Alg3.3 = 257/257/257/256/128."""
+        row = run_row(get_benchmark("4-digit 11-nary to binary"))
+        f2 = row.parts[1].measures
+        assert f2["ISF"].max_width == 257
+        assert f2["Alg3.1"].max_width == 256
+        assert f2["Alg3.3"].max_width == 128
+
+    def test_3digit_adder_dc0(self):
+        """Paper-exact: the 3-digit adder's DC=0 widths are 27 / 200."""
+        row = run_row(get_benchmark("3-digit decimal adder"))
+        assert row.parts[0].measures["DC=0"].max_width == 27
+        assert row.parts[1].measures["DC=0"].max_width == 200
+
+    def test_6digit_5nary_f2_line(self):
+        """Paper-exact F2 line: 257 -> 256 -> 128."""
+        row = run_row(get_benchmark("6-digit 5-nary to binary"))
+        f2 = row.parts[1].measures
+        assert f2["ISF"].max_width == 257
+        assert f2["Alg3.3"].max_width == 128
+
+
+class TestExamplePins:
+    def test_table1_pipeline_numbers(self):
+        from repro.cf import CharFunction, max_width
+        from repro.isf import table1_spec
+        from repro.reduce import algorithm_3_1, algorithm_3_3
+
+        cf = CharFunction.from_spec(table1_spec())
+        assert (max_width(cf.bdd, cf.root), cf.num_nodes()) == (8, 15)
+        r31 = algorithm_3_1(cf)
+        assert (max_width(r31.bdd, r31.root), r31.num_nodes()) == (5, 12)
+        r33, _ = algorithm_3_3(cf)
+        assert (max_width(r33.bdd, r33.root), r33.num_nodes()) == (4, 12)

@@ -1,0 +1,77 @@
+"""Unit tests for repro.utils.bitops."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitops import (
+    bits_for,
+    bits_to_int,
+    int_to_bits,
+    iter_assignments,
+    popcount,
+)
+
+
+class TestBitsFor:
+    def test_known_values(self):
+        assert [bits_for(k) for k in (1, 2, 3, 4, 5, 8, 9, 16, 17)] == [
+            1, 1, 2, 2, 3, 3, 4, 4, 5,
+        ]
+
+    def test_paper_digit_widths(self):
+        # Sect. 4.1: b_i = ceil(log2 p_i) for radix-p digits.
+        assert bits_for(3) == 2   # ternary digit -> 2 bits
+        assert bits_for(10) == 4  # decimal digit -> 4 bits
+        assert bits_for(27) == 5  # letter alphabet -> 5 bits
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bits_for(0)
+
+    @given(st.integers(2, 10_000))
+    def test_is_ceil_log2(self, n):
+        b = bits_for(n)
+        assert (1 << b) >= n
+        assert (1 << (b - 1)) < n
+
+
+class TestIntBitsRoundtrip:
+    def test_msb_first(self):
+        assert int_to_bits(5, 4) == (0, 1, 0, 1)
+        assert bits_to_int((0, 1, 0, 1)) == 5
+
+    def test_zero_width_value(self):
+        assert int_to_bits(0, 3) == (0, 0, 0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_bits(8, 3)
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 3)
+
+    def test_bad_bit_value(self):
+        with pytest.raises(ValueError):
+            bits_to_int((0, 2, 1))
+
+    @given(st.integers(0, 2**20 - 1))
+    def test_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 20)) == value
+
+
+class TestPopcount:
+    def test_values(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+
+class TestIterAssignments:
+    def test_order_and_count(self):
+        out = list(iter_assignments(2))
+        assert out == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_empty(self):
+        assert list(iter_assignments(0)) == [()]

@@ -1,0 +1,46 @@
+"""Unit tests for the plain-text table formatter."""
+
+import pytest
+
+from repro.utils.tables import TextTable
+
+
+class TestTextTable:
+    def test_basic_render(self):
+        t = TextTable(["name", "width"])
+        t.add_row(["adder", 27])
+        lines = t.render().splitlines()
+        assert lines[0].startswith("name")
+        assert "adder" in lines[2]
+        assert lines[2].rstrip().endswith("27")
+
+    def test_numeric_columns_right_aligned(self):
+        t = TextTable(["n", "v"])
+        t.add_row(["x", 5])
+        t.add_row(["yyyy", 12345])
+        lines = t.render().splitlines()
+        assert lines[2].rstrip().endswith("    5")
+
+    def test_separator(self):
+        t = TextTable(["a"])
+        t.add_row([1])
+        t.add_separator()
+        t.add_row([2])
+        lines = t.render().splitlines()
+        assert set(lines[3]) <= {"-", "+"}
+
+    def test_wrong_cell_count(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_formatting(self):
+        t = TextTable(["r"])
+        t.add_row([0.5])
+        assert "0.500" in t.render()
+
+    def test_explicit_alignment(self):
+        t = TextTable(["a"], align=["l"])
+        t.add_row([7])
+        lines = t.render().splitlines()
+        assert lines[2].startswith("7")
