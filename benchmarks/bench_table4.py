@@ -34,7 +34,12 @@ _collected: dict[str, object] = {}
 
 @pytest.mark.parametrize("name", ROWS)
 def test_table4_row(benchmark, name):
-    result = run_once(benchmark, lambda: run_row(get_benchmark(name), verify=True))
+    result = run_once(
+        benchmark,
+        lambda: run_row(get_benchmark(name), verify=True),
+        record_name=f"table4:{name}",
+        workload="table4 row",
+    )
     _collected[name] = result
     if len(_collected) == len(ROWS):
         rows = [_collected[n] for n in ROWS]

@@ -9,8 +9,11 @@ is verified against the benchmark's integer reference before counting.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
+from repro.bdd import reference, stats
 from repro.benchfns.registry import arithmetic_names, get_benchmark
 from repro.experiments.table5 import format_table5, run_row
 
@@ -31,9 +34,54 @@ _collected: dict[str, object] = {}
 
 @pytest.mark.parametrize("name", ROWS)
 def test_table5_row(benchmark, name):
-    result = run_once(benchmark, lambda: run_row(get_benchmark(name), verify=True))
+    result = run_once(
+        benchmark,
+        lambda: run_row(get_benchmark(name), verify=True),
+        record_name=f"table5:{name}",
+        workload="table5 row",
+    )
     _collected[name] = result
     if len(_collected) == len(ROWS):
         rows = [_collected[n] for n in ROWS]
         path = write_result("table5", format_table5(rows))
         print(f"\nTable 5 written to {path}")
+
+
+# Rows for the engine-vs-seed timing comparison: the heaviest quick
+# rows, dominated by sifting + Algorithm 3.3 (the paths the iterative
+# kernel and tiered caches target).
+SPEEDUP_ROWS = ["5-7-11-13 RNS", "3-digit decimal adder"]
+
+
+def test_engine_speedup_vs_seed():
+    """Iterative-kernel engine vs the seed recursive engine, same rows.
+
+    Times the full Table 5 pipeline (build, sift, Algorithm 3.3,
+    cascade synthesis, verification) on ``SPEEDUP_ROWS`` under both
+    engines, checks result parity, and records the speedup for
+    ``BENCH_PR1.json``.
+    """
+    benches = [get_benchmark(name) for name in SPEEDUP_ROWS]
+
+    with stats.record("table5_speedup_new", rows=SPEEDUP_ROWS):
+        t0 = time.perf_counter()
+        rows_new = [run_row(b, verify=True) for b in benches]
+        new_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    with reference.seed_engine():
+        rows_seed = [run_row(b, verify=True) for b in benches]
+    seed_wall = time.perf_counter() - t0
+
+    assert rows_new == rows_seed, "engines disagree on Table 5 rows"
+    speedup = seed_wall / new_wall if new_wall > 0 else 0.0
+    stats.RECORDS["table5_speedup"] = {
+        "rows": SPEEDUP_ROWS,
+        "seed_wall_s": seed_wall,
+        "new_wall_s": new_wall,
+        "speedup": speedup,
+    }
+    print(
+        f"\nengine speedup vs seed on {SPEEDUP_ROWS}: "
+        f"{seed_wall:.2f}s -> {new_wall:.2f}s ({speedup:.2f}x)"
+    )

@@ -22,7 +22,12 @@ _collected: dict[int, list] = {}
 
 @pytest.mark.parametrize("count", SIZES)
 def test_table6_wordlist(benchmark, count):
-    rows = run_once(benchmark, lambda: run_table6([count], verify=True))
+    rows = run_once(
+        benchmark,
+        lambda: run_table6([count], verify=True),
+        record_name=f"table6:{count}-words",
+        workload="table6 word list",
+    )
     _collected[count] = rows
     if len(_collected) == len(SIZES):
         all_rows = [r for c in SIZES for r in _collected[c]]

@@ -20,7 +20,11 @@ import pathlib
 
 import pytest
 
+from repro.bdd import stats
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_PR1.json"
 
 
 def bench_full() -> bool:
@@ -42,6 +46,23 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
-def run_once(benchmark, fn):
-    """Run a heavy pipeline exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+def run_once(benchmark, fn, record_name: str | None = None, **extra):
+    """Run a heavy pipeline exactly once under pytest-benchmark timing.
+
+    The region is also captured by :func:`repro.bdd.stats.record` (wall
+    time, ops/sec, kernel steps, cache hit rates, peak nodes), keyed by
+    ``record_name`` — defaulting to the pytest-benchmark name — so the
+    session hook below can emit ``BENCH_PR1.json``.
+    """
+    name = record_name or getattr(benchmark, "name", None) or "anonymous"
+    with stats.record(name, **extra):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit the machine-readable engine benchmark report at the repo root."""
+    if stats.RECORDS:
+        path = stats.write_bench_json(
+            BENCH_JSON, meta={"suite": "benchmarks", "exitstatus": int(exitstatus)}
+        )
+        print(f"\nengine benchmark report written to {path}")

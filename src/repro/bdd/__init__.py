@@ -23,10 +23,12 @@ from repro.bdd.builder import (
 from repro.bdd.reorder import SiftSession, set_order, sift
 from repro.bdd.traversal import (
     count_paths_to_one,
+    crossing_counts,
     crossing_targets,
     internal_nodes,
     level_profile,
     nodes_by_level,
+    sections_of,
 )
 from repro.bdd.dot import to_dot
 from repro.bdd.force import force_input_order, force_order
@@ -46,9 +48,11 @@ __all__ = [
     "SiftSession",
     "constrain",
     "count_paths_to_one",
+    "crossing_counts",
     "force_input_order",
     "force_order",
     "crossing_targets",
+    "sections_of",
     "dump_charfunction",
     "dump_forest",
     "from_cube",

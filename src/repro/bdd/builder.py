@@ -32,11 +32,8 @@ def from_cube(bdd: BDD, cube: Mapping[int, int]) -> int:
 
 
 def from_cubes(bdd: BDD, cubes: Sequence[Mapping[int, int]]) -> int:
-    """Sum of product terms."""
-    f = FALSE
-    for cube in cubes:
-        f = bdd.apply_or(f, from_cube(bdd, cube))
-    return f
+    """Sum of product terms (balanced OR tree for better sharing)."""
+    return bdd.apply_or_many(from_cube(bdd, cube) for cube in cubes)
 
 
 def from_truth_table(bdd: BDD, vids: Sequence[int], table: Sequence[int]) -> int:
@@ -77,21 +74,32 @@ def from_sorted_minterms(bdd: BDD, vids: Sequence[int], minterms: Sequence[int])
     if minterms[0] < 0 or minterms[-1] >= (1 << n):
         raise BDDError("minterm out of range for the given variables")
 
-    def build(pos: int, prefix: int, lo_idx: int, hi_idx: int) -> int:
-        if lo_idx == hi_idx:
-            return FALSE
-        if pos == n:
-            return TRUE
-        # All minterms in [lo_idx, hi_idx) share the top ``pos`` bits
-        # (value ``prefix``).  Split on bit ``pos``.
-        half = 1 << (n - pos - 1)
-        boundary = prefix + half
-        mid = bisect_left(minterms, boundary, lo_idx, hi_idx)
-        lo = build(pos + 1, prefix, lo_idx, mid)
-        hi = build(pos + 1, boundary, mid, hi_idx)
-        return bdd.mk(vids[pos], lo, hi)
-
-    return build(0, 0, 0, len(minterms))
+    # Explicit stack (depth would otherwise be len(vids), which the
+    # word-list workloads push past the recursion limit).  All minterms
+    # in [lo_idx, hi_idx) share the top ``pos`` bits (value ``prefix``);
+    # each visit splits on bit ``pos``.
+    out: list[int] = []
+    work: list[tuple[int, int, int, int, int]] = [(0, 0, 0, len(minterms), 0)]
+    while work:
+        pos, prefix, lo_idx, hi_idx, state = work.pop()
+        if state == 0:
+            if lo_idx == hi_idx:
+                out.append(FALSE)
+                continue
+            if pos == n:
+                out.append(TRUE)
+                continue
+            half = 1 << (n - pos - 1)
+            boundary = prefix + half
+            mid = bisect_left(minterms, boundary, lo_idx, hi_idx)
+            work.append((pos, prefix, lo_idx, hi_idx, 1))
+            work.append((pos + 1, boundary, mid, hi_idx, 0))
+            work.append((pos + 1, prefix, lo_idx, mid, 0))
+        else:
+            hi = out.pop()
+            lo = out.pop()
+            out.append(bdd.mk(vids[pos], lo, hi))
+    return out[-1]
 
 
 def word_geq_const(bdd: BDD, vids: Sequence[int], const: int) -> int:

@@ -15,12 +15,27 @@ agrees with ``f`` on ``c`` and is (heuristically) small.
 Both are exposed as engine primitives and used by
 ``benchmarks/bench_ablation_restrict.py`` to compare node-oriented
 don't-care assignment against the paper's width-oriented Algorithm 3.3.
+
+Results are memoized in the ``gcf`` / ``rgc`` cache tiers.  Because
+"nearest care input" is measured in the *current* variable order, the
+entries are epoch-tagged on top of the usual generation stamps: a
+reorder lazily retires them, while GC only retires entries touching
+swept nodes.
 """
 
 from __future__ import annotations
 
 from repro.bdd.manager import FALSE, TRUE, BDD
 from repro.errors import BDDError
+
+
+def _validate_gcf(key, v, gen, epoch):
+    return (
+        v[1] == epoch
+        and gen[key[0]] == v[2]
+        and gen[key[1]] == v[3]
+        and gen[v[0]] == v[4]
+    )
 
 
 def constrain(bdd: BDD, f: int, c: int) -> int:
@@ -33,17 +48,28 @@ def constrain(bdd: BDD, f: int, c: int) -> int:
     if c == FALSE:
         raise BDDError("constrain() requires a non-empty care set")
 
-    cache = bdd._cache
+    tier = bdd.op_cache("gcf", _validate_gcf)
+    data = tier.data
+    gen = bdd._gen
+    epoch = bdd._epoch
 
     def walk(f_: int, c_: int) -> int:
         if c_ == TRUE or f_ <= 1:
             return f_
         if c_ == f_:
             return TRUE
-        key = ("gcf", f_, c_)
-        r = cache.get(key)
-        if r is not None:
-            return r
+        key = (f_, c_)
+        entry = data.get(key)
+        if (
+            entry is not None
+            and entry[1] == epoch
+            and gen[f_] == entry[2]
+            and gen[c_] == entry[3]
+            and gen[entry[0]] == entry[4]
+        ):
+            tier.hits += 1
+            return entry[0]
+        tier.misses += 1
         lf, lc = bdd.level(f_), bdd.level(c_)
         if lc < lf:
             vid = bdd.var_of(c_)
@@ -67,7 +93,7 @@ def constrain(bdd: BDD, f: int, c: int) -> int:
                 r = walk(f0, c0)
             else:
                 r = bdd.mk(vid, walk(f0, c0), walk(f1, c1))
-        cache[key] = r
+        tier.insert(key, (r, epoch, gen[f_], gen[c_], gen[r]))
         return r
 
     return walk(f, c)
@@ -83,17 +109,28 @@ def restrict_gc(bdd: BDD, f: int, c: int) -> int:
     if c == FALSE:
         raise BDDError("restrict() requires a non-empty care set")
 
-    cache = bdd._cache
+    tier = bdd.op_cache("rgc", _validate_gcf)
+    data = tier.data
+    gen = bdd._gen
+    epoch = bdd._epoch
 
     def walk(f_: int, c_: int) -> int:
         if c_ == TRUE or f_ <= 1:
             return f_
         if c_ == f_:
             return TRUE
-        key = ("rgc", f_, c_)
-        r = cache.get(key)
-        if r is not None:
-            return r
+        key = (f_, c_)
+        entry = data.get(key)
+        if (
+            entry is not None
+            and entry[1] == epoch
+            and gen[f_] == entry[2]
+            and gen[c_] == entry[3]
+            and gen[entry[0]] == entry[4]
+        ):
+            tier.hits += 1
+            return entry[0]
+        tier.misses += 1
         lf, lc = bdd.level(f_), bdd.level(c_)
         if lc < lf:
             # f does not depend on c's top variable: smooth it out.
@@ -111,7 +148,7 @@ def restrict_gc(bdd: BDD, f: int, c: int) -> int:
                 r = walk(f0, c0)
             else:
                 r = bdd.mk(vid, walk(f0, c0), walk(f1, c1))
-        cache[key] = r
+        tier.insert(key, (r, epoch, gen[f_], gen[c_], gen[r]))
         return r
 
     return walk(f, c)

@@ -1,0 +1,579 @@
+"""The iterative apply kernel and its tiered operation caches.
+
+Every Boolean/quantifier operation of :class:`repro.bdd.manager.BDD`
+(``apply_and/or/xor/not``, ``ite``, ``cofactor``, ``compose``,
+``exists``, ``forall``) is evaluated by one explicit-stack evaluator,
+:func:`run`, driven by the operator table :data:`OPS`.  Design goals,
+in the style of mature BDD packages (CUDD/ABC):
+
+* **No recursion.**  The evaluator keeps its own frame stack, so an
+  operation over a 10,000-variable chain costs 10,000 loop iterations,
+  not 10,000 Python frames — the word-list/scaling workloads push
+  variable counts past Python's ~1000-frame recursion ceiling.
+* **One kernel, many operators.**  The operator table carries the
+  terminal rules and operand normalization (commutative operand
+  sorting so ``AND(f, g)`` and ``AND(g, f)`` share one cache line, and
+  ITE standard-triple reduction: ``ite(f,g,g)=g``, ``ite(f,1,h)=f∨h``,
+  ``ite(f,g,0)=f∧g``, ``ite(f,g,f)=f∧g``, ``ite(f,f,h)=f∨h``,
+  ``ite(f,0,1)=¬f`` — delegations land in the AND/OR/NOT tiers where
+  they share entries with direct calls).
+* **Tiered computed tables.**  Each operator owns an :class:`OpCache`:
+  a bounded insertion-ordered dict with hit/miss/insert/eviction
+  counters (surfaced by ``BDD.cache_stats()``) and FIFO batch
+  eviction.
+* **Selective invalidation.**  Cache entries are *generation-stamped*:
+  every value records, for each node id it references, the node's
+  generation counter at insert time.  Reordering swaps and garbage
+  collection never clear the tables wholesale — freeing a node bumps
+  its generation, which lazily invalidates exactly the entries
+  touching it (an adjacent-level swap therefore only kills entries
+  whose nodes died at the two swapped levels, plus any cascaded
+  deaths), while every surviving entry keeps serving hits because
+  in-place reordering preserves the function denoted by a node id.
+
+The kernel reads the manager's parallel arrays directly; it lives in
+its own module so the manager file stays the API surface.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+
+#: Level assigned to terminal nodes: below every variable.
+TERMINAL_LEVEL = 1 << 30
+
+FALSE = 0
+TRUE = 1
+
+# Opcodes (dense ints: they index the operator and tier tables).
+OP_AND = 0
+OP_OR = 1
+OP_XOR = 2
+OP_NOT = 3
+OP_ITE = 4
+OP_COFACTOR = 5
+OP_COMPOSE = 6
+OP_EXISTS = 7
+OP_FORALL = 8
+
+N_OPS = 9
+
+
+class OpCache:
+    """One computed table (cache tier): a bounded dict plus counters.
+
+    Values are tuples ``(result, gen(node_1), ..., gen(node_k),
+    gen(result))`` where ``node_1..k`` are the node-valued operands of
+    the key; ``validator`` re-checks those generations (and, for
+    order-sensitive tiers, the manager's reorder epoch) so stale
+    entries read as misses.  Eviction is FIFO in batches of a quarter
+    of the capacity — cheap, and old entries are exactly the ones
+    least likely to be revisited by the sweep-style algorithms here.
+    """
+
+    __slots__ = (
+        "name",
+        "capacity",
+        "data",
+        "validator",
+        "hits",
+        "misses",
+        "inserts",
+        "evictions",
+        "invalidations",
+    )
+
+    def __init__(self, name: str, capacity: int, validator=None):
+        self.name = name
+        self.capacity = capacity
+        self.data: dict = {}
+        self.validator = validator
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def insert(self, key, value) -> None:
+        """Insert an entry, evicting the oldest quarter when full."""
+        data = self.data
+        data[key] = value
+        self.inserts += 1
+        if len(data) > self.capacity:
+            drop = max(1, self.capacity >> 2)
+            for stale in list(islice(iter(data), drop)):
+                del data[stale]
+            self.evictions += drop
+
+    def purge(self, gen: list, epoch: int) -> int:
+        """Eagerly drop entries that fail validation; keep the rest.
+
+        Used by ``BDD.collect()`` so surviving entries keep serving
+        hits while entries touching swept nodes stop occupying memory.
+        Returns the number of entries dropped.
+        """
+        validator = self.validator
+        data = self.data
+        if validator is None:
+            dropped = len(data)
+            data.clear()
+        else:
+            dead = [k for k, v in data.items() if not validator(k, v, gen, epoch)]
+            for k in dead:
+                del data[k]
+            dropped = len(dead)
+        self.invalidations += dropped
+        return dropped
+
+    def clear(self) -> None:
+        self.invalidations += len(self.data)
+        self.data.clear()
+
+    def stats(self) -> dict:
+        lookups = self.hits + self.misses
+        return {
+            "size": len(self.data),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "inserts": self.inserts,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
+
+
+# ----------------------------------------------------------------------
+# Operator table: terminal rules and normalization
+# ----------------------------------------------------------------------
+#
+# A terminal rule returns an int (the resolved result), a tuple
+# ``(op, a, b, c)`` (delegate to another operator after
+# normalization), or None (expand by cofactoring).  Operand sorting
+# for the commutative operators is applied by the evaluator *after*
+# the terminal rule, so the rules see the caller's operand order.
+
+
+def _term_and(bdd, f, g, _c):
+    if f == FALSE or g == FALSE:
+        return FALSE
+    if f == TRUE:
+        return g
+    if g == TRUE or f == g:
+        return f
+    return None
+
+
+def _term_or(bdd, f, g, _c):
+    if f == TRUE or g == TRUE:
+        return TRUE
+    if f == FALSE:
+        return g
+    if g == FALSE or f == g:
+        return f
+    return None
+
+
+def _term_xor(bdd, f, g, _c):
+    if f == g:
+        return FALSE
+    if f == FALSE:
+        return g
+    if g == FALSE:
+        return f
+    if f == TRUE:
+        return (OP_NOT, g, -1, -1)
+    if g == TRUE:
+        return (OP_NOT, f, -1, -1)
+    return None
+
+
+def _term_not(bdd, f, _g, _c):
+    if f <= 1:
+        return 1 - f
+    return None
+
+
+def _term_ite(bdd, f, g, h):
+    if f == TRUE:
+        return g
+    if f == FALSE:
+        return h
+    if g == h:
+        return g
+    if g == TRUE and h == FALSE:
+        return f
+    if g == FALSE and h == TRUE:
+        return (OP_NOT, f, -1, -1)
+    # Standard-triple reductions: route through the 2-operand tiers.
+    if g == TRUE or f == g:
+        return (OP_OR, f, h, -1)
+    if h == FALSE or f == h:
+        return (OP_AND, f, g, -1)
+    return None
+
+
+def _term_cofactor(bdd, f, vid, _value):
+    if f <= 1:
+        return f
+    if bdd._level_of[bdd._vid[f]] > bdd._level_of[vid]:
+        return f  # f does not depend on vid
+    return None
+
+
+def _term_compose(bdd, f, vid, _g):
+    if f <= 1:
+        return f
+    if bdd._level_of[bdd._vid[f]] > bdd._level_of[vid]:
+        return f
+    return None
+
+
+def _term_quant(bdd, f, _gid, _c):
+    if f <= 1:
+        return f
+    return None
+
+
+# Generation validators (see OpCache docstring for the value layout).
+
+
+def _v_binary(key, v, gen, _epoch):
+    return gen[key[0]] == v[1] and gen[key[1]] == v[2] and gen[v[0]] == v[3]
+
+
+def _v_unary(key, v, gen, _epoch):
+    return gen[key] == v[1] and gen[v[0]] == v[2]
+
+
+def _v_ite(key, v, gen, _epoch):
+    return (
+        gen[key[0]] == v[1]
+        and gen[key[1]] == v[2]
+        and gen[key[2]] == v[3]
+        and gen[v[0]] == v[4]
+    )
+
+
+def _v_cofactor(key, v, gen, _epoch):
+    return gen[key[0]] == v[1] and gen[v[0]] == v[2]
+
+
+def _v_compose(key, v, gen, _epoch):
+    return gen[key[0]] == v[1] and gen[key[2]] == v[2] and gen[v[0]] == v[3]
+
+
+def _v_quant(key, v, gen, _epoch):
+    return gen[key[0]] == v[1] and gen[v[0]] == v[2]
+
+
+def validator_epoch_bool(key_nodes: int):
+    """Validator factory for epoch-tagged predicate tiers (e.g. ``tot``).
+
+    Entries are ``(value, epoch, gen(node_1), ..., gen(node_k))`` with
+    ``key_nodes`` node ids in the key (the whole key when 1, else a
+    tuple prefix).  Used by order-*sensitive* results — totality and
+    generalized cofactors — which must additionally die on any reorder.
+    """
+
+    def validate(key, v, gen, epoch):
+        if v[1] != epoch:
+            return False
+        if key_nodes == 1:
+            return gen[key] == v[2]
+        for i in range(key_nodes):
+            if gen[key[i]] != v[2 + i]:
+                return False
+        return True
+
+    return validate
+
+
+class OpSpec:
+    """One operator-table row: metadata driving the evaluator."""
+
+    __slots__ = ("code", "name", "symbol", "arity", "commutative", "terminal", "validator")
+
+    def __init__(self, code, name, symbol, arity, commutative, terminal, validator):
+        self.code = code
+        self.name = name
+        self.symbol = symbol
+        self.arity = arity
+        self.commutative = commutative
+        self.terminal = terminal
+        self.validator = validator
+
+
+#: The operator table, indexed by opcode.
+OPS: tuple[OpSpec, ...] = (
+    OpSpec(OP_AND, "and", "&", 2, True, _term_and, _v_binary),
+    OpSpec(OP_OR, "or", "|", 2, True, _term_or, _v_binary),
+    OpSpec(OP_XOR, "xor", "^", 2, True, _term_xor, _v_binary),
+    OpSpec(OP_NOT, "not", "~", 1, False, _term_not, _v_unary),
+    OpSpec(OP_ITE, "ite", "?", 3, False, _term_ite, _v_ite),
+    OpSpec(OP_COFACTOR, "cofactor", "co", 3, False, _term_cofactor, _v_cofactor),
+    OpSpec(OP_COMPOSE, "compose", "cmp", 3, False, _term_compose, _v_compose),
+    OpSpec(OP_EXISTS, "exists", "ex", 2, False, _term_quant, _v_quant),
+    OpSpec(OP_FORALL, "forall", "fa", 2, False, _term_quant, _v_quant),
+)
+
+_TERMINAL = tuple(spec.terminal for spec in OPS)
+_COMMUTATIVE = tuple(spec.commutative for spec in OPS)
+
+
+def make_kernel_tiers(capacity: int) -> tuple[OpCache, ...]:
+    """Fresh per-operator computed tables, indexed by opcode."""
+    return tuple(OpCache(spec.name, capacity, spec.validator) for spec in OPS)
+
+
+# Frame tags for the explicit evaluation stack.
+_VISIT = 0  # (0, op, a, b, c)               evaluate, push result
+_COMBINE = 1  # (1, op, key, vid, nodes)     pop hi/lo, mk, cache, push
+_STORE = 2  # (2, op, key, nodes)            cache the result on top
+_QUANT = 3  # (3, op, key, nodes, vid, q)    pop hi/lo; OR/AND or mk
+_SUBST = 4  # (4, key, nodes, var_node)      pop hi/lo; ITE(var, hi, lo)
+
+
+def run(bdd, op: int, a: int, b: int = -1, c: int = -1) -> int:
+    """Evaluate ``op`` over the operands with an explicit stack.
+
+    The work stack holds frames (tagged tuples); ``out`` is the result
+    stack.  A visit frame either resolves via the operator table's
+    terminal rule, hits its tier, or pushes a combine frame plus the
+    two cofactor visits.  Quantification and composition combine
+    through delegated OR/AND/ITE visits followed by a store frame, so
+    the whole evaluation — including the nested products — stays on
+    this one stack.
+    """
+    vid_arr = bdd._vid
+    lo_arr = bdd._lo
+    hi_arr = bdd._hi
+    level_of = bdd._level_of
+    var_at_level = bdd._var_at_level
+    gen = bdd._gen
+    groups = bdd._groups
+    tiers = bdd._kernel_tiers
+    mk = bdd.mk
+    terminal_rules = _TERMINAL
+    commutative = _COMMUTATIVE
+
+    out: list[int] = []
+    work: list[tuple] = [(_VISIT, op, a, b, c)]
+    push = work.append
+    pop = work.pop
+    steps = 0
+
+    while work:
+        frame = pop()
+        tag = frame[0]
+
+        if tag == _VISIT:
+            steps += 1
+            op = frame[1]
+            a = frame[2]
+            b = frame[3]
+            c = frame[4]
+            t = terminal_rules[op](bdd, a, b, c)
+            if t is not None:
+                if type(t) is int:
+                    out.append(t)
+                else:  # normalized delegation (op2, a2, b2, c2)
+                    push((_VISIT,) + t)
+                continue
+            if commutative[op] and a > b:
+                a, b = b, a
+            cache = tiers[op]
+            data = cache.data
+
+            if op <= OP_XOR:
+                key = (a, b)
+                v = data.get(key)
+                if (
+                    v is not None
+                    and gen[a] == v[1]
+                    and gen[b] == v[2]
+                    and gen[v[0]] == v[3]
+                ):
+                    cache.hits += 1
+                    out.append(v[0])
+                    continue
+                cache.misses += 1
+                la = level_of[vid_arr[a]]
+                lb = level_of[vid_arr[b]]
+                if la <= lb:
+                    vid = vid_arr[a]
+                    a0 = lo_arr[a]
+                    a1 = hi_arr[a]
+                else:
+                    vid = vid_arr[b]
+                    a0 = a1 = a
+                if lb <= la:
+                    b0 = lo_arr[b]
+                    b1 = hi_arr[b]
+                else:
+                    b0 = b1 = b
+                push((_COMBINE, op, key, vid, (a, b)))
+                push((_VISIT, op, a1, b1, -1))
+                push((_VISIT, op, a0, b0, -1))
+
+            elif op == OP_NOT:
+                v = data.get(a)
+                if v is not None and gen[a] == v[1] and gen[v[0]] == v[2]:
+                    cache.hits += 1
+                    out.append(v[0])
+                    continue
+                cache.misses += 1
+                push((_COMBINE, op, a, vid_arr[a], (a,)))
+                push((_VISIT, op, hi_arr[a], -1, -1))
+                push((_VISIT, op, lo_arr[a], -1, -1))
+
+            elif op == OP_ITE:
+                key = (a, b, c)
+                v = data.get(key)
+                if (
+                    v is not None
+                    and gen[a] == v[1]
+                    and gen[b] == v[2]
+                    and gen[c] == v[3]
+                    and gen[v[0]] == v[4]
+                ):
+                    cache.hits += 1
+                    out.append(v[0])
+                    continue
+                cache.misses += 1
+                la = level_of[vid_arr[a]]  # f is internal past the terminal rule
+                lb = TERMINAL_LEVEL if b <= 1 else level_of[vid_arr[b]]
+                lc = TERMINAL_LEVEL if c <= 1 else level_of[vid_arr[c]]
+                top = la if la <= lb else lb
+                if lc < top:
+                    top = lc
+                vid = var_at_level[top]
+                if vid_arr[a] == vid:
+                    a0, a1 = lo_arr[a], hi_arr[a]
+                else:
+                    a0 = a1 = a
+                if b > 1 and vid_arr[b] == vid:
+                    b0, b1 = lo_arr[b], hi_arr[b]
+                else:
+                    b0 = b1 = b
+                if c > 1 and vid_arr[c] == vid:
+                    c0, c1 = lo_arr[c], hi_arr[c]
+                else:
+                    c0 = c1 = c
+                push((_COMBINE, op, key, vid, (a, b, c)))
+                push((_VISIT, op, a1, b1, c1))
+                push((_VISIT, op, a0, b0, c0))
+
+            elif op == OP_COFACTOR:
+                key = (a, b, c)
+                v = data.get(key)
+                if v is not None and gen[a] == v[1] and gen[v[0]] == v[2]:
+                    cache.hits += 1
+                    out.append(v[0])
+                    continue
+                cache.misses += 1
+                if level_of[vid_arr[a]] == level_of[b]:
+                    r = hi_arr[a] if c else lo_arr[a]
+                    cache.insert(key, (r, gen[a], gen[r]))
+                    out.append(r)
+                else:
+                    push((_COMBINE, op, key, vid_arr[a], (a,)))
+                    push((_VISIT, op, hi_arr[a], b, c))
+                    push((_VISIT, op, lo_arr[a], b, c))
+
+            elif op == OP_COMPOSE:
+                key = (a, b, c)
+                v = data.get(key)
+                if (
+                    v is not None
+                    and gen[a] == v[1]
+                    and gen[c] == v[2]
+                    and gen[v[0]] == v[3]
+                ):
+                    cache.hits += 1
+                    out.append(v[0])
+                    continue
+                cache.misses += 1
+                if level_of[vid_arr[a]] == level_of[b]:
+                    push((_STORE, op, key, (a, c)))
+                    push((_VISIT, OP_ITE, c, hi_arr[a], lo_arr[a]))
+                else:
+                    var_node = mk(vid_arr[a], FALSE, TRUE)
+                    push((_SUBST, key, (a, c), var_node))
+                    push((_VISIT, op, hi_arr[a], b, c))
+                    push((_VISIT, op, lo_arr[a], b, c))
+
+            else:  # OP_EXISTS / OP_FORALL
+                key = (a, b)
+                v = data.get(key)
+                if v is not None and gen[a] == v[1] and gen[v[0]] == v[2]:
+                    cache.hits += 1
+                    out.append(v[0])
+                    continue
+                cache.misses += 1
+                vid = vid_arr[a]
+                push((_QUANT, op, key, (a,), vid, vid in groups[b]))
+                push((_VISIT, op, hi_arr[a], b, -1))
+                push((_VISIT, op, lo_arr[a], b, -1))
+
+        elif tag == _COMBINE:
+            op = frame[1]
+            hi_r = out.pop()
+            lo_r = out.pop()
+            r = mk(frame[3], lo_r, hi_r)
+            cache = tiers[op]
+            key = frame[2]
+            nodes = frame[4]
+            if op == OP_NOT:
+                cache.insert(key, (r, gen[key], gen[r]))
+                # Complement is an involution; prime the reverse entry.
+                cache.insert(r, (key, gen[r], gen[key]))
+            elif len(nodes) == 2:
+                cache.insert(key, (r, gen[nodes[0]], gen[nodes[1]], gen[r]))
+            elif len(nodes) == 1:
+                cache.insert(key, (r, gen[nodes[0]], gen[r]))
+            else:
+                cache.insert(
+                    key, (r, gen[nodes[0]], gen[nodes[1]], gen[nodes[2]], gen[r])
+                )
+            out.append(r)
+
+        elif tag == _STORE:
+            op = frame[1]
+            r = out[-1]
+            nodes = frame[3]
+            if len(nodes) == 1:
+                value = (r, gen[nodes[0]], gen[r])
+            else:
+                value = (r, gen[nodes[0]], gen[nodes[1]], gen[r])
+            tiers[op].insert(frame[2], value)
+
+        elif tag == _QUANT:
+            op = frame[1]
+            hi_r = out.pop()
+            lo_r = out.pop()
+            if frame[5]:  # quantified level: OR/AND the cofactor results
+                push((_STORE, op, frame[2], frame[3]))
+                push(
+                    (
+                        _VISIT,
+                        OP_OR if op == OP_EXISTS else OP_AND,
+                        lo_r,
+                        hi_r,
+                        -1,
+                    )
+                )
+            else:
+                r = mk(frame[4], lo_r, hi_r)
+                nodes = frame[3]
+                tiers[op].insert(frame[2], (r, gen[nodes[0]], gen[r]))
+                out.append(r)
+
+        else:  # _SUBST: compose's upper-level rebuild through ITE
+            hi_r = out.pop()
+            lo_r = out.pop()
+            push((_STORE, OP_COMPOSE, frame[1], frame[2]))
+            push((_VISIT, OP_ITE, frame[3], hi_r, lo_r))
+
+    bdd._kernel_steps += steps
+    return out[-1]

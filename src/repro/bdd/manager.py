@@ -19,19 +19,43 @@ library is used.  Design notes:
 * There is no reference counting.  :meth:`BDD.collect` takes the set of
   roots the caller still needs and sweeps everything else, recycling
   node ids through a free list.
+* All Boolean/quantifier operations are evaluated by the iterative
+  kernel in :mod:`repro.bdd.kernel` — one explicit-stack evaluator
+  driven by an operator table, so no operation can hit Python's
+  recursion limit.  Each operator owns a bounded computed table
+  (:class:`~repro.bdd.kernel.OpCache`); entries are generation-stamped
+  so reordering and garbage collection invalidate *selectively*
+  instead of clearing the tables (see :meth:`cache_stats`).
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 
+from repro.bdd import stats
+from repro.bdd.kernel import (
+    FALSE,
+    TRUE,
+    OP_AND,
+    OP_COFACTOR,
+    OP_COMPOSE,
+    OP_EXISTS,
+    OP_FORALL,
+    OP_ITE,
+    OP_NOT,
+    OP_OR,
+    OP_XOR,
+    TERMINAL_LEVEL,
+    OpCache,
+    make_kernel_tiers,
+    run,
+)
 from repro.errors import ForeignNodeError, VariableError
 
-#: Level assigned to terminal nodes: below every variable.
-TERMINAL_LEVEL = 1 << 30
+__all__ = ["BDD", "FALSE", "TRUE", "TERMINAL_LEVEL"]
 
-FALSE = 0
-TRUE = 1
+#: Default capacity of each operation-cache tier.
+DEFAULT_CACHE_CAPACITY = 1 << 18
 
 
 class BDD:
@@ -40,11 +64,14 @@ class BDD:
     FALSE = FALSE
     TRUE = TRUE
 
-    def __init__(self) -> None:
+    def __init__(self, cache_capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
         # Parallel arrays indexed by node id.  Slots 0/1 are terminals.
         self._vid: list[int] = [-1, -1]
         self._lo: list[int] = [-1, -1]
         self._hi: list[int] = [-1, -1]
+        # Per-node generation counters: bumped when the id is freed, so
+        # cache entries referencing a recycled id read as stale.
+        self._gen: list[int] = [0, 0]
         self._free: list[int] = []
         # Per-variable unique tables: vid -> {(lo, hi): node}
         self._unique: list[dict[tuple[int, int], int]] = []
@@ -54,11 +81,33 @@ class BDD:
         self._name2vid: dict[str, int] = {}
         self._level_of: list[int] = []
         self._var_at_level: list[int] = []
-        # Operation cache (cleared on reorder / collect).
-        self._cache: dict[tuple, int] = {}
+        # Tiered operation caches: one per kernel opcode, plus named
+        # tiers created on demand by the analyses (tot/compat/gcf/...).
+        self._cache_capacity = cache_capacity
+        self._kernel_tiers: tuple[OpCache, ...] = make_kernel_tiers(cache_capacity)
+        self._named_tiers: dict[str, OpCache] = {}
+        # Reorder epoch: bumped by every adjacent-level swap.  Node ids
+        # keep denoting the same function across swaps, so the kernel
+        # tiers survive; order-*sensitive* tiers tag entries with the
+        # epoch and lazily drop them when it moves on.
+        self._epoch = 0
+        # Memo for crossing-section queries (see repro.bdd.traversal).
+        self._sections_memo: dict = {}
         # Registered variable groups for quantification cache keys.
         self._groups: list[frozenset[int]] = []
         self._group_ids: dict[frozenset[int], int] = {}
+        # Instrumentation counters (surfaced via cache_stats / stats.py).
+        self._op_calls = 0
+        self._kernel_steps = 0
+        self._n_alive = 0
+        self._peak_alive = 0
+        stats.register(self)
+
+    def __del__(self) -> None:
+        try:
+            stats.fold_dead(self)
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # Variables and ordering
@@ -173,8 +222,27 @@ class BDD:
             self._vid.append(vid)
             self._lo.append(lo)
             self._hi.append(hi)
+            self._gen.append(0)
         table[(lo, hi)] = u
+        n = self._n_alive + 1
+        self._n_alive = n
+        if n > self._peak_alive:
+            self._peak_alive = n
         return u
+
+    def _free_node(self, u: int) -> None:
+        """Physically free one internal node (reorder/GC internal API).
+
+        Bumps the node's generation so cache entries referencing the id
+        lazily read as stale; the id goes back on the free list.
+        """
+        del self._unique[self._vid[u]][(self._lo[u], self._hi[u])]
+        self._vid[u] = -1
+        self._lo[u] = -1
+        self._hi[u] = -1
+        self._gen[u] += 1
+        self._free.append(u)
+        self._n_alive -= 1
 
     def var(self, name_or_vid: int | str) -> int:
         """The function of a single variable."""
@@ -187,11 +255,16 @@ class BDD:
         return self.mk(vid, TRUE, FALSE)
 
     # ------------------------------------------------------------------
-    # Boolean operations
+    # Boolean operations (all evaluated by the iterative kernel)
     # ------------------------------------------------------------------
+
+    # Each wrapper probes its tier inline before entering the kernel:
+    # a top-level cache hit (the common case in the pairwise analyses)
+    # then costs one dict lookup instead of a full evaluator setup.
 
     def apply_and(self, f: int, g: int) -> int:
         """Conjunction of two functions."""
+        self._op_calls += 1
         if f == FALSE or g == FALSE:
             return FALSE
         if f == TRUE:
@@ -200,28 +273,18 @@ class BDD:
             return f
         if f > g:
             f, g = g, f
-        key = ("&", f, g)
-        cache = self._cache
-        r = cache.get(key)
-        if r is not None:
-            return r
-        lf, lg = self.level(f), self.level(g)
-        if lf <= lg:
-            vid = self._vid[f]
-            f0, f1 = self._lo[f], self._hi[f]
-        else:
-            vid = self._vid[g]
-            f0 = f1 = f
-        if lg <= lf:
-            g0, g1 = self._lo[g], self._hi[g]
-        else:
-            g0 = g1 = g
-        r = self.mk(vid, self.apply_and(f0, g0), self.apply_and(f1, g1))
-        cache[key] = r
-        return r
+        tier = self._kernel_tiers[OP_AND]
+        v = tier.data.get((f, g))
+        if v is not None:
+            gen = self._gen
+            if gen[f] == v[1] and gen[g] == v[2] and gen[v[0]] == v[3]:
+                tier.hits += 1
+                return v[0]
+        return run(self, OP_AND, f, g)
 
     def apply_or(self, f: int, g: int) -> int:
         """Disjunction of two functions."""
+        self._op_calls += 1
         if f == TRUE or g == TRUE:
             return TRUE
         if f == FALSE:
@@ -230,109 +293,96 @@ class BDD:
             return f
         if f > g:
             f, g = g, f
-        key = ("|", f, g)
-        cache = self._cache
-        r = cache.get(key)
-        if r is not None:
-            return r
-        lf, lg = self.level(f), self.level(g)
-        if lf <= lg:
-            vid = self._vid[f]
-            f0, f1 = self._lo[f], self._hi[f]
-        else:
-            vid = self._vid[g]
-            f0 = f1 = f
-        if lg <= lf:
-            g0, g1 = self._lo[g], self._hi[g]
-        else:
-            g0 = g1 = g
-        r = self.mk(vid, self.apply_or(f0, g0), self.apply_or(f1, g1))
-        cache[key] = r
-        return r
+        tier = self._kernel_tiers[OP_OR]
+        v = tier.data.get((f, g))
+        if v is not None:
+            gen = self._gen
+            if gen[f] == v[1] and gen[g] == v[2] and gen[v[0]] == v[3]:
+                tier.hits += 1
+                return v[0]
+        return run(self, OP_OR, f, g)
 
     def apply_xor(self, f: int, g: int) -> int:
         """Exclusive-or of two functions."""
+        self._op_calls += 1
         if f == g:
             return FALSE
-        if f == FALSE:
-            return g
-        if g == FALSE:
-            return f
-        if f == TRUE:
-            return self.apply_not(g)
-        if g == TRUE:
-            return self.apply_not(f)
         if f > g:
             f, g = g, f
-        key = ("^", f, g)
-        cache = self._cache
-        r = cache.get(key)
-        if r is not None:
-            return r
-        lf, lg = self.level(f), self.level(g)
-        if lf <= lg:
-            vid = self._vid[f]
-            f0, f1 = self._lo[f], self._hi[f]
-        else:
-            vid = self._vid[g]
-            f0 = f1 = f
-        if lg <= lf:
-            g0, g1 = self._lo[g], self._hi[g]
-        else:
-            g0 = g1 = g
-        r = self.mk(vid, self.apply_xor(f0, g0), self.apply_xor(f1, g1))
-        cache[key] = r
-        return r
+        if f > 1:  # both internal: probe; else let the kernel normalize
+            tier = self._kernel_tiers[OP_XOR]
+            v = tier.data.get((f, g))
+            if v is not None:
+                gen = self._gen
+                if gen[f] == v[1] and gen[g] == v[2] and gen[v[0]] == v[3]:
+                    tier.hits += 1
+                    return v[0]
+        return run(self, OP_XOR, f, g)
 
     def apply_not(self, f: int) -> int:
         """Complement of a function."""
-        if f == FALSE:
+        self._op_calls += 1
+        if f <= 1:
+            return 1 - f
+        tier = self._kernel_tiers[OP_NOT]
+        v = tier.data.get(f)
+        if v is not None:
+            gen = self._gen
+            if gen[f] == v[1] and gen[v[0]] == v[2]:
+                tier.hits += 1
+                return v[0]
+        return run(self, OP_NOT, f)
+
+    def apply_and_many(self, fs: Iterable[int]) -> int:
+        """Conjunction of many functions via balanced pairwise reduction.
+
+        A balanced tree keeps intermediate results small and their
+        cache keys reusable, unlike a left fold.
+        """
+        ops = [f for f in fs]
+        if not ops:
             return TRUE
-        if f == TRUE:
+        while len(ops) > 1:
+            nxt = [self.apply_and(ops[i], ops[i + 1]) for i in range(0, len(ops) - 1, 2)]
+            if len(ops) % 2:
+                nxt.append(ops[-1])
+            ops = nxt
+        return ops[0]
+
+    def apply_or_many(self, fs: Iterable[int]) -> int:
+        """Disjunction of many functions via balanced pairwise reduction."""
+        ops = [f for f in fs]
+        if not ops:
             return FALSE
-        key = ("~", f)
-        cache = self._cache
-        r = cache.get(key)
-        if r is not None:
-            return r
-        r = self.mk(self._vid[f], self.apply_not(self._lo[f]), self.apply_not(self._hi[f]))
-        cache[key] = r
-        # Complement is an involution; prime the reverse entry too.
-        cache[("~", r)] = f
-        return r
+        while len(ops) > 1:
+            nxt = [self.apply_or(ops[i], ops[i + 1]) for i in range(0, len(ops) - 1, 2)]
+            if len(ops) % 2:
+                nxt.append(ops[-1])
+            ops = nxt
+        return ops[0]
 
     def ite(self, f: int, g: int, h: int) -> int:
         """If-then-else: ``f·g ∨ ¬f·h``."""
+        self._op_calls += 1
         if f == TRUE:
             return g
         if f == FALSE:
             return h
         if g == h:
             return g
-        if g == TRUE and h == FALSE:
-            return f
-        if g == FALSE and h == TRUE:
-            return self.apply_not(f)
-        key = ("?", f, g, h)
-        cache = self._cache
-        r = cache.get(key)
-        if r is not None:
-            return r
-        top = min(self.level(f), self.level(g), self.level(h))
-        vid = self._var_at_level[top]
-
-        def cof(u: int, which: int) -> int:
-            if u <= 1 or self._vid[u] != vid:
-                return u
-            return self._hi[u] if which else self._lo[u]
-
-        r = self.mk(
-            vid,
-            self.ite(cof(f, 0), cof(g, 0), cof(h, 0)),
-            self.ite(cof(f, 1), cof(g, 1), cof(h, 1)),
-        )
-        cache[key] = r
-        return r
+        tier = self._kernel_tiers[OP_ITE]
+        v = tier.data.get((f, g, h))
+        if v is not None:
+            gen = self._gen
+            if (
+                gen[f] == v[1]
+                and gen[g] == v[2]
+                and gen[h] == v[3]
+                and gen[v[0]] == v[4]
+            ):
+                tier.hits += 1
+                return v[0]
+        return run(self, OP_ITE, f, g, h)
 
     def xnor(self, f: int, g: int) -> int:
         """Equivalence ``f ≡ g`` — the paper's y_i ≡ f_i(X) building block."""
@@ -348,27 +398,10 @@ class BDD:
 
     def cofactor(self, f: int, vid: int, value: int) -> int:
         """Shannon cofactor of ``f`` with respect to one variable."""
+        self._op_calls += 1
         if f <= 1:
             return f
-        key = ("co", f, vid, value)
-        cache = self._cache
-        r = cache.get(key)
-        if r is not None:
-            return r
-        target_level = self._level_of[vid]
-        level = self._level_of[self._vid[f]]
-        if level > target_level:
-            r = f  # f does not depend on vid
-        elif level == target_level:
-            r = self._hi[f] if value else self._lo[f]
-        else:
-            r = self.mk(
-                self._vid[f],
-                self.cofactor(self._lo[f], vid, value),
-                self.cofactor(self._hi[f], vid, value),
-            )
-        cache[key] = r
-        return r
+        return run(self, OP_COFACTOR, f, vid, 1 if value else 0)
 
     def restrict(self, f: int, assignment: Mapping[int, int]) -> int:
         """Restrict several variables at once; ``assignment`` maps vid -> bit."""
@@ -378,27 +411,10 @@ class BDD:
 
     def compose(self, f: int, vid: int, g: int) -> int:
         """Substitute function ``g`` for variable ``vid`` in ``f``."""
+        self._op_calls += 1
         if f <= 1:
             return f
-        key = ("cmp", f, vid, g)
-        cache = self._cache
-        r = cache.get(key)
-        if r is not None:
-            return r
-        target_level = self._level_of[vid]
-        level = self._level_of[self._vid[f]]
-        if level > target_level:
-            r = f
-        elif level == target_level:
-            r = self.ite(g, self._hi[f], self._lo[f])
-        else:
-            r = self.ite(
-                self.var(self._vid[f]),
-                self.compose(self._hi[f], vid, g),
-                self.compose(self._lo[f], vid, g),
-            )
-        cache[key] = r
-        return r
+        return run(self, OP_COMPOSE, f, vid, g)
 
     def var_group(self, vids: Iterable[int]) -> int:
         """Register a variable set and return a small cache id for it."""
@@ -416,41 +432,17 @@ class BDD:
 
     def exists(self, f: int, gid: int) -> int:
         """Existential quantification over a registered variable group."""
+        self._op_calls += 1
         if f <= 1:
             return f
-        key = ("ex", f, gid)
-        cache = self._cache
-        r = cache.get(key)
-        if r is not None:
-            return r
-        vid = self._vid[f]
-        lo = self.exists(self._lo[f], gid)
-        hi = self.exists(self._hi[f], gid)
-        if vid in self._groups[gid]:
-            r = self.apply_or(lo, hi)
-        else:
-            r = self.mk(vid, lo, hi)
-        cache[key] = r
-        return r
+        return run(self, OP_EXISTS, f, gid)
 
     def forall(self, f: int, gid: int) -> int:
         """Universal quantification over a registered variable group."""
+        self._op_calls += 1
         if f <= 1:
             return f
-        key = ("fa", f, gid)
-        cache = self._cache
-        r = cache.get(key)
-        if r is not None:
-            return r
-        vid = self._vid[f]
-        lo = self.forall(self._lo[f], gid)
-        hi = self.forall(self._hi[f], gid)
-        if vid in self._groups[gid]:
-            r = self.apply_and(lo, hi)
-        else:
-            r = self.mk(vid, lo, hi)
-        cache[key] = r
-        return r
+        return run(self, OP_FORALL, f, gid)
 
     # ------------------------------------------------------------------
     # Inspection
@@ -511,84 +503,170 @@ class BDD:
         """
         universe = list(vids) if vids is not None else list(range(self.num_vars))
         nvars = len(universe)
-        levels = sorted(self._level_of[v] for v in universe)
-        index_of_level = {lvl: i for i, lvl in enumerate(levels)}
-
-        cache: dict[int, int] = {}
-
-        def count(u: int) -> int:
-            # Counts assignments of variables *below* u's level position.
-            if u == FALSE:
-                return 0
-            if u == TRUE:
-                return 1
-            r = cache.get(u)
-            if r is not None:
-                return r
-            lvl = self._level_of[self._vid[u]]
-            pos = index_of_level[lvl]
-            total = 0
-            for child in (self._lo[u], self._hi[u]):
-                c = count(child)
-                child_pos = (
-                    nvars if child <= 1 else index_of_level[self._level_of[self._vid[child]]]
-                )
-                total += c << (child_pos - pos - 1)
-            cache[u] = total
-            return total
-
         if f == FALSE:
             return 0
         if f == TRUE:
             return 1 << nvars
-        top_pos = index_of_level[self._level_of[self._vid[f]]]
-        return count(f) << top_pos
+        levels = sorted(self._level_of[v] for v in universe)
+        index_of_level = {lvl: i for i, lvl in enumerate(levels)}
+        level_of = self._level_of
+        vid_arr = self._vid
+
+        # Iterative post-order: counts[u] = assignments of variables
+        # strictly below u's universe position.
+        counts: dict[int, int] = {FALSE: 0, TRUE: 1}
+        stack = [f]
+        while stack:
+            u = stack[-1]
+            if u in counts:
+                stack.pop()
+                continue
+            lo, hi = self._lo[u], self._hi[u]
+            ready = True
+            if hi not in counts:
+                stack.append(hi)
+                ready = False
+            if lo not in counts:
+                stack.append(lo)
+                ready = False
+            if not ready:
+                continue
+            stack.pop()
+            pos = index_of_level[level_of[vid_arr[u]]]
+            total = 0
+            for child in (lo, hi):
+                child_pos = (
+                    nvars if child <= 1 else index_of_level[level_of[vid_arr[child]]]
+                )
+                total += counts[child] << (child_pos - pos - 1)
+            counts[u] = total
+        top_pos = index_of_level[level_of[vid_arr[f]]]
+        return counts[f] << top_pos
 
     def iter_onset_cubes(self, f: int) -> Iterator[dict[int, int]]:
         """Yield cubes (partial assignments vid -> bit) covering the onset."""
         path: dict[int, int] = {}
-
-        def walk(u: int) -> Iterator[dict[int, int]]:
-            if u == FALSE:
-                return
-            if u == TRUE:
-                yield dict(path)
-                return
-            vid = self._vid[u]
-            for bit, child in ((0, self._lo[u]), (1, self._hi[u])):
-                path[vid] = bit
-                yield from walk(child)
-                del path[vid]
-
-        yield from walk(f)
+        # Explicit DFS preserving the recursive order: lo branch first.
+        stack: list[tuple] = [(0, f)]
+        while stack:
+            frame = stack.pop()
+            tag = frame[0]
+            if tag == 0:  # visit node
+                u = frame[1]
+                if u == FALSE:
+                    continue
+                if u == TRUE:
+                    yield dict(path)
+                    continue
+                vid = self._vid[u]
+                stack.append((2, vid))
+                stack.append((0, self._hi[u]))
+                stack.append((1, vid, 1))
+                stack.append((0, self._lo[u]))
+                stack.append((1, vid, 0))
+            elif tag == 1:  # bind vid -> bit
+                path[frame[1]] = frame[2]
+            else:  # unbind vid
+                del path[frame[1]]
 
     # ------------------------------------------------------------------
-    # Maintenance
+    # Caches and maintenance
     # ------------------------------------------------------------------
+
+    def op_cache(self, name: str, validator=None) -> OpCache:
+        """Named cache tier for analyses layered on the engine.
+
+        The tier shares the manager's capacity/eviction policy and is
+        included in :meth:`cache_stats`, :meth:`clear_cache`, and the
+        purge performed by :meth:`collect`.  ``validator`` (see
+        :class:`~repro.bdd.kernel.OpCache`) decides entry liveness
+        against node generations and the reorder epoch.
+        """
+        tier = self._named_tiers.get(name)
+        if tier is None:
+            tier = OpCache(name, self._cache_capacity, validator)
+            self._named_tiers[name] = tier
+        return tier
+
+    def iter_cache_tiers(self) -> Iterator[OpCache]:
+        """All cache tiers: kernel opcodes first, then named tiers."""
+        yield from self._kernel_tiers
+        yield from self._named_tiers.values()
+
+    def cache_stats(self) -> dict:
+        """Per-tier and aggregate cache statistics plus engine counters.
+
+        Returns a dict with ``tiers`` (name -> size/hits/misses/
+        inserts/evictions/invalidations/hit_rate), aggregate ``totals``,
+        the reorder ``epoch``, ``op_calls``/``kernel_steps``, and the
+        current/peak alive node counts.
+        """
+        tiers = {tier.name: tier.stats() for tier in self.iter_cache_tiers()}
+        totals = {
+            "hits": sum(t["hits"] for t in tiers.values()),
+            "misses": sum(t["misses"] for t in tiers.values()),
+            "inserts": sum(t["inserts"] for t in tiers.values()),
+            "evictions": sum(t["evictions"] for t in tiers.values()),
+            "invalidations": sum(t["invalidations"] for t in tiers.values()),
+            "size": sum(t["size"] for t in tiers.values()),
+        }
+        lookups = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = (totals["hits"] / lookups) if lookups else 0.0
+        return {
+            "tiers": tiers,
+            "totals": totals,
+            "epoch": self._epoch,
+            "op_calls": self._op_calls,
+            "kernel_steps": self._kernel_steps,
+            "alive_nodes": self.num_alive_nodes(),
+            "peak_nodes": self._peak_alive,
+        }
 
     def clear_cache(self) -> None:
-        """Drop the operation cache (required after in-place reordering)."""
-        self._cache.clear()
+        """Drop every operation-cache tier (counters are kept)."""
+        for tier in self.iter_cache_tiers():
+            tier.clear()
+        self._sections_memo.clear()
+
+    def _note_reorder(self) -> None:
+        """Record an adjacent-level swap.
+
+        Node ids keep denoting the same function across an in-place
+        swap, so the kernel tiers stay valid (entries touching nodes
+        freed *during* the swap die via their generation stamps).  The
+        epoch bump lazily retires order-sensitive tiers and the
+        crossing-section memo.
+        """
+        self._epoch += 1
+        self._sections_memo.clear()
 
     def collect(self, roots: Iterable[int]) -> int:
         """Sweep nodes unreachable from ``roots``; return the number freed.
 
         The caller promises that every node id it still holds is in
         (or reachable from) ``roots``.  Stale ids become invalid.
+        Cache entries whose nodes all survive are kept; entries
+        touching swept nodes are purged eagerly.
         """
         alive = self.reachable(roots)
         freed = 0
-        for vid, table in enumerate(self._unique):
+        for table in self._unique:
             dead = [key for key, u in table.items() if u not in alive]
             for key in dead:
                 u = table.pop(key)
                 self._vid[u] = -1
                 self._lo[u] = -1
                 self._hi[u] = -1
+                self._gen[u] += 1
                 self._free.append(u)
                 freed += 1
         if freed:
-            self._cache.clear()
+            self._n_alive -= freed
+            gen = self._gen
+            epoch = self._epoch
+            for tier in self.iter_cache_tiers():
+                tier.purge(gen, epoch)
+            self._sections_memo.clear()
         return freed
 
     def num_alive_nodes(self) -> int:
@@ -614,3 +692,4 @@ class BDD:
         assert sorted(order) == list(range(self.num_vars)), "order is not a permutation"
         for lvl, vid in enumerate(order):
             assert self._level_of[vid] == lvl, "level_of inconsistent with var_at_level"
+        assert self._n_alive == self.num_alive_nodes(), "alive-node counter drifted"

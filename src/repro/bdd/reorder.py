@@ -74,23 +74,25 @@ class SiftSession:
         if u <= 1:
             return
         ref = self._ref
-        n = ref[u] - 1
-        if n:
-            ref[u] = n
-            return
-        # Node died: remove it physically and release its children.
         bdd = self.bdd
-        del ref[u]
-        self.size -= 1
-        vid = bdd._vid[u]
-        lo, hi = bdd._lo[u], bdd._hi[u]
-        del bdd._unique[vid][(lo, hi)]
-        bdd._vid[u] = -1
-        bdd._lo[u] = -1
-        bdd._hi[u] = -1
-        bdd._free.append(u)
-        self._decref(lo)
-        self._decref(hi)
+        stack = [u]
+        while stack:
+            v = stack.pop()
+            if v <= 1:
+                continue
+            n = ref[v] - 1
+            if n:
+                ref[v] = n
+                continue
+            # Node died: remove it physically and release its children.
+            # Deaths can cascade arbitrarily deep, hence the explicit
+            # stack.  _free_node bumps the node's generation, which is
+            # what lazily invalidates cache entries touching it.
+            del ref[v]
+            self.size -= 1
+            stack.append(bdd._lo[v])
+            stack.append(bdd._hi[v])
+            bdd._free_node(v)
 
     def _mk(self, vid: int, lo: int, hi: int) -> int:
         """mk() that keeps reference counts and the live size exact."""
@@ -157,7 +159,11 @@ class SiftSession:
         bdd._var_at_level[level + 1] = x
         bdd._level_of[x] = level + 1
         bdd._level_of[y] = level
-        bdd.clear_cache()
+        # No clear_cache(): node ids keep denoting the same functions,
+        # so semantic cache entries stay valid.  Entries touching nodes
+        # freed by the _decref cascade above die via their generation
+        # stamps; order-sensitive tiers retire on the epoch bump.
+        bdd._note_reorder()
 
     def move_var(self, vid: int, target_level: int) -> None:
         """Move one variable to ``target_level`` by repeated swaps."""

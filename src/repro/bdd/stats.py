@@ -1,0 +1,133 @@
+"""Engine instrumentation: counters, snapshots, and BENCH_*.json output.
+
+Every live :class:`~repro.bdd.manager.BDD` registers itself here (by
+weak reference).  :func:`snapshot` folds the counters of all managers —
+live and already-collected — into one engine-wide view: operation
+calls, kernel steps, peak node count, and per-tier cache hit rates.
+
+Benchmarks wrap timed regions in :func:`record`, which captures wall
+time plus the counter deltas across the region and stores the result
+in :data:`RECORDS`; :func:`write_bench_json` then emits the
+machine-readable ``BENCH_PR1.json`` consumed by the perf-tracking
+tooling (see the README note on ``BENCH_*.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import weakref
+from contextlib import contextmanager
+from pathlib import Path
+
+#: Live managers, by weak reference.
+REGISTRY: "weakref.WeakSet" = weakref.WeakSet()
+
+#: Counter totals inherited from managers that have been garbage
+#: collected (folded in by ``BDD.__del__``).
+DEAD_TOTALS = {
+    "op_calls": 0,
+    "kernel_steps": 0,
+    "peak_nodes": 0,
+    "cache_hits": 0,
+    "cache_misses": 0,
+    "cache_inserts": 0,
+    "cache_evictions": 0,
+    "cache_invalidations": 0,
+}
+
+#: Named measurement records captured by :func:`record`.
+RECORDS: dict[str, dict] = {}
+
+
+def register(bdd) -> None:
+    """Track a manager for engine-wide snapshots."""
+    REGISTRY.add(bdd)
+
+
+def fold_dead(bdd) -> None:
+    """Absorb a dying manager's counters (called from ``BDD.__del__``)."""
+    try:
+        DEAD_TOTALS["op_calls"] += bdd._op_calls
+        DEAD_TOTALS["kernel_steps"] += bdd._kernel_steps
+        DEAD_TOTALS["peak_nodes"] = max(DEAD_TOTALS["peak_nodes"], bdd._peak_alive)
+        for tier in bdd.iter_cache_tiers():
+            DEAD_TOTALS["cache_hits"] += tier.hits
+            DEAD_TOTALS["cache_misses"] += tier.misses
+            DEAD_TOTALS["cache_inserts"] += tier.inserts
+            DEAD_TOTALS["cache_evictions"] += tier.evictions
+            DEAD_TOTALS["cache_invalidations"] += tier.invalidations
+    except Exception:
+        pass  # never raise during interpreter shutdown
+
+
+def snapshot() -> dict:
+    """Engine-wide counter totals across all managers, live and dead."""
+    totals = dict(DEAD_TOTALS)
+    live_peak = 0
+    alive = 0
+    for bdd in list(REGISTRY):
+        totals["op_calls"] += bdd._op_calls
+        totals["kernel_steps"] += bdd._kernel_steps
+        live_peak = max(live_peak, bdd._peak_alive)
+        alive += bdd.num_alive_nodes()
+        for tier in bdd.iter_cache_tiers():
+            totals["cache_hits"] += tier.hits
+            totals["cache_misses"] += tier.misses
+            totals["cache_inserts"] += tier.inserts
+            totals["cache_evictions"] += tier.evictions
+            totals["cache_invalidations"] += tier.invalidations
+    totals["peak_nodes"] = max(totals["peak_nodes"], live_peak)
+    totals["alive_nodes"] = alive
+    lookups = totals["cache_hits"] + totals["cache_misses"]
+    totals["cache_hit_rate"] = (totals["cache_hits"] / lookups) if lookups else 0.0
+    return totals
+
+
+@contextmanager
+def record(name: str, **extra):
+    """Measure a region: wall time plus engine counter deltas.
+
+    The result lands in ``RECORDS[name]`` with ops/sec derived from the
+    operation-call delta.  ``extra`` keys are stored verbatim (workload
+    descriptions, row names, ...).
+    """
+    before = snapshot()
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        wall = time.perf_counter() - t0
+        after = snapshot()
+        ops = after["op_calls"] - before["op_calls"]
+        steps = after["kernel_steps"] - before["kernel_steps"]
+        hits = after["cache_hits"] - before["cache_hits"]
+        misses = after["cache_misses"] - before["cache_misses"]
+        lookups = hits + misses
+        RECORDS[name] = {
+            "wall_s": wall,
+            "op_calls": ops,
+            "ops_per_sec": (ops / wall) if wall > 0 else 0.0,
+            "kernel_steps": steps,
+            "kernel_steps_per_sec": (steps / wall) if wall > 0 else 0.0,
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": (hits / lookups) if lookups else 0.0,
+            "peak_nodes": after["peak_nodes"],
+            **extra,
+        }
+
+
+def write_bench_json(path: str | Path, meta: dict | None = None) -> Path:
+    """Write :data:`RECORDS` plus an engine snapshot to ``path``."""
+    path = Path(path)
+    payload = {
+        "schema": "repro-bench-v1",
+        "generated_unix": time.time(),
+        "engine": snapshot(),
+        "records": RECORDS,
+    }
+    if meta:
+        payload["meta"] = meta
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

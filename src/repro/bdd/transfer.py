@@ -41,26 +41,35 @@ def transfer(
 
     memo: dict[int, int] = {0: 0, 1: 1}
 
-    if order_consistent:
-        # Fast path: node-for-node rebuild through the unique table.
-        def walk(u: int) -> int:
-            r = memo.get(u)
-            if r is not None:
-                return r
-            r = dst.mk(vid_map[src.var_of(u)], walk(src.lo(u)), walk(src.hi(u)))
-            memo[u] = r
-            return r
-
-    else:
-        # General path: the destination order differs, so rebuild with
-        # ITE (which re-normalizes the structure to the new order).
-        def walk(u: int) -> int:
-            r = memo.get(u)
-            if r is not None:
-                return r
-            var_fn = dst.var(vid_map[src.var_of(u)])
-            r = dst.ite(var_fn, walk(src.hi(u)), walk(src.lo(u)))
-            memo[u] = r
-            return r
+    def walk(root: int) -> int:
+        # Explicit post-order (source BDDs can be deeper than the
+        # recursion limit).  When the destination order agrees this is
+        # a node-for-node rebuild through the unique table; otherwise
+        # ITE re-normalizes the structure to the new order.
+        if root in memo:
+            return memo[root]
+        stack = [root]
+        while stack:
+            u = stack[-1]
+            if u in memo:
+                stack.pop()
+                continue
+            lo, hi = src.lo(u), src.hi(u)
+            ready = True
+            if hi not in memo:
+                stack.append(hi)
+                ready = False
+            if lo not in memo:
+                stack.append(lo)
+                ready = False
+            if not ready:
+                continue
+            stack.pop()
+            if order_consistent:
+                memo[u] = dst.mk(vid_map[src.var_of(u)], memo[lo], memo[hi])
+            else:
+                var_fn = dst.var(vid_map[src.var_of(u)])
+                memo[u] = dst.ite(var_fn, memo[hi], memo[lo])
+        return memo[root]
 
     return [walk(r) for r in roots]

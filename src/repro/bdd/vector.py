@@ -70,11 +70,8 @@ def mux_vector(bdd: BDD, sel: int, ones: Sequence[int], zeros: Sequence[int]) ->
 def vector_eq_const(bdd: BDD, xs: Sequence[int], value: int) -> int:
     """Predicate: the MSB-first vector equals ``value``."""
     bits = int_to_bits(value, len(xs))
-    f = bdd.TRUE
-    for x, b in zip(xs, bits):
-        lit = x if b else bdd.apply_not(x)
-        f = bdd.apply_and(f, lit)
-    return f
+    literals = [x if b else bdd.apply_not(x) for x, b in zip(xs, bits)]
+    return bdd.apply_and_many(literals)
 
 
 def evaluate_vector(bdd: BDD, vec: Sequence[int], assignment: dict[int, int]) -> int:

@@ -11,13 +11,14 @@ does not fit.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
+from repro.bdd import reference
 from repro.bdd.manager import TRUE, BDD
-from repro.bdd.traversal import crossing_targets
+from repro.bdd.traversal import sections_of
 from repro.cascade.cell import Cascade, Cell, rail_width
 from repro.cf.charfun import CharFunction
-from repro.decomp.functional import walk_segment
+from repro.decomp.functional import enumerate_band_walks, walk_segment
 from repro.errors import CascadeError
 
 
@@ -38,7 +39,7 @@ def synthesize_cascade(
     t = bdd.num_vars
     if cf.root == 0:
         raise CascadeError("cannot synthesize a cascade for the empty CF")
-    sections = crossing_targets(bdd, [cf.root])
+    sections = sections_of(bdd, [cf.root])
     live = bdd.support(cf.root)
     cuts = _pack_cells(
         bdd, sections, live, t, max_cell_inputs, max_cell_outputs
@@ -119,17 +120,28 @@ def _build_cell(
     rails_in = rail_width(len(entries))
     k = len(inputs)
     # First pass: walk every (entry, band assignment) to find the exit
-    # states this cell can actually produce.
-    walks: list[tuple[int, int, dict[int, int], int]] = []
+    # states this cell can actually produce.  The shared-prefix
+    # enumerator walks each distinct (node, consumed-inputs) state once
+    # across the whole cell instead of 2^k times per entry.
+    walks: list[tuple[int, int, Mapping[int, int], int]] = []
     exit_set: set[int] = set()
-    for code, entry in enumerate(entries):
-        for band_bits in range(1 << k):
-            assignment = {
-                vid: (band_bits >> (k - 1 - i)) & 1 for i, vid in enumerate(inputs)
-            }
-            seen, exit_node = walk_segment(bdd, entry, assignment, bottom)
-            walks.append((code, band_bits, seen, exit_node))
-            exit_set.add(exit_node)
+    if reference.SEED_MODE:
+        for code, entry in enumerate(entries):
+            for band_bits in range(1 << k):
+                assignment = {
+                    vid: (band_bits >> (k - 1 - i)) & 1
+                    for i, vid in enumerate(inputs)
+                }
+                seen, exit_node = walk_segment(bdd, entry, assignment, bottom)
+                walks.append((code, band_bits, seen, exit_node))
+                exit_set.add(exit_node)
+    else:
+        memo: dict = {}
+        for code, entry in enumerate(entries):
+            results = enumerate_band_walks(bdd, entry, inputs, bottom, memo)
+            for band_bits, (seen, exit_node) in enumerate(results):
+                walks.append((code, band_bits, seen, exit_node))
+                exit_set.add(exit_node)
     exits = sorted(exit_set) if bottom < t else [TRUE]
     exit_code = {node: i for i, node in enumerate(exits)}
     rails_out = 0 if bottom == t else rail_width(len(exits))

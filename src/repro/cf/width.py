@@ -10,22 +10,28 @@ The *column functions* at a height are the functions of the distinct
 crossing targets — the paper's decomposition-chart columns realized on
 the BDD (Sect. 3.1, footnote: the all-zero column is not counted, which
 corresponds to excluding the constant 0 target).
+
+Width *counts* go through :func:`~repro.bdd.traversal.crossing_counts`
+(one linear pass, no set materialization — this is the sifting cost
+function's hot path); column *sets* go through the memoized
+:func:`~repro.bdd.traversal.sections_of` so Algorithm 3.3's per-height
+queries share one traversal.
 """
 
 from __future__ import annotations
 
 from repro.bdd.manager import TRUE, BDD
-from repro.bdd.traversal import crossing_targets
+from repro.bdd.traversal import crossing_counts, sections_of
 
 
 def width_profile(bdd: BDD, root: int) -> list[int]:
     """Widths indexed by height ``0 .. t`` (``t`` = number of variables)."""
     t = bdd.num_vars
-    sections = crossing_targets(bdd, [root])
+    counts = crossing_counts(bdd, [root])
     profile = [0] * (t + 1)
     profile[0] = 1
     for height in range(1, t + 1):
-        profile[height] = len(sections[t - height])
+        profile[height] = counts[t - height]
     return profile
 
 
@@ -54,14 +60,14 @@ def columns_at_height(bdd: BDD, root: int, height: int) -> list[int]:
     t = bdd.num_vars
     if not (1 <= height <= t):
         raise ValueError(f"height must be in 1..{t}, got {height}")
-    sections = crossing_targets(bdd, [root])
+    sections = sections_of(bdd, [root])
     return sorted(sections[t - height])
 
 
 def all_columns(bdd: BDD, root: int) -> list[list[int]]:
     """Column sets for every height ``0 .. t`` in one traversal."""
     t = bdd.num_vars
-    sections = crossing_targets(bdd, [root])
+    sections = sections_of(bdd, [root])
     result: list[list[int]] = [[] for _ in range(t + 1)]
     result[0] = [TRUE] if root != 0 else []
     for height in range(1, t + 1):
@@ -78,21 +84,36 @@ def substitute_columns(
     replacement functions whose supports also lie below the section.
     Nodes above the section are rebuilt through the unique table, so
     upper nodes that become equal merge automatically (Example 3.6).
+    The rebuild walks with an explicit stack, so it cannot hit the
+    recursion limit on deep orders.
     """
     t = bdd.num_vars
     boundary_level = t - height  # nodes at level >= boundary_level are below
     memo: dict[int, int] = {}
 
-    def walk(u: int) -> int:
+    def resolve(u: int) -> int | None:
+        """Rewritten form of ``u`` if already known, else None."""
         if bdd.level(u) >= boundary_level:
             return substitution.get(u, u)
-        r = memo.get(u)
-        if r is not None:
-            return r
-        lo = walk(bdd.lo(u))
-        hi = walk(bdd.hi(u))
-        r = bdd.mk(bdd.var_of(u), lo, hi)
-        memo[u] = r
-        return r
+        return memo.get(u)
 
-    return walk(root)
+    top = resolve(root)
+    if top is not None:
+        return top
+    stack = [root]
+    while stack:
+        u = stack[-1]
+        if u in memo:
+            stack.pop()
+            continue
+        lo = resolve(bdd.lo(u))
+        hi = resolve(bdd.hi(u))
+        if lo is None:
+            stack.append(bdd.lo(u))
+        if hi is None:
+            stack.append(bdd.hi(u))
+        if lo is None or hi is None:
+            continue
+        stack.pop()
+        memo[u] = bdd.mk(bdd.var_of(u), lo, hi)
+    return memo[root]

@@ -87,6 +87,83 @@ def walk_segment(
     return outputs, u
 
 
+def enumerate_band_walks(
+    bdd: BDD,
+    entry: int,
+    inputs: Sequence[int],
+    bottom_level: int,
+    memo: dict | None = None,
+) -> list[tuple[Mapping[int, int], int]]:
+    """All :func:`walk_segment` results of a band in one shared DFS.
+
+    Equivalent to calling ``walk_segment`` for every assignment of
+    ``inputs`` (vids in level order, first vid = most significant bit
+    of the result index), but paths that share a prefix are walked
+    once: the cell-extraction loop of the cascade synthesizer is
+    ``2^k`` walks per entry, and on real CFs most of them coincide
+    after the first level or two.  Pass one ``memo`` dict for a whole
+    cell so different entries also share their common sub-walks.
+    """
+    k = len(inputs)
+    input_levels = [bdd.level_of_vid(v) for v in inputs]
+    if memo is None:
+        memo = {}
+
+    def walk(u: int, i: int) -> list[tuple[dict[int, int], int]]:
+        key = (u, i)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        outputs: dict[int, int] = {}
+        # Advance through the determined (output) levels above the next
+        # band input, exactly as walk_segment does.
+        while (
+            u > 1
+            and bdd.level(u) < bottom_level
+            and (i == k or bdd.level(u) < input_levels[i])
+        ):
+            vid = bdd.var_of(u)
+            lo, hi = bdd.lo(u), bdd.hi(u)
+            if lo == FALSE and hi != FALSE:
+                outputs[vid] = 1
+                u = hi
+            elif hi == FALSE and lo != FALSE:
+                outputs[vid] = 0
+                u = lo
+            elif ordered_total(bdd, lo):
+                outputs[vid] = 0
+                u = lo
+            elif ordered_total(bdd, hi):
+                outputs[vid] = 1
+                u = hi
+            else:
+                raise DecompositionError(
+                    "output node with no total child: CF not total"
+                )
+        if u == FALSE:
+            raise DecompositionError("walked into constant 0: CF not total")
+        if i < k and u > 1 and bdd.level(u) < bottom_level:
+            if bdd.level(u) == input_levels[i]:
+                res0 = walk(bdd.lo(u), i + 1)
+                res1 = walk(bdd.hi(u), i + 1)
+            else:
+                # The input level is skipped: both bit values coincide.
+                res0 = res1 = walk(u, i + 1)
+            if outputs:
+                results = [({**outputs, **o}, x) for o, x in res0]
+                results += [({**outputs, **o}, x) for o, x in res1]
+            else:
+                results = res0 + res1
+        else:
+            # Exit reached with i inputs consumed: the remaining
+            # assignments are irrelevant, every suffix gets this result.
+            results = [(outputs, u)] * (1 << (k - i))
+        memo[key] = results
+        return results
+
+    return walk(entry, 0)
+
+
 @dataclass
 class Decomposition:
     """One-cut decomposition ``f(X1, X2) = g(h(X1), X2)`` of a CF.

@@ -5,7 +5,7 @@ A characteristic function (or any of its column functions at a cut) is
 assignment: ``∀X ∃Y : χ(X, Y) = 1``.  For well-formed BDD_for_CFs —
 where each output variable sits below the support variables of its
 function (Definition 2.4) — totality can be decided by a single
-linear-time recursion over the BDD, quantifying each variable as it is
+linear-time pass over the BDD, quantifying each variable as it is
 met in the order (∃ for output variables, ∀ for input variables):
 by the time an output variable is reached its function value is fully
 determined by the variables above it, so the "choose y knowing only
@@ -13,11 +13,24 @@ the upper variables" strategy is exact, not conservative.
 
 Compatibility of two columns (Definition 3.7 lifted to CFs, as used by
 Lemma 3.1 and Algorithms 3.1/3.3) is then ``total(χ_a · χ_b)``.
+
+Both predicates memoize through the manager's cache tiers: totality
+per node in the ``tot`` tier, compatibility per (canonicalized) node
+pair in the ``compat`` tier — the pair memo is what lets Algorithm
+3.3's quadratic clique loop re-query pairs across heights for free.
+Entries are epoch-tagged (the walk direction depends on the variable
+order) and generation-stamped, so reorders and GC invalidate them
+lazily without a cache scan.
 """
 
 from __future__ import annotations
 
+from repro.bdd import reference
+from repro.bdd.kernel import validator_epoch_bool
 from repro.bdd.manager import FALSE, TRUE, BDD
+
+_TOT_VALIDATOR = validator_epoch_bool(1)
+_COMPAT_VALIDATOR = validator_epoch_bool(2)
 
 
 def ordered_total(bdd: BDD, u: int) -> bool:
@@ -28,27 +41,54 @@ def ordered_total(bdd: BDD, u: int) -> bool:
     module docstring); for arbitrary functions it is a sound (possibly
     strict) under-approximation of ``∀X ∃Y``.
     """
-    cache = bdd._cache
+    if reference.SEED_MODE:
+        return reference.seed_ordered_total(bdd, u)
+    if u == TRUE:
+        return True
+    if u == FALSE:
+        return False
+    tier = bdd.op_cache("tot", _TOT_VALIDATOR)
+    data = tier.data
+    gen = bdd._gen
+    epoch = bdd._epoch
     kinds = bdd._kinds
     lo_arr, hi_arr, vid_arr = bdd._lo, bdd._hi, bdd._vid
 
-    def walk(v: int) -> bool:
-        if v == TRUE:
-            return True
-        if v == FALSE:
-            return False
-        key = ("tot", v)
-        r = cache.get(key)
-        if r is not None:
-            return r
-        if kinds[vid_arr[v]] == "output":
-            r = walk(lo_arr[v]) or walk(hi_arr[v])
+    # Explicit stack with the same short-circuit as the recursion: an
+    # output node whose lo-branch is total (or an input node whose
+    # lo-branch is not) never visits its hi-branch.
+    result = False
+    stack: list[tuple[int, int]] = [(u, 0)]
+    push = stack.append
+    while stack:
+        v, state = stack.pop()
+        if state == 0:
+            if v == TRUE:
+                result = True
+                continue
+            if v == FALSE:
+                result = False
+                continue
+            entry = data.get(v)
+            if entry is not None and entry[1] == epoch and gen[v] == entry[2]:
+                tier.hits += 1
+                result = entry[0]
+                continue
+            tier.misses += 1
+            push((v, 1))
+            push((lo_arr[v], 0))
+        elif state == 1:
+            # ``result`` holds the lo-branch verdict.
+            is_output = kinds[vid_arr[v]] == "output"
+            if result == is_output:
+                # ∃ with a true branch, or ∀ with a false branch: decided.
+                tier.insert(v, (result, epoch, gen[v]))
+            else:
+                push((v, 2))
+                push((hi_arr[v], 0))
         else:
-            r = walk(lo_arr[v]) and walk(hi_arr[v])
-        cache[key] = r
-        return r
-
-    return walk(u)
+            tier.insert(v, (result, epoch, gen[v]))
+    return result
 
 
 def compatible_columns(bdd: BDD, a: int, b: int) -> bool:
@@ -56,12 +96,76 @@ def compatible_columns(bdd: BDD, a: int, b: int) -> bool:
 
     ``a ~ b`` iff their product still allows an output choice for every
     input — Definition 3.7 applied to the ISFs the columns encode.
-    Conjunction results are hash-consed, so the quadratic pair loop of
-    Algorithm 3.3 shares most of its work across pairs.
+
+    The product is never materialized: the walk quantifies over the
+    *conceptual* conjunction by descending pairs ``(x, y)`` of nodes,
+    which turns Algorithm 3.3's dominant cost (hundreds of thousands of
+    ``apply_and`` product constructions, all garbage afterwards) into a
+    node-allocation-free Boolean DFS.  Sub-pair verdicts are memoized
+    in the ``compat`` tier under the canonical (smaller id first) pair,
+    so columns sharing subgraphs — the common case at adjacent heights
+    — share most of the walk across top-level pair queries.
     """
+    if reference.SEED_MODE:
+        return reference.seed_compatible_columns(bdd, a, b)
     if a == FALSE or b == FALSE:
         return False
-    product = bdd.apply_and(a, b)
-    if product == FALSE:
-        return False
-    return ordered_total(bdd, product)
+    if a == b or a == TRUE or b == TRUE:
+        return ordered_total(bdd, bdd.apply_and(a, b))
+    tier = bdd.op_cache("compat", _COMPAT_VALIDATOR)
+    data = tier.data
+    gen = bdd._gen
+    epoch = bdd._epoch
+    kinds = bdd._kinds
+    level_of = bdd._level_of
+    lo_arr, hi_arr, vid_arr = bdd._lo, bdd._hi, bdd._vid
+
+    # Pair walk over the conceptual product, same short-circuit shape
+    # as ordered_total: state 0 visits a pair, state 1 sees the lo-pair
+    # verdict, state 2 sees the hi-pair verdict.
+    result = False
+    stack: list[tuple[int, int, int]] = [(a, b, 0)]
+    push = stack.append
+    while stack:
+        x, y, state = stack.pop()
+        if state == 0:
+            if x == FALSE or y == FALSE:
+                result = False
+                continue
+            if x == TRUE and y == TRUE:
+                result = True
+                continue
+            if x == TRUE or y == TRUE or x == y:
+                result = ordered_total(bdd, x if y == TRUE else y if x == TRUE else x)
+                continue
+            if x > y:
+                x, y = y, x
+            entry = data.get((x, y))
+            if (
+                entry is not None
+                and entry[1] == epoch
+                and gen[x] == entry[2]
+                and gen[y] == entry[3]
+            ):
+                tier.hits += 1
+                result = entry[0]
+                continue
+            tier.misses += 1
+            push((x, y, 1))
+            lx = level_of[vid_arr[x]]
+            ly = level_of[vid_arr[y]]
+            push((lo_arr[x] if lx <= ly else x, lo_arr[y] if ly <= lx else y, 0))
+        elif state == 1:
+            # ``result`` holds the lo-pair verdict.
+            lx = level_of[vid_arr[x]]
+            ly = level_of[vid_arr[y]]
+            top_vid = vid_arr[x] if lx <= ly else vid_arr[y]
+            if result == (kinds[top_vid] == "output"):
+                # ∃ with a true branch, or ∀ with a false branch: decided.
+                tier.insert((x, y), (result, epoch, gen[x], gen[y]))
+            else:
+                push((x, y, 2))
+                push((hi_arr[x] if lx <= ly else x, hi_arr[y] if ly <= lx else y, 0))
+        else:
+            tier.insert((x, y), (result, epoch, gen[x], gen[y]))
+    return result

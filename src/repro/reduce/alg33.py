@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.bdd.manager import TRUE
 from repro.cf.charfun import CharFunction
 from repro.cf.width import columns_at_height, substitute_columns
 from repro.isf.compat import compatible_columns, ordered_total
@@ -61,11 +60,14 @@ def algorithm_3_3(
     stats = Alg33Stats()
     t = bdd.num_vars
 
+    # One oracle for the whole run: no reordering happens inside the
+    # loop, and substitution only creates nodes (never mutates), so the
+    # per-node dc cache stays valid across heights.
+    oracle = DontCareOracle(bdd)
     for height in range(t - 1, 0, -1):
         columns = columns_at_height(bdd, root, height)
         if len(columns) < 2:
             continue
-        oracle = DontCareOracle(bdd)
         mergeable = [c for c in columns if oracle.column_has_dc(c, height)]
         specified = [c for c in columns if not oracle.column_has_dc(c, height)]
         if not mergeable:
@@ -95,9 +97,7 @@ def algorithm_3_3(
         for clique in cover:
             if len(clique) < 2:
                 continue
-            merged = TRUE
-            for member in clique:
-                merged = bdd.apply_and(merged, member)
+            merged = bdd.apply_and_many(clique)
             if not ordered_total(bdd, merged):
                 raise IncompatibleError(
                     "pairwise-compatible clique produced a non-total product"

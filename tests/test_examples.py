@@ -4,6 +4,7 @@ Fast examples run in-process on every test invocation; the heavier
 dictionary and converter demos are marked slow.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -11,15 +12,24 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+SRC = pathlib.Path(__file__).parent.parent / "src"
 
 
 def run_example(name: str, cwd, timeout: int = 600) -> str:
+    # The child must be able to import repro whether the package is
+    # pip-installed (inherited sys.path suffices) or running from the
+    # source tree (prepend src/ to PYTHONPATH).
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p
+    )
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
         capture_output=True,
         text=True,
         timeout=timeout,
         cwd=cwd,  # artefacts (.v / .dot files) land in the temp dir
+        env=env,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     return proc.stdout
