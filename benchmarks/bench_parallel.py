@@ -1,0 +1,135 @@
+"""Sequential-vs-parallel sweep comparison (BENCH_PR3.json).
+
+Runs the same Table 4 (+ Table 5) row sweep twice through the
+:mod:`repro.parallel` executor — once at ``jobs=1`` (the in-process
+sequential path) and once on a process pool — and asserts:
+
+* **parity** — every row's widths/node counts/costs are bit-identical
+  between the two runs (:func:`repro.parallel.row_fingerprint`), and
+  the CF payloads the workers shipped re-measure identically in the
+  parent (:func:`repro.parallel.verify_shipped`);
+* **aggregation** — the additive engine counters summed over the
+  workers equal the sequential run's.
+
+The comparison (wall times, per-worker utilization, scheduling
+overhead, speedup, host CPU count) is written to ``BENCH_PR3.json`` at
+the repo root.  A wall-clock speedup is only *asserted* when the host
+actually has the cores for it (or ``REPRO_REQUIRE_SPEEDUP`` forces a
+floor): a 1-core CI container runs the pool for parity, not for speed.
+
+Environment:
+
+* ``REPRO_PARALLEL_JOBS=N`` — worker count of the parallel run
+  (default 4).
+* ``REPRO_BENCH_FULL=1``    — sweep every Table 4 + Table 5 row
+  instead of the reduced set.
+* ``REPRO_REQUIRE_SPEEDUP=X`` — fail unless speedup >= X.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bdd import stats
+from repro.benchfns.registry import arithmetic_names, table4_names
+from repro.parallel import (
+    CostModel,
+    row_fingerprint,
+    run_tasks,
+    table4_task,
+    table5_task,
+    verify_shipped,
+    write_parallel_bench,
+)
+
+from conftest import REPO_ROOT, RESULTS_DIR, bench_full
+
+BENCH_PR3 = REPO_ROOT / "BENCH_PR3.json"
+
+#: Reduced Table 4 sweep for the CI smoke job (small arithmetic rows).
+QUICK_TABLE4 = [
+    "5-7-11-13 RNS",
+    "4-digit 11-nary to binary",
+    "6-digit 5-nary to binary",
+    "3-digit decimal adder",
+]
+QUICK_TABLE5 = ["5-7-11-13 RNS", "2-digit decimal multiplier"]
+
+
+def parallel_jobs() -> int:
+    raw = os.environ.get("REPRO_PARALLEL_JOBS", "").strip()
+    try:
+        return max(2, int(raw))
+    except ValueError:
+        return 4
+
+
+def build_tasks():
+    if bench_full():
+        t4, t5 = table4_names(), arithmetic_names()
+    else:
+        t4, t5 = QUICK_TABLE4, QUICK_TABLE5
+    return [table4_task(n, verify=True, ship_cfs=True) for n in t4] + [
+        table5_task(n, verify=True) for n in t5
+    ]
+
+
+def test_parallel_sweep_parity_and_speedup():
+    """jobs=1 vs jobs=N on one sweep: parity, aggregation, BENCH_PR3."""
+    jobs = parallel_jobs()
+    tasks = build_tasks()
+    cost_model = CostModel.load(
+        RESULTS_DIR / "costs.json", seed_bench=sorted(REPO_ROOT.glob("BENCH_*.json"))
+    )
+
+    with stats.record("parallel_sweep_seq", rows=len(tasks)):
+        sequential = run_tasks(tasks, jobs=1, cost_model=cost_model)
+    with stats.record("parallel_sweep_par", rows=len(tasks), jobs=jobs):
+        parallel = run_tasks(tasks, jobs=jobs, cost_model=cost_model)
+
+    # Parity: bit-identical widths/node counts/costs, row by row.
+    for seq, par in zip(sequential.results, parallel.results):
+        assert row_fingerprint(seq.result) == row_fingerprint(par.result), (
+            f"{seq.key}: parallel row differs from sequential"
+        )
+    # Shipped-CF parity: reload worker payloads and re-measure.
+    for result in parallel.results:
+        verify_shipped(result)
+    # Cross-process aggregation: additive counters must match exactly.
+    for key in stats.ADDITIVE_KEYS:
+        assert sequential.stats_totals[key] == parallel.stats_totals[key], (
+            f"aggregated {key} differs between jobs=1 and jobs={jobs}"
+        )
+
+    speedup = (
+        sequential.wall_s / parallel.wall_s if parallel.wall_s > 0 else 0.0
+    )
+    stats.RECORDS["parallel_sweep"] = {
+        "rows": len(tasks),
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "sequential_wall_s": sequential.wall_s,
+        "parallel_wall_s": parallel.wall_s,
+        "speedup": speedup,
+        "scheduling_overhead_s": parallel.scheduling_overhead_s,
+    }
+    path = write_parallel_bench(
+        BENCH_PR3,
+        {"jobs=1": sequential, f"jobs={jobs}": parallel},
+        meta={
+            "suite": "bench_parallel",
+            "full": bench_full(),
+            "rows": [t.key for t in tasks],
+        },
+    )
+    print(
+        f"\nsweep over {len(tasks)} rows: jobs=1 {sequential.wall_s:.2f}s, "
+        f"jobs={jobs} {parallel.wall_s:.2f}s ({speedup:.2f}x on "
+        f"{os.cpu_count()} cpu(s)); report written to {path}"
+    )
+
+    floor = os.environ.get("REPRO_REQUIRE_SPEEDUP", "").strip()
+    if floor:
+        assert speedup >= float(floor), (
+            f"speedup {speedup:.2f}x below required {floor}x"
+        )

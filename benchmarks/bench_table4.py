@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.benchfns.registry import get_benchmark, table4_names
-from repro.experiments.table4 import format_table4, run_row
+from repro.benchfns.registry import table4_names
+from repro.experiments.table4 import format_table4
+from repro.parallel import table4_task
 
-from conftest import bench_full, run_once, write_result
+from conftest import bench_full, run_once, run_row_task, write_result
 
 QUICK_ROWS = [
     "5-7-11-13 RNS",
@@ -36,7 +37,7 @@ _collected: dict[str, object] = {}
 def test_table4_row(benchmark, name):
     result = run_once(
         benchmark,
-        lambda: run_row(get_benchmark(name), verify=True),
+        lambda: run_row_task(table4_task(name, verify=True)),
         record_name=f"table4:{name}",
         workload="table4 row",
     )

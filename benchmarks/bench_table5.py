@@ -16,8 +16,9 @@ import pytest
 from repro.bdd import reference, stats
 from repro.benchfns.registry import arithmetic_names, get_benchmark
 from repro.experiments.table5 import format_table5, run_row
+from repro.parallel import table5_task
 
-from conftest import bench_full, run_once, write_result
+from conftest import bench_full, run_once, run_row_task, write_result
 
 QUICK_ROWS = [
     "5-7-11-13 RNS",
@@ -36,7 +37,7 @@ _collected: dict[str, object] = {}
 def test_table5_row(benchmark, name):
     result = run_once(
         benchmark,
-        lambda: run_row(get_benchmark(name), verify=True),
+        lambda: run_row_task(table5_task(name, verify=True)),
         record_name=f"table5:{name}",
         workload="table5 row",
     )

@@ -11,9 +11,10 @@ from __future__ import annotations
 import pytest
 
 from repro._config import word_list_sizes
-from repro.experiments.table6 import format_table6, run_table6
+from repro.experiments.table6 import format_table6
+from repro.parallel import table6_task
 
-from conftest import bench_full, run_once, write_result
+from conftest import bench_full, run_once, run_row_task, write_result
 
 SIZES = list(word_list_sizes()) if bench_full() else [60, 150]
 
@@ -24,7 +25,7 @@ _collected: dict[int, list] = {}
 def test_table6_wordlist(benchmark, count):
     rows = run_once(
         benchmark,
-        lambda: run_table6([count], verify=True),
+        lambda: run_row_task(table6_task(count, verify=True)),
         record_name=f"table6:{count}-words",
         workload="table6 word list",
     )

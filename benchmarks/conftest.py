@@ -7,6 +7,9 @@ Scale control:
   list (tens of minutes on one core).
 * REPRO_FULL_SCALE=1  — additionally use the paper's word-list sizes
   1730/3366/4705 (hours; see DESIGN.md §6).
+* REPRO_BENCH_JOBS=N  — run each row through the parallel executor
+  (``repro.parallel``) with N worker processes; default 1 keeps the
+  in-process sequential path.
 
 Each benchmark writes the regenerated table/figure to
 ``benchmarks/results/<name>.txt`` so the artefacts survive pytest's
@@ -30,6 +33,27 @@ BENCH_JSON = REPO_ROOT / "BENCH_PR1.json"
 def bench_full() -> bool:
     """True when the full benchmark suite was requested."""
     return os.environ.get("REPRO_BENCH_FULL", "").strip() not in ("", "0", "false")
+
+
+def bench_jobs() -> int:
+    """Worker-process count for executor-driven rows (default 1)."""
+    raw = os.environ.get("REPRO_BENCH_JOBS", "").strip()
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def run_row_task(task):
+    """Execute one row task through the parallel executor.
+
+    With ``REPRO_BENCH_JOBS=1`` this is the in-process sequential path;
+    larger values exercise the process pool (the row itself is the
+    granularity, so a single row still occupies one worker).
+    """
+    from repro.parallel import run_tasks
+
+    return run_tasks([task], jobs=bench_jobs()).rows[0]
 
 
 def write_result(name: str, text: str) -> pathlib.Path:
@@ -63,6 +87,8 @@ def pytest_sessionfinish(session, exitstatus):
     """Emit the machine-readable engine benchmark report at the repo root."""
     if stats.RECORDS:
         path = stats.write_bench_json(
-            BENCH_JSON, meta={"suite": "benchmarks", "exitstatus": int(exitstatus)}
+            BENCH_JSON,
+            meta={"suite": "benchmarks", "exitstatus": int(exitstatus)},
+            jobs=bench_jobs(),
         )
         print(f"\nengine benchmark report written to {path}")

@@ -34,12 +34,16 @@ from repro.bdd.dot import to_dot
 from repro.bdd.force import force_input_order, force_order
 from repro.bdd.gcf import constrain, restrict_gc
 from repro.bdd.io import (
+    charfunction_payload,
     dump_charfunction,
     dump_forest,
+    forest_payload,
     load_charfunction,
+    load_charfunction_payload,
     load_forest,
+    load_forest_payload,
 )
-from repro.bdd.transfer import transfer
+from repro.bdd.transfer import transfer, transfer_by_name
 
 __all__ = [
     "BDD",
@@ -53,15 +57,19 @@ __all__ = [
     "force_order",
     "crossing_targets",
     "sections_of",
+    "charfunction_payload",
     "dump_charfunction",
     "dump_forest",
+    "forest_payload",
     "from_cube",
     "from_cubes",
     "from_sorted_minterms",
     "from_truth_table",
     "internal_nodes",
     "load_charfunction",
+    "load_charfunction_payload",
     "load_forest",
+    "load_forest_payload",
     "level_profile",
     "nodes_by_level",
     "set_order",
@@ -69,5 +77,6 @@ __all__ = [
     "restrict_gc",
     "to_dot",
     "transfer",
+    "transfer_by_name",
     "word_geq_const",
 ]

@@ -26,8 +26,15 @@ from repro.cf.charfun import CharFunction
 from repro.errors import BDDError
 
 
-def dump_forest(bdd: BDD, roots: Mapping[str, int]) -> str:
-    """Serialize named roots (and their cones) to a JSON string."""
+def forest_payload(bdd: BDD, roots: Mapping[str, int]) -> dict:
+    """The forest document for named roots, as a plain dict.
+
+    This is the single source of truth for the on-disk/IPC format;
+    :func:`dump_forest` is ``json.dumps`` of it.  The parallel runner
+    embeds these payloads directly in its result messages, so keeping
+    them at the dict level avoids encoding the (potentially large) node
+    list twice.
+    """
     order = [bdd.vid_at_level(level) for level in range(bdd.num_vars)]
     var_index = {vid: i for i, vid in enumerate(order)}
     variables = [
@@ -37,32 +44,45 @@ def dump_forest(bdd: BDD, roots: Mapping[str, int]) -> str:
     new_id: dict[int, int] = {0: 0, 1: 1}
     nodes: list[list[int]] = []
 
-    def visit(u: int) -> int:
-        r = new_id.get(u)
-        if r is not None:
-            return r
-        lo = visit(bdd.lo(u))
-        hi = visit(bdd.hi(u))
-        r = len(nodes) + 2
-        nodes.append([var_index[bdd.var_of(u)], lo, hi])
-        new_id[u] = r
-        return r
+    def visit(root: int) -> int:
+        # Explicit post-order: shipped CFs can be deeper than the
+        # recursion limit (40+ variable word-list functions).
+        done = new_id.get(root)
+        if done is not None:
+            return done
+        stack = [root]
+        while stack:
+            u = stack[-1]
+            if u in new_id:
+                stack.pop()
+                continue
+            lo, hi = bdd.lo(u), bdd.hi(u)
+            ready = True
+            if hi not in new_id:
+                stack.append(hi)
+                ready = False
+            if lo not in new_id:
+                stack.append(lo)
+                ready = False
+            if not ready:
+                continue
+            stack.pop()
+            new_id[u] = len(nodes) + 2
+            nodes.append([var_index[bdd.var_of(u)], new_id[lo], new_id[hi]])
+        return new_id[root]
 
     root_map = {name: visit(node) for name, node in roots.items()}
-    return json.dumps(
-        {
-            "format": "repro-bdd-forest",
-            "version": 1,
-            "variables": variables,
-            "nodes": nodes,
-            "roots": root_map,
-        }
-    )
+    return {
+        "format": "repro-bdd-forest",
+        "version": 1,
+        "variables": variables,
+        "nodes": nodes,
+        "roots": root_map,
+    }
 
 
-def load_forest(text: str) -> tuple[BDD, dict[str, int]]:
-    """Rebuild a serialized forest in a fresh manager."""
-    data = json.loads(text)
+def load_forest_payload(data: dict) -> tuple[BDD, dict[str, int]]:
+    """Rebuild a forest payload (see :func:`forest_payload`)."""
     if data.get("format") != "repro-bdd-forest" or data.get("version") != 1:
         raise BDDError("not a repro-bdd-forest v1 document")
     bdd = BDD()
@@ -80,9 +100,19 @@ def load_forest(text: str) -> tuple[BDD, dict[str, int]]:
     return bdd, roots
 
 
-def dump_charfunction(cf: CharFunction) -> str:
-    """Serialize a CharFunction (root, variables, metadata)."""
-    payload = json.loads(dump_forest(cf.bdd, {"chi": cf.root}))
+def dump_forest(bdd: BDD, roots: Mapping[str, int]) -> str:
+    """Serialize named roots (and their cones) to a JSON string."""
+    return json.dumps(forest_payload(bdd, roots))
+
+
+def load_forest(text: str) -> tuple[BDD, dict[str, int]]:
+    """Rebuild a serialized forest in a fresh manager."""
+    return load_forest_payload(json.loads(text))
+
+
+def charfunction_payload(cf: CharFunction) -> dict:
+    """The CharFunction document (forest + metadata), as a plain dict."""
+    payload = forest_payload(cf.bdd, {"chi": cf.root})
     payload["charfunction"] = {
         "name": cf.name,
         "inputs": [cf.bdd.name_of(v) for v in cf.input_vids],
@@ -92,16 +122,15 @@ def dump_charfunction(cf: CharFunction) -> str:
             for y, xs in cf.output_supports.items()
         },
     }
-    return json.dumps(payload)
+    return payload
 
 
-def load_charfunction(text: str) -> CharFunction:
-    """Rebuild a serialized CharFunction in a fresh manager."""
-    data = json.loads(text)
+def load_charfunction_payload(data: dict) -> CharFunction:
+    """Rebuild a CharFunction payload in a fresh manager."""
     meta = data.get("charfunction")
     if meta is None:
         raise BDDError("document does not contain a charfunction section")
-    bdd, roots = load_forest(text)
+    bdd, roots = load_forest_payload(data)
     return CharFunction(
         bdd,
         roots["chi"],
@@ -113,3 +142,13 @@ def load_charfunction(text: str) -> CharFunction:
             for y, xs in meta["output_supports"].items()
         },
     )
+
+
+def dump_charfunction(cf: CharFunction) -> str:
+    """Serialize a CharFunction (root, variables, metadata)."""
+    return json.dumps(charfunction_payload(cf))
+
+
+def load_charfunction(text: str) -> CharFunction:
+    """Rebuild a serialized CharFunction in a fresh manager."""
+    return load_charfunction_payload(json.loads(text))

@@ -5,20 +5,44 @@ weak reference).  :func:`snapshot` folds the counters of all managers —
 live and already-collected — into one engine-wide view: operation
 calls, kernel steps, peak node count, and per-tier cache hit rates.
 
+The parallel experiment runner (:mod:`repro.parallel`) executes row
+pipelines in worker processes; each worker measures its own counter
+delta (:func:`counter_delta`) and ships it back with the row result.
+The parent folds those deltas in with :func:`merge_worker_totals`, so
+:func:`snapshot` stays engine-wide even when most of the work happened
+in other processes.
+
 Benchmarks wrap timed regions in :func:`record`, which captures wall
 time plus the counter deltas across the region and stores the result
 in :data:`RECORDS`; :func:`write_bench_json` then emits the
-machine-readable ``BENCH_PR1.json`` consumed by the perf-tracking
+machine-readable ``BENCH_*.json`` consumed by the perf-tracking
 tooling (see the README note on ``BENCH_*.json``).
 """
 
 from __future__ import annotations
 
+import datetime
 import json
 import time
 import weakref
 from contextlib import contextmanager
 from pathlib import Path
+
+#: BENCH_*.json schema version (bumped when the payload shape changes).
+SCHEMA = "repro-bench-v2"
+SCHEMA_VERSION = 2
+
+#: Counters that add across managers and processes.  ``peak_nodes``
+#: aggregates with ``max`` instead and is handled separately.
+ADDITIVE_KEYS = (
+    "op_calls",
+    "kernel_steps",
+    "cache_hits",
+    "cache_misses",
+    "cache_inserts",
+    "cache_evictions",
+    "cache_invalidations",
+)
 
 #: Live managers, by weak reference.
 REGISTRY: "weakref.WeakSet" = weakref.WeakSet()
@@ -35,6 +59,10 @@ DEAD_TOTALS = {
     "cache_evictions": 0,
     "cache_invalidations": 0,
 }
+
+#: Counter totals merged from worker processes (see
+#: :func:`merge_worker_totals`); folded into every :func:`snapshot`.
+WORKER_TOTALS = {key: 0 for key in (*ADDITIVE_KEYS, "peak_nodes")}
 
 #: Named measurement records captured by :func:`record`.
 RECORDS: dict[str, dict] = {}
@@ -62,7 +90,11 @@ def fold_dead(bdd) -> None:
 
 
 def snapshot() -> dict:
-    """Engine-wide counter totals across all managers, live and dead."""
+    """Engine-wide counter totals across all managers, live and dead.
+
+    Includes counters merged from worker processes (the parallel
+    runner's cross-process aggregation).
+    """
     totals = dict(DEAD_TOTALS)
     live_peak = 0
     alive = 0
@@ -77,11 +109,40 @@ def snapshot() -> dict:
             totals["cache_inserts"] += tier.inserts
             totals["cache_evictions"] += tier.evictions
             totals["cache_invalidations"] += tier.invalidations
-    totals["peak_nodes"] = max(totals["peak_nodes"], live_peak)
+    for key in ADDITIVE_KEYS:
+        totals[key] += WORKER_TOTALS[key]
+    totals["peak_nodes"] = max(
+        totals["peak_nodes"], live_peak, WORKER_TOTALS["peak_nodes"]
+    )
     totals["alive_nodes"] = alive
     lookups = totals["cache_hits"] + totals["cache_misses"]
     totals["cache_hit_rate"] = (totals["cache_hits"] / lookups) if lookups else 0.0
     return totals
+
+
+def counter_delta(before: dict, after: dict) -> dict:
+    """Counter movement between two :func:`snapshot` results.
+
+    Additive counters subtract; ``peak_nodes`` reports the (absolute)
+    peak observed by ``after`` — peaks do not difference meaningfully.
+    """
+    delta = {key: after[key] - before[key] for key in ADDITIVE_KEYS}
+    delta["peak_nodes"] = after["peak_nodes"]
+    return delta
+
+
+def merge_worker_totals(delta: dict) -> None:
+    """Fold one worker process's counter delta into this process.
+
+    Called by the parallel executor for each completed row task so that
+    :func:`snapshot` (and therefore :func:`record` regions wrapping a
+    parallel sweep) accounts for work done in worker processes.
+    """
+    for key in ADDITIVE_KEYS:
+        WORKER_TOTALS[key] += int(delta.get(key, 0))
+    WORKER_TOTALS["peak_nodes"] = max(
+        WORKER_TOTALS["peak_nodes"], int(delta.get("peak_nodes", 0))
+    )
 
 
 @contextmanager
@@ -118,12 +179,25 @@ def record(name: str, **extra):
         }
 
 
-def write_bench_json(path: str | Path, meta: dict | None = None) -> Path:
-    """Write :data:`RECORDS` plus an engine snapshot to ``path``."""
+def write_bench_json(
+    path: str | Path, meta: dict | None = None, *, jobs: int | None = None
+) -> Path:
+    """Write :data:`RECORDS` plus an engine snapshot to ``path``.
+
+    ``jobs`` records how many worker processes produced the counters
+    (1 for a purely sequential run).  The payload carries both the
+    legacy ``generated_unix`` stamp and an ISO-8601 UTC timestamp.
+    """
     path = Path(path)
+    now = time.time()
     payload = {
-        "schema": "repro-bench-v1",
-        "generated_unix": time.time(),
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "generated_unix": now,
+        "generated_iso": datetime.datetime.fromtimestamp(
+            now, tz=datetime.timezone.utc
+        ).isoformat(),
+        "jobs": jobs if jobs is not None else 1,
         "engine": snapshot(),
         "records": RECORDS,
     }

@@ -6,6 +6,12 @@ rebuilds functions in a destination manager: a linear node-for-node
 rebuild when the destination order agrees with the source order, and an
 ITE-based re-normalization when it does not (used to seed fresh
 managers with heuristic orders, e.g. FORCE).
+
+:func:`transfer_by_name` is the cross-process variant: worker processes
+ship serialized forests back to the parent (``repro.bdd.io``), where
+vids are meaningless — variables correspond by *name*.  The parallel
+runner uses it to pull a worker's reduced CF into the manager of the
+ISF CF so refinement parity checks run in one manager.
 """
 
 from __future__ import annotations
@@ -73,3 +79,33 @@ def transfer(
         return memo[root]
 
     return [walk(r) for r in roots]
+
+
+def transfer_by_name(
+    src: BDD, dst: BDD, roots: Sequence[int], *, add_missing: bool = True
+) -> list[int]:
+    """Copy ``roots`` into ``dst``, matching variables by name.
+
+    Support variables of the roots that ``dst`` does not know yet are
+    appended to the bottom of its order (in the source's relative
+    order) when ``add_missing`` is true, and raise otherwise.  Variable
+    kinds travel with the names.  Returns the new roots.
+    """
+    support: set[int] = set()
+    for r in roots:
+        support |= src.support(r)
+    vid_map: dict[int, int] = {}
+    missing: list[int] = []
+    dst_names = {dst.name_of(dst.vid_at_level(lv)) for lv in range(dst.num_vars)}
+    for s in sorted(support, key=src.level_of_vid):
+        name = src.name_of(s)
+        if name in dst_names:
+            vid_map[s] = dst.vid(name)
+        else:
+            missing.append(s)
+    if missing and not add_missing:
+        names = ", ".join(src.name_of(v) for v in missing)
+        raise VariableError(f"destination manager lacks variables: {names}")
+    for s in missing:
+        vid_map[s] = dst.add_var(src.name_of(s), kind=src.kind_of(s))
+    return transfer(src, dst, roots, vid_map)

@@ -5,11 +5,17 @@ Commands:
 * ``table4 [names...]`` — regenerate (a subset of) Table 4.
 * ``table5 [names...]`` — regenerate the reconstructed Table 5.
 * ``table6 [sizes...]`` — regenerate Table 6 for the given word counts.
+* ``sweep`` — run the Table 4+5 row sweep through the parallel
+  executor and emit a BENCH_PR3-style comparison JSON.
 * ``figures`` — print the figure reproductions (2, 5, 6, 7, 8, 9).
 * ``scaling [sizes...]`` — word-list scaling study (Fig. 8 vs DC=0).
 * ``demo`` — the Table 1 worked example, end to end.
 * ``pla FILE`` — run support reduction + Algorithm 3.3 on a PLA file
   and report the width profile before/after.
+
+The table commands accept ``--jobs N`` to fan the independent rows out
+over N worker processes (``repro.parallel``); results are bit-identical
+to ``--jobs 1``.
 """
 
 from __future__ import annotations
@@ -28,18 +34,57 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_jobs(p) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for the row sweep (default: 1, in-process)",
+        )
+
     p4 = sub.add_parser("table4", help="maximum width / node count table")
     p4.add_argument("names", nargs="*", help="benchmark names (default: all)")
     p4.add_argument("--verify", action="store_true", help="cross-check against references")
     p4.add_argument("--no-sift", action="store_true", help="skip variable reordering")
+    add_jobs(p4)
 
     p5 = sub.add_parser("table5", help="cascade realization of arithmetic functions")
     p5.add_argument("names", nargs="*")
     p5.add_argument("--verify", action="store_true")
+    add_jobs(p5)
 
     p6 = sub.add_parser("table6", help="word-list realization (Fig. 8)")
     p6.add_argument("sizes", nargs="*", type=int, help="word counts (default: configured)")
     p6.add_argument("--verify", action="store_true")
+    add_jobs(p6)
+
+    psweep = sub.add_parser(
+        "sweep", help="Table 4+5 row sweep through the parallel executor"
+    )
+    psweep.add_argument("names", nargs="*", help="benchmark names (default: all)")
+    add_jobs(psweep)
+    psweep.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the --jobs 1 baseline and assert row parity",
+    )
+    psweep.add_argument("--verify", action="store_true")
+    psweep.add_argument(
+        "--tables",
+        default="4,5",
+        help="comma-separated table selection out of 4,5,6 (default: 4,5)",
+    )
+    psweep.add_argument(
+        "--bench-json",
+        metavar="PATH",
+        help="write the BENCH_PR3-style sweep comparison JSON here",
+    )
+    psweep.add_argument(
+        "--cost-file",
+        metavar="PATH",
+        help="persist/reuse per-row cost estimates at PATH",
+    )
 
     sub.add_parser("figures", help="print the figure reproductions")
     sub.add_parser("demo", help="Table 1 worked example")
@@ -59,6 +104,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_table5(args)
     if command == "table6":
         return _cmd_table6(args)
+    if command == "sweep":
+        return _cmd_sweep(args)
     if command == "figures":
         return _cmd_figures()
     if command == "scaling":
@@ -75,7 +122,10 @@ def _cmd_table4(args) -> int:
     from repro.experiments.table4 import format_table4, run_table4
 
     rows = run_table4(
-        args.names or None, sift=not args.no_sift, verify=args.verify
+        args.names or None,
+        sift=not args.no_sift,
+        verify=args.verify,
+        jobs=args.jobs,
     )
     print(format_table4(rows))
     return 0
@@ -84,7 +134,7 @@ def _cmd_table4(args) -> int:
 def _cmd_table5(args) -> int:
     from repro.experiments.table5 import format_table5, run_table5
 
-    rows = run_table5(args.names or None, verify=args.verify)
+    rows = run_table5(args.names or None, verify=args.verify, jobs=args.jobs)
     print(format_table5(rows))
     return 0
 
@@ -92,8 +142,81 @@ def _cmd_table5(args) -> int:
 def _cmd_table6(args) -> int:
     from repro.experiments.table6 import format_table6, run_table6
 
-    rows = run_table6(args.sizes or None, verify=args.verify)
+    rows = run_table6(args.sizes or None, verify=args.verify, jobs=args.jobs)
     print(format_table6(rows))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.benchfns.registry import arithmetic_names, table4_names
+    from repro.errors import ReproError
+    from repro.parallel import (
+        CostModel,
+        row_fingerprint,
+        run_tasks,
+        table4_task,
+        table5_task,
+        verify_shipped,
+    )
+    from repro.parallel.report import write_parallel_bench
+
+    tables = {t.strip() for t in args.tables.split(",") if t.strip()}
+    unknown = tables - {"4", "5", "6"}
+    if unknown:
+        print(f"unknown tables: {', '.join(sorted(unknown))}", file=sys.stderr)
+        return 2
+    tasks = []
+    if "4" in tables:
+        tasks += [
+            table4_task(n, verify=args.verify, ship_cfs=args.jobs > 1)
+            for n in (args.names or table4_names())
+        ]
+    if "5" in tables:
+        tasks += [
+            table5_task(n, verify=args.verify)
+            for n in (args.names or arithmetic_names())
+        ]
+    if "6" in tables:
+        from repro._config import word_list_sizes
+        from repro.parallel import table6_task
+
+        tasks += [table6_task(c, verify=args.verify) for c in word_list_sizes()]
+
+    cost_model = CostModel.load(args.cost_file) if args.cost_file else None
+    sweeps = {}
+    if args.compare or args.jobs <= 1:
+        sweeps["jobs=1"] = run_tasks(tasks, jobs=1, cost_model=cost_model)
+    if args.jobs > 1:
+        sweeps[f"jobs={args.jobs}"] = run_tasks(
+            tasks, jobs=args.jobs, cost_model=cost_model
+        )
+    parallel_report = sweeps.get(f"jobs={args.jobs}")
+    if parallel_report is not None:
+        for result in parallel_report.results:
+            verify_shipped(result)
+    if args.compare and parallel_report is not None:
+        baseline = sweeps["jobs=1"]
+        for seq, par in zip(baseline.results, parallel_report.results):
+            if row_fingerprint(seq.result) != row_fingerprint(par.result):
+                raise ReproError(
+                    f"{seq.key}: parallel result differs from sequential"
+                )
+        print(
+            f"parity OK over {len(tasks)} rows: "
+            f"jobs=1 {baseline.wall_s:.2f}s vs jobs={args.jobs} "
+            f"{parallel_report.wall_s:.2f}s"
+        )
+    for label, report in sweeps.items():
+        print(
+            f"{label}: wall {report.wall_s:.2f}s, busy {report.busy_s:.2f}s, "
+            f"overhead {report.scheduling_overhead_s:.2f}s, "
+            f"{len(report.workers)} worker(s)"
+        )
+    if args.bench_json:
+        path = write_parallel_bench(
+            args.bench_json, sweeps, meta={"source": "cli sweep"}
+        )
+        print(f"sweep report written to {path}")
     return 0
 
 

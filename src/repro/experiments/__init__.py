@@ -4,6 +4,7 @@ from repro.experiments.runner import (
     build_extension_cf,
     build_sifted_cf,
     measure,
+    stable_seed,
     verify_cf_against_reference,
 )
 from repro.experiments.table4 import (
@@ -54,6 +55,7 @@ __all__ = [
     "run_table5",
     "run_scaling",
     "run_table6",
+    "stable_seed",
     "measure_point",
     "format_scaling",
     "verify_cf_against_reference",

@@ -14,6 +14,7 @@ are measured under one variable order.
 
 from __future__ import annotations
 
+import hashlib
 import random
 import time
 from dataclasses import dataclass
@@ -59,6 +60,21 @@ def build_extension_cf(
     if sift:
         cf.sift(cost="auto")
     return cf
+
+
+def stable_seed(*parts: object) -> int:
+    """Deterministic 64-bit seed from a structured key.
+
+    Derived with BLAKE2b over the stringified parts, so it is identical
+    in every process and interpreter invocation (unlike ``hash()``,
+    which is salted).  The experiment pipelines seed each sampling
+    verifier from the (benchmark, partition, variant) key, which makes
+    row results bit-identical at any ``--jobs`` value and independent
+    of the order rows are scheduled in.
+    """
+    key = "\x1f".join(str(part) for part in parts)
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
 
 
 class Stopwatch:

@@ -27,6 +27,7 @@ from repro.experiments.runner import (
     build_extension_cf,
     build_sifted_cf,
     measure,
+    stable_seed,
     verify_cf_against_reference,
 )
 from repro.reduce import algorithm_3_1, algorithm_3_3, reduce_support
@@ -62,8 +63,18 @@ def run_row(
     sift: bool = True,
     verify: bool = False,
     verify_samples: int = 40,
+    collect: dict | None = None,
 ) -> Table4Row:
-    """Run the full Table 4 pipeline for one benchmark function."""
+    """Run the full Table 4 pipeline for one benchmark function.
+
+    Every sampling verifier is seeded from the stable
+    (benchmark, partition, variant) key, so the row is bit-identical in
+    any process (see :func:`repro.experiments.runner.stable_seed`).
+
+    ``collect``, when given, receives the ISF and reduced CharFunctions
+    under ``"<part>/<variant>"`` keys — the parallel workers serialize
+    these and ship them to the parent for parity checks.
+    """
     isf = benchmark.build()
     row = Table4Row(
         name=benchmark.name,
@@ -75,15 +86,23 @@ def run_row(
     slices = [slice(0, half), slice(half, isf.n_outputs)]
     for label, part, out_slice in zip(("F1", "F2"), isf.bipartition(), slices):
         result = PartResult(label=label)
+
+        def check(cf, variant: str) -> None:
+            verify_cf_against_reference(
+                cf,
+                benchmark,
+                out_slice,
+                samples=verify_samples,
+                seed=stable_seed(benchmark.name, label, variant),
+            )
+
         cf_isf = build_sifted_cf(part, sift=sift)
         result.measures["ISF"] = measure(cf_isf)
         for dc_value, key in ((0, "DC=0"), (1, "DC=1")):
             cf_ext = build_extension_cf(part, dc_value, sift=sift)
             result.measures[key] = measure(cf_ext)
             if verify:
-                verify_cf_against_reference(
-                    cf_ext, benchmark, out_slice, samples=verify_samples
-                )
+                check(cf_ext, key)
 
         with Stopwatch() as sw:
             reduced, _removed = reduce_support(cf_isf)
@@ -103,10 +122,12 @@ def run_row(
                     raise ReproError(f"{cf.name}: reduction is not a refinement")
                 if not cf.is_wellformed():
                     raise ReproError(f"{cf.name}: reduction broke totality")
-            for cf in (cf_isf, cf31, cf33):
-                verify_cf_against_reference(
-                    cf, benchmark, out_slice, samples=verify_samples
-                )
+            for cf, variant in ((cf_isf, "ISF"), (cf31, "Alg3.1"), (cf33, "Alg3.3")):
+                check(cf, variant)
+        if collect is not None:
+            collect[f"{label}/ISF"] = cf_isf
+            collect[f"{label}/Alg3.1"] = cf31
+            collect[f"{label}/Alg3.3"] = cf33
         row.parts.append(result)
     return row
 
@@ -116,12 +137,27 @@ def run_table4(
     *,
     sift: bool = True,
     verify: bool = False,
+    jobs: int = 1,
 ) -> list[Table4Row]:
-    """Run the pipeline over the configured benchmark list."""
-    rows = []
-    for name in names if names is not None else table4_names():
-        rows.append(run_row(get_benchmark(name), sift=sift, verify=verify))
-    return rows
+    """Run the pipeline over the configured benchmark list.
+
+    ``jobs`` selects the worker-process count of the row executor
+    (:func:`repro.parallel.run_tasks`); rows are scheduled
+    longest-first and results come back in table order, bit-identical
+    at any jobs value.  With ``jobs > 1`` the workers additionally ship
+    their CFs back for parent-side parity checks.
+    """
+    from repro.parallel import run_tasks, table4_task, verify_shipped
+
+    names = list(names) if names is not None else table4_names()
+    tasks = [
+        table4_task(name, sift=sift, verify=verify, ship_cfs=jobs > 1)
+        for name in names
+    ]
+    report = run_tasks(tasks, jobs=jobs)
+    for result in report.results:
+        verify_shipped(result)
+    return report.rows
 
 
 def ratios(rows: list[Table4Row]) -> tuple[dict[str, float], dict[str, float]]:

@@ -27,7 +27,7 @@ from repro.cascade import (
 )
 from repro.cf.charfun import CharFunction
 from repro.errors import ReproError
-from repro.experiments.runner import build_sifted_cf
+from repro.experiments.runner import build_sifted_cf, stable_seed
 from repro.isf.function import MultiOutputISF
 from repro.reduce import algorithm_3_3, reduce_support
 from repro.utils.tables import TextTable
@@ -108,8 +108,21 @@ def forest_cascades(forest):
     return [cascade for cascade, _cf, _indices in forest]
 
 
-def verify_realization(benchmark: Benchmark, realization, *, samples: int = 60, seed: int = 11) -> None:
-    """Spot-check a realization against the benchmark reference."""
+def verify_realization(
+    benchmark: Benchmark,
+    realization,
+    *,
+    samples: int = 60,
+    seed: int | None = None,
+) -> None:
+    """Spot-check a realization against the benchmark reference.
+
+    The sampling seed defaults to the stable benchmark key, so the
+    check draws the same minterms in every process (``--jobs``
+    determinism).
+    """
+    if seed is None:
+        seed = stable_seed("table5", benchmark.name, "realization")
     rng = random.Random(seed)
     care = []
     for m in benchmark.iter_care_minterms():
@@ -131,8 +144,12 @@ def run_row(benchmark: Benchmark, *, verify: bool = False, sift: bool = True) ->
     dc0_cost, dc0_real, _ = design(isf.extension(0), reduce=False, sift=sift)
     red_cost, red_real, _ = design(isf, reduce=True, sift=sift)
     if verify:
-        verify_realization(benchmark, dc0_real)
-        verify_realization(benchmark, red_real)
+        verify_realization(
+            benchmark, dc0_real, seed=stable_seed("table5", benchmark.name, "DC=0")
+        )
+        verify_realization(
+            benchmark, red_real, seed=stable_seed("table5", benchmark.name, "Alg3.3")
+        )
     return Table5Row(
         name=benchmark.name,
         n_inputs=isf.n_inputs,
@@ -142,12 +159,20 @@ def run_row(benchmark: Benchmark, *, verify: bool = False, sift: bool = True) ->
     )
 
 
-def run_table5(names: list[str] | None = None, *, verify: bool = False) -> list[Table5Row]:
-    """Run the reconstructed Table 5 over the arithmetic functions."""
-    rows = []
-    for name in names if names is not None else arithmetic_names():
-        rows.append(run_row(get_benchmark(name), verify=verify))
-    return rows
+def run_table5(
+    names: list[str] | None = None, *, verify: bool = False, jobs: int = 1
+) -> list[Table5Row]:
+    """Run the reconstructed Table 5 over the arithmetic functions.
+
+    ``jobs`` fans the rows out over the process-pool executor
+    (:func:`repro.parallel.run_tasks`); results are bit-identical at
+    any jobs value.
+    """
+    from repro.parallel import run_tasks, table5_task
+
+    names = list(names) if names is not None else arithmetic_names()
+    tasks = [table5_task(name, verify=verify) for name in names]
+    return run_tasks(tasks, jobs=jobs).rows
 
 
 def format_table5(rows: list[Table5Row]) -> str:

@@ -36,7 +36,7 @@ from repro.cascade import (
 )
 from repro.cf.charfun import CharFunction
 from repro.errors import ReproError
-from repro.experiments.runner import build_sifted_cf
+from repro.experiments.runner import build_sifted_cf, stable_seed
 from repro.isf.function import MultiOutputISF
 from repro.reduce import algorithm_3_3, reduce_support
 from repro.utils.tables import TextTable
@@ -122,11 +122,19 @@ def design_fig8(word_list: WordList, *, sift: bool = True):
     return cost, generator
 
 
-def verify_generator(word_list: WordList, generator: AddressGenerator, *, samples: int = 200, seed: int = 13) -> None:
+def verify_generator(
+    word_list: WordList,
+    generator: AddressGenerator,
+    *,
+    samples: int = 200,
+    seed: int | None = None,
+) -> None:
     """Every registered word maps to its index; random non-words to 0."""
     for word, index in word_list.word_to_index.items():
         if generator.lookup(word) != index:
             raise ReproError(f"word {word} not mapped to its index {index}")
+    if seed is None:
+        seed = stable_seed("table6", len(word_list.word_to_index), "Fig.8")
     rng = random.Random(seed)
     for _ in range(samples):
         x = rng.getrandbits(WORD_BITS)
@@ -136,11 +144,19 @@ def verify_generator(word_list: WordList, generator: AddressGenerator, *, sample
             raise ReproError(f"non-word {x} accepted by the address generator")
 
 
-def verify_dc0(word_list: WordList, realization, *, samples: int = 200, seed: int = 17) -> None:
+def verify_dc0(
+    word_list: WordList,
+    realization,
+    *,
+    samples: int = 200,
+    seed: int | None = None,
+) -> None:
     """The DC=0 realization computes the index function exactly."""
     for word, index in word_list.word_to_index.items():
         if realization.evaluate(word) != index:
             raise ReproError(f"DC=0 design wrong on word index {index}")
+    if seed is None:
+        seed = stable_seed("table6", len(word_list.word_to_index), "DC=0")
     rng = random.Random(seed)
     for _ in range(samples):
         x = rng.getrandbits(WORD_BITS)
@@ -151,9 +167,24 @@ def verify_dc0(word_list: WordList, realization, *, samples: int = 200, seed: in
 
 
 def run_table6(
-    sizes: list[int] | None = None, *, verify: bool = False, sift: bool = True
+    sizes: list[int] | None = None,
+    *,
+    verify: bool = False,
+    sift: bool = True,
+    jobs: int = 1,
 ) -> list[Table6Design]:
-    """Both designs for every configured word list size."""
+    """Both designs for every configured word list size.
+
+    With ``jobs > 1`` each word-list size becomes one row task on the
+    process-pool executor (:func:`repro.parallel.run_tasks`).
+    """
+    if jobs > 1:
+        from repro.parallel import run_tasks, table6_task
+
+        sizes = list(sizes) if sizes is not None else list(word_list_sizes())
+        tasks = [table6_task(count, sift=sift, verify=verify) for count in sizes]
+        report = run_tasks(tasks, jobs=jobs)
+        return [row for rows in report.rows for row in rows]
     rows: list[Table6Design] = []
     for count in sizes if sizes is not None else list(word_list_sizes()):
         word_list = WordList(generate_words(count))

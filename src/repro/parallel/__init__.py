@@ -1,0 +1,48 @@
+"""Process-parallel experiment runner with cost-aware scheduling.
+
+The Sect. 5 sweeps are dozens of independent per-benchmark pipelines;
+this package fans them out over a shared-nothing process pool:
+
+* :mod:`repro.parallel.tasks` — :class:`RowTask` descriptions, the
+  worker entry point, and parent-side parity checks on shipped CFs.
+* :mod:`repro.parallel.costs` — :class:`CostModel`, longest-first
+  scheduling seeded from BENCH_*.json wall times.
+* :mod:`repro.parallel.executor` — :func:`run_tasks` /
+  :class:`SweepReport`, including cross-process engine-stats
+  aggregation.
+* :mod:`repro.parallel.report` — the BENCH_PR3.json artifact.
+
+``run_tasks(tasks, jobs=1)`` is the sequential in-process path used by
+default everywhere; pass ``--jobs N`` on the CLI (or ``jobs=N``) to
+parallelize.  Results are bit-identical at any jobs value.
+"""
+
+from repro.parallel.costs import CostModel
+from repro.parallel.executor import SweepReport, WorkerUsage, run_tasks
+from repro.parallel.report import write_parallel_bench
+from repro.parallel.tasks import (
+    RowTask,
+    TaskResult,
+    execute_task,
+    row_fingerprint,
+    table4_task,
+    table5_task,
+    table6_task,
+    verify_shipped,
+)
+
+__all__ = [
+    "CostModel",
+    "RowTask",
+    "SweepReport",
+    "TaskResult",
+    "WorkerUsage",
+    "execute_task",
+    "row_fingerprint",
+    "run_tasks",
+    "table4_task",
+    "table5_task",
+    "table6_task",
+    "verify_shipped",
+    "write_parallel_bench",
+]

@@ -1,0 +1,144 @@
+"""Cost-aware scheduling: per-row wall-time estimates.
+
+The sweep rows differ in cost by two orders of magnitude (the 2-digit
+decimal multiplier row alone dominates the quick Table 5 sweep), so a
+process pool that schedules rows in table order ends up waiting on one
+straggler.  The executor instead schedules *longest-first*, using this
+model's estimates.
+
+Estimates come from three places, weakest first:
+
+1. per-kind defaults (a Table 6 word list costs more than a Table 4
+   row),
+2. ``BENCH_*.json`` records of prior runs (``wall_s`` of the
+   ``table4:<name>``-style records emitted by the benchmarks),
+3. the model's own persisted observation file, updated after every
+   sweep with an exponential moving average.
+
+An unknown row simply falls back to its kind default; the model is an
+optimization, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.parallel.tasks import RowTask
+
+#: Fallback estimates (seconds) by task kind.
+KIND_DEFAULTS = {"table4": 1.0, "table5": 2.0, "table6": 4.0}
+
+#: Persisted cost file format marker.
+COST_FORMAT = "repro-cost-model"
+COST_VERSION = 1
+
+
+class CostModel:
+    """Per-row wall-time estimates with longest-first scheduling."""
+
+    def __init__(
+        self,
+        estimates: dict[str, float] | None = None,
+        *,
+        path: str | Path | None = None,
+        alpha: float = 0.5,
+    ) -> None:
+        self.estimates: dict[str, float] = dict(estimates or {})
+        self.path = Path(path) if path is not None else None
+        self.alpha = alpha
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path | None = None,
+        *,
+        seed_bench: Iterable[str | Path] = (),
+        alpha: float = 0.5,
+    ) -> "CostModel":
+        """Load persisted estimates, seeding gaps from BENCH_*.json files.
+
+        Own observations (the ``path`` file) take precedence over the
+        benchmark-record seeds; missing or malformed files are ignored.
+        """
+        estimates: dict[str, float] = {}
+        for bench in seed_bench:
+            estimates.update(_bench_walls(bench))
+        if path is not None:
+            p = Path(path)
+            if p.exists():
+                try:
+                    data = json.loads(p.read_text())
+                except (OSError, json.JSONDecodeError):
+                    data = {}
+                if data.get("format") == COST_FORMAT:
+                    for key, value in data.get("estimates", {}).items():
+                        try:
+                            estimates[key] = float(value)
+                        except (TypeError, ValueError):
+                            continue
+        return cls(estimates, path=path, alpha=alpha)
+
+    def save(self, path: str | Path | None = None) -> Path | None:
+        """Persist the estimates; no-op when no path is configured."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            return None
+        target.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": COST_FORMAT,
+            "version": COST_VERSION,
+            "estimates": {k: round(v, 6) for k, v in sorted(self.estimates.items())},
+        }
+        target.write_text(json.dumps(payload, indent=2) + "\n")
+        return target
+
+    # ------------------------------------------------------------------
+    # Estimation and scheduling
+    # ------------------------------------------------------------------
+
+    def estimate(self, key: str) -> float:
+        """Expected wall seconds for a row key (kind default fallback)."""
+        value = self.estimates.get(key)
+        if value is not None:
+            return value
+        kind = key.split(":", 1)[0]
+        return KIND_DEFAULTS.get(kind, 1.0)
+
+    def observe(self, key: str, wall_s: float) -> None:
+        """Fold a measured wall time into the estimate (EWMA)."""
+        old = self.estimates.get(key)
+        if old is None:
+            self.estimates[key] = wall_s
+        else:
+            self.estimates[key] = self.alpha * wall_s + (1 - self.alpha) * old
+
+    def schedule(self, tasks: Sequence[RowTask]) -> list[int]:
+        """Longest-first execution order, as indices into ``tasks``.
+
+        The sort is stable on the original index, so two rows with
+        equal estimates keep their submission order — scheduling is
+        deterministic for a fixed model state.
+        """
+        return sorted(
+            range(len(tasks)), key=lambda i: (-self.estimate(tasks[i].key), i)
+        )
+
+
+def _bench_walls(path: str | Path) -> dict[str, float]:
+    """``record name -> wall_s`` from one BENCH_*.json file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    walls: dict[str, float] = {}
+    for key, rec in data.get("records", {}).items():
+        wall = rec.get("wall_s") if isinstance(rec, dict) else None
+        if isinstance(wall, (int, float)) and wall > 0:
+            walls[key] = float(wall)
+    return walls

@@ -1,0 +1,162 @@
+"""Shared-nothing process-pool execution of experiment row tasks.
+
+:func:`run_tasks` is the one entry point: it schedules the given
+:class:`~repro.parallel.tasks.RowTask`s longest-first (see
+:mod:`repro.parallel.costs`), fans them out over a
+``ProcessPoolExecutor`` with ``jobs`` workers, and reassembles results
+in submission order.  ``jobs=1`` short-circuits to an in-process loop —
+byte-for-byte the pre-parallel sequential path, with no pickling and no
+pool — which the determinism tests use as the reference.
+
+Cross-process stats: every worker measures its own engine-counter delta
+around the row; the executor sums those deltas into
+``SweepReport.stats_totals`` and (for ``jobs > 1``) folds them into the
+parent's :mod:`repro.bdd.stats` registry via
+:func:`~repro.bdd.stats.merge_worker_totals`, so engine-wide snapshots
+keep working when the work happened elsewhere.  The additive counters
+of an N-worker sweep equal those of the same sweep at ``jobs=1``
+(pinned by ``tests/parallel/test_aggregate.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.bdd import stats
+from repro.parallel.costs import CostModel
+from repro.parallel.tasks import RowTask, TaskResult, execute_task
+
+
+@dataclass
+class WorkerUsage:
+    """Per-worker accounting of one sweep."""
+
+    tasks: int = 0
+    busy_s: float = 0.0
+    utilization: float = 0.0
+
+
+@dataclass
+class SweepReport:
+    """Everything one :func:`run_tasks` call produced and measured."""
+
+    jobs: int
+    wall_s: float
+    results: list[TaskResult]
+    schedule: list[str]
+    stats_totals: dict = field(default_factory=dict)
+    workers: dict[str, WorkerUsage] = field(default_factory=dict)
+    scheduling_overhead_s: float = 0.0
+
+    @property
+    def rows(self) -> list:
+        """Row results in submission order."""
+        return [r.result for r in self.results]
+
+    @property
+    def busy_s(self) -> float:
+        """Total in-row wall time summed over all workers."""
+        return sum(r.wall_s for r in self.results)
+
+    def to_record(self) -> dict:
+        """JSON-ready summary for BENCH_*.json emission."""
+        return {
+            "jobs": self.jobs,
+            "wall_s": self.wall_s,
+            "busy_s": self.busy_s,
+            "scheduling_overhead_s": self.scheduling_overhead_s,
+            "schedule": list(self.schedule),
+            "row_wall_s": {r.key: r.wall_s for r in self.results},
+            "workers": {
+                pid: {
+                    "tasks": usage.tasks,
+                    "busy_s": usage.busy_s,
+                    "utilization": usage.utilization,
+                }
+                for pid, usage in self.workers.items()
+            },
+            "stats_totals": dict(self.stats_totals),
+        }
+
+
+def run_tasks(
+    tasks: Sequence[RowTask],
+    *,
+    jobs: int = 1,
+    cost_model: CostModel | None = None,
+    merge_stats: bool = True,
+) -> SweepReport:
+    """Execute row tasks on ``jobs`` worker processes; see module doc.
+
+    The returned report lists results in the submission order of
+    ``tasks`` regardless of the schedule.  Observed wall times are fed
+    back into ``cost_model`` (and persisted when it has a path), so the
+    second sweep schedules better than the first.
+    """
+    tasks = list(tasks)
+    if cost_model is None:
+        cost_model = CostModel()
+    order = cost_model.schedule(tasks)
+    t0 = time.perf_counter()
+    results: list[TaskResult | None] = [None] * len(tasks)
+    if jobs <= 1:
+        # In-process fallback: submission order, no pool, no pickling —
+        # the deterministic reference path.
+        for i, task in enumerate(tasks):
+            results[i] = execute_task(task)
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            pending = {
+                pool.submit(execute_task, tasks[i]): i for i in order
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    i = pending.pop(future)
+                    results[i] = future.result()
+    wall = time.perf_counter() - t0
+
+    executed = order if jobs > 1 else range(len(tasks))
+    report = SweepReport(
+        jobs=jobs,
+        wall_s=wall,
+        results=[r for r in results if r is not None],
+        schedule=[tasks[i].key for i in executed],
+    )
+    report.stats_totals = _aggregate(report.results)
+    report.workers = _worker_usage(report.results, wall)
+    busiest = max((u.busy_s for u in report.workers.values()), default=0.0)
+    report.scheduling_overhead_s = max(0.0, wall - busiest)
+    if jobs > 1 and merge_stats:
+        stats.merge_worker_totals(report.stats_totals)
+    for result in report.results:
+        cost_model.observe(result.key, result.wall_s)
+    cost_model.save()
+    return report
+
+
+def _aggregate(results: Sequence[TaskResult]) -> dict:
+    """Sum the additive counters over all task deltas; max the peak."""
+    totals = {key: 0 for key in stats.ADDITIVE_KEYS}
+    peak = 0
+    for result in results:
+        delta = result.stats_delta
+        for key in stats.ADDITIVE_KEYS:
+            totals[key] += int(delta.get(key, 0))
+        peak = max(peak, int(delta.get("peak_nodes", 0)))
+    totals["peak_nodes"] = peak
+    return totals
+
+
+def _worker_usage(results: Sequence[TaskResult], wall: float) -> dict[str, WorkerUsage]:
+    workers: dict[str, WorkerUsage] = {}
+    for result in results:
+        usage = workers.setdefault(str(result.pid), WorkerUsage())
+        usage.tasks += 1
+        usage.busy_s += result.wall_s
+    for usage in workers.values():
+        usage.utilization = (usage.busy_s / wall) if wall > 0 else 0.0
+    return workers

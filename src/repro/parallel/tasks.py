@@ -1,0 +1,245 @@
+"""Row tasks: the unit of work the parallel executor schedules.
+
+One *row task* is one (benchmark × partition-set × variant) pipeline of
+the Sect. 5 experiments — a Table 4 row, a Table 5 row, or one Table 6
+word-list size.  Tasks are shared-nothing: a worker process gets only
+the picklable :class:`RowTask` description, rebuilds everything from
+the benchmark registry, and ships back a :class:`TaskResult` carrying
+
+* the row result (plain dataclasses of measures/costs),
+* the worker's engine counter delta (:func:`repro.bdd.stats.counter_delta`),
+* optionally the serialized CF BDDs (``repro.bdd.io`` payloads) so the
+  parent can re-measure and refinement-check them *without rebuilding*
+  (:func:`verify_shipped`).
+
+Determinism: every sampling verifier inside a row derives its seed from
+the stable (benchmark, partition, variant) key — see
+:func:`repro.experiments.runner.stable_seed` — so a row computes the
+same result in any process at any ``--jobs`` value.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class RowTask:
+    """Description of one experiment row, picklable and hashable.
+
+    ``kind`` selects the pipeline (``table4`` / ``table5`` /
+    ``table6``), ``name`` the benchmark (a registry row label, or the
+    word count for Table 6).  ``options`` is a sorted tuple of
+    ``(key, value)`` pairs forwarded to the pipeline.
+    """
+
+    kind: str
+    name: str
+    options: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def key(self) -> str:
+        """Stable identity used for cost estimates and scheduling."""
+        return f"{self.kind}:{self.name}"
+
+    def opts(self) -> dict[str, Any]:
+        return dict(self.options)
+
+
+def _freeze(options: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
+    return tuple(sorted(options.items()))
+
+
+def table4_task(
+    name: str, *, sift: bool = True, verify: bool = False, ship_cfs: bool = False
+) -> RowTask:
+    """One Table 4 row (both output partitions, all five variants)."""
+    return RowTask(
+        "table4", name, _freeze({"sift": sift, "verify": verify, "ship_cfs": ship_cfs})
+    )
+
+
+def table5_task(name: str, *, sift: bool = True, verify: bool = False) -> RowTask:
+    """One Table 5 row (DC=0 and Alg3.3 cascade designs)."""
+    return RowTask("table5", name, _freeze({"sift": sift, "verify": verify}))
+
+
+def table6_task(count: int, *, sift: bool = True, verify: bool = False) -> RowTask:
+    """One Table 6 word-list size (DC=0 and Fig. 8 designs)."""
+    return RowTask("table6", str(count), _freeze({"sift": sift, "verify": verify}))
+
+
+@dataclass
+class TaskResult:
+    """What a worker ships back for one row task."""
+
+    key: str
+    result: Any
+    wall_s: float
+    pid: int
+    stats_delta: dict = field(default_factory=dict)
+    shipped_cfs: dict[str, dict] = field(default_factory=dict)
+
+
+def _run_table4(name: str, opts: dict) -> tuple[Any, dict[str, dict]]:
+    from repro.bdd.io import charfunction_payload
+    from repro.benchfns.registry import get_benchmark
+    from repro.experiments.table4 import run_row
+
+    collect: dict[str, Any] | None = {} if opts.get("ship_cfs") else None
+    row = run_row(
+        get_benchmark(name),
+        sift=opts.get("sift", True),
+        verify=opts.get("verify", False),
+        collect=collect,
+    )
+    shipped = {
+        label: charfunction_payload(cf) for label, cf in (collect or {}).items()
+    }
+    return row, shipped
+
+
+def _run_table5(name: str, opts: dict) -> tuple[Any, dict[str, dict]]:
+    from repro.benchfns.registry import get_benchmark
+    from repro.experiments.table5 import run_row
+
+    row = run_row(
+        get_benchmark(name),
+        sift=opts.get("sift", True),
+        verify=opts.get("verify", False),
+    )
+    return row, {}
+
+
+def _run_table6(name: str, opts: dict) -> tuple[Any, dict[str, dict]]:
+    from repro.experiments.table6 import run_table6
+
+    rows = run_table6(
+        [int(name)],
+        sift=opts.get("sift", True),
+        verify=opts.get("verify", False),
+    )
+    return rows, {}
+
+
+_DISPATCH = {
+    "table4": _run_table4,
+    "table5": _run_table5,
+    "table6": _run_table6,
+}
+
+
+def execute_task(task: RowTask) -> TaskResult:
+    """Run one row task in the current process.
+
+    This is the worker entry point (it must stay a module-level
+    function so :mod:`concurrent.futures` can pickle it); the ``jobs=1``
+    fallback calls it in-process, which is exactly the pre-parallel
+    sequential path.
+    """
+    from repro.bdd import stats
+
+    runner = _DISPATCH.get(task.kind)
+    if runner is None:
+        raise ReproError(f"unknown row task kind {task.kind!r}")
+    before = stats.snapshot()
+    t0 = time.perf_counter()
+    result, shipped = runner(task.name, task.opts())
+    wall = time.perf_counter() - t0
+    delta = stats.counter_delta(before, stats.snapshot())
+    return TaskResult(
+        key=task.key,
+        result=result,
+        wall_s=wall,
+        pid=os.getpid(),
+        stats_delta=delta,
+        shipped_cfs=shipped,
+    )
+
+
+def row_fingerprint(row: Any) -> Any:
+    """Hashable summary of a row result, excluding wall-clock fields.
+
+    Parity between ``--jobs`` values means bit-identical widths, node
+    counts, and cascade costs; the Algorithm 3.1/3.3 timings inside a
+    :class:`~repro.experiments.table4.Table4Row` legitimately vary
+    between runs and are excluded.
+    """
+    if isinstance(row, (list, tuple)):
+        return tuple(row_fingerprint(r) for r in row)
+    if hasattr(row, "parts"):  # Table4Row
+        return (
+            row.name,
+            row.n_inputs,
+            row.n_outputs,
+            row.dc_percent,
+            tuple(
+                (
+                    part.label,
+                    tuple(
+                        (variant, m.max_width, m.nodes)
+                        for variant, m in sorted(part.measures.items())
+                    ),
+                )
+                for part in row.parts
+            ),
+        )
+    return row  # Table5Row / Table6Design carry no timing fields
+
+
+def verify_shipped(result: TaskResult) -> int:
+    """Parity-check the CF payloads a worker shipped, without rebuilding.
+
+    For every shipped ``<part>/<variant>`` payload the parent reloads
+    the BDD (``repro.bdd.io``) and re-measures it; width and node count
+    must be bit-identical to the :class:`VariantMeasure` the worker
+    reported.  Where a partition shipped both its ISF and a reduced
+    variant, the reduced CF is pulled into the ISF's manager by
+    variable name (``repro.bdd.transfer``) and must refine it.
+
+    Returns the number of payloads checked; raises
+    :class:`~repro.errors.ReproError` on any mismatch.
+    """
+    from repro.bdd.io import load_charfunction_payload
+    from repro.bdd.transfer import transfer_by_name
+    from repro.experiments.runner import measure
+
+    if not result.shipped_cfs:
+        return 0
+    row = result.result
+    measures_by_label = {
+        f"{part.label}/{variant}": m
+        for part in row.parts
+        for variant, m in part.measures.items()
+    }
+    loaded: dict[str, Any] = {}
+    for label, payload in result.shipped_cfs.items():
+        cf = load_charfunction_payload(payload)
+        loaded[label] = cf
+        want = measures_by_label.get(label)
+        if want is None:
+            raise ReproError(f"{result.key}: shipped unknown CF {label!r}")
+        got = measure(cf)
+        if got != want:
+            raise ReproError(
+                f"{result.key}: {label} parity mismatch: worker reported "
+                f"{want}, parent re-measured {got}"
+            )
+    for label, cf in loaded.items():
+        part, _, variant = label.partition("/")
+        if variant == "ISF":
+            continue
+        isf_cf = loaded.get(f"{part}/ISF")
+        if isf_cf is None:
+            continue
+        (root,) = transfer_by_name(cf.bdd, isf_cf.bdd, [cf.root])
+        if not isf_cf.bdd.implies(root, isf_cf.root):
+            raise ReproError(
+                f"{result.key}: {label} does not refine {part}/ISF"
+            )
+    return len(loaded)

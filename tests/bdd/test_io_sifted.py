@@ -1,0 +1,138 @@
+"""Round-trips of CF BDDs under sifted (non-identity) variable orders.
+
+These are exactly the payloads the parallel workers ship back to the
+parent: a BDD_for_CF whose order was changed by sifting, with output
+variables interleaved among the inputs (Definition 2.4), serialized
+with ``repro.bdd.io`` and re-imported by name with
+``repro.bdd.transfer.transfer_by_name``.
+"""
+
+import pytest
+
+from repro.bdd import set_order, transfer_by_name
+from repro.bdd.io import (
+    charfunction_payload,
+    dump_charfunction,
+    load_charfunction,
+    load_charfunction_payload,
+)
+from repro.bdd.manager import BDD
+from repro.cf import CharFunction, max_width, width_profile
+from repro.errors import VariableError
+from repro.isf import table1_spec
+from repro.reduce import algorithm_3_3, reduce_support
+
+
+@pytest.fixture()
+def sifted_cf():
+    """Table 1 CF under a deliberately non-identity order."""
+    cf = CharFunction.from_spec(table1_spec())
+    cf.sift(cost="widthsum")
+    # Sifting may or may not move variables; force a visible permutation
+    # that still respects Def. 2.4 (each y_i below its supports).
+    names = cf.bdd.order()
+    inputs = [n for n in names if cf.bdd.kind_of(cf.bdd.vid(n)) == "input"]
+    reordered = [inputs[1], inputs[0], *names[2:]] if names[:2] == inputs[:2] else names
+    set_order(cf.bdd, [cf.root], reordered)
+    return cf
+
+
+class TestSiftedRoundtrip:
+    def test_order_and_kinds_survive(self, sifted_cf):
+        back = load_charfunction(dump_charfunction(sifted_cf))
+        assert back.bdd.order() == sifted_cf.bdd.order()
+        for vid in back.output_vids:
+            assert back.bdd.kind_of(vid) == "output"
+        for vid in back.input_vids:
+            assert back.bdd.kind_of(vid) == "input"
+
+    def test_structure_survives(self, sifted_cf):
+        back = load_charfunction(dump_charfunction(sifted_cf))
+        assert width_profile(back.bdd, back.root) == width_profile(
+            sifted_cf.bdd, sifted_cf.root
+        )
+        assert back.num_nodes() == sifted_cf.num_nodes()
+
+    def test_semantics_survive(self, sifted_cf):
+        back = load_charfunction(dump_charfunction(sifted_cf))
+        for m in range(1 << len(sifted_cf.input_vids)):
+            assert back.output_pattern(m) == sifted_cf.output_pattern(m)
+
+    def test_output_supports_survive(self, sifted_cf):
+        back = load_charfunction(dump_charfunction(sifted_cf))
+        names = {
+            back.bdd.name_of(y): {back.bdd.name_of(x) for x in xs}
+            for y, xs in back.output_supports.items()
+        }
+        want = {
+            sifted_cf.bdd.name_of(y): {sifted_cf.bdd.name_of(x) for x in xs}
+            for y, xs in sifted_cf.output_supports.items()
+        }
+        assert names == want
+
+    def test_payload_matches_text_roundtrip(self, sifted_cf):
+        by_payload = load_charfunction_payload(charfunction_payload(sifted_cf))
+        by_text = load_charfunction(dump_charfunction(sifted_cf))
+        assert by_payload.bdd.order() == by_text.bdd.order()
+        assert by_payload.num_nodes() == by_text.num_nodes()
+
+    def test_reduced_cf_roundtrip(self, sifted_cf):
+        reduced, _removed = reduce_support(sifted_cf)
+        reduced, _stats = algorithm_3_3(reduced)
+        back = load_charfunction(dump_charfunction(reduced))
+        assert max_width(back.bdd, back.root) == max_width(reduced.bdd, reduced.root)
+        assert back.num_nodes() == reduced.num_nodes()
+
+
+class TestTransferByName:
+    def test_roundtrip_into_original_manager(self, sifted_cf):
+        back = load_charfunction(dump_charfunction(sifted_cf))
+        (root,) = transfer_by_name(back.bdd, sifted_cf.bdd, [back.root])
+        assert root == sifted_cf.root
+
+    def test_into_manager_with_different_order(self, sifted_cf):
+        dst = BDD()
+        # Same variables, reversed order: forces the ITE re-normalization.
+        for name in reversed(sifted_cf.bdd.order()):
+            dst.add_var(
+                name, kind=sifted_cf.bdd.kind_of(sifted_cf.bdd.vid(name))
+            )
+        (root,) = transfer_by_name(sifted_cf.bdd, dst, [sifted_cf.root])
+        # Semantics must match on every full assignment.
+        all_vids = [
+            *sifted_cf.input_vids,
+            *sifted_cf.output_vids,
+        ]
+        n = len(all_vids)
+        for m in range(1 << n):
+            bits = [(m >> (n - 1 - i)) & 1 for i in range(n)]
+            src_val = sifted_cf.bdd.evaluate(
+                sifted_cf.root, dict(zip(all_vids, bits))
+            )
+            dst_val = dst.evaluate(
+                root,
+                {
+                    dst.vid(sifted_cf.bdd.name_of(v)): b
+                    for v, b in zip(all_vids, bits)
+                },
+            )
+            assert src_val == dst_val
+
+    def test_missing_vars_added_with_kinds(self, sifted_cf):
+        dst = BDD()
+        (root,) = transfer_by_name(sifted_cf.bdd, dst, [sifted_cf.root])
+        assert root != 0
+        for vid in sifted_cf.bdd.support(sifted_cf.root):
+            name = sifted_cf.bdd.name_of(vid)
+            assert dst.kind_of(dst.vid(name)) == sifted_cf.bdd.kind_of(vid)
+
+    def test_add_missing_false_raises(self, sifted_cf):
+        with pytest.raises(VariableError, match="lacks variables"):
+            transfer_by_name(
+                sifted_cf.bdd, BDD(), [sifted_cf.root], add_missing=False
+            )
+
+    def test_terminal_roots(self):
+        src, dst = BDD(), BDD()
+        src.add_var("x")
+        assert transfer_by_name(src, dst, [0, 1]) == [0, 1]

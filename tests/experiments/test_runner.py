@@ -12,6 +12,7 @@ from repro.experiments.runner import (
     build_extension_cf,
     build_sifted_cf,
     measure,
+    stable_seed,
     verify_cf_against_reference,
 )
 
@@ -69,3 +70,32 @@ class TestVerification:
         cf = build_sifted_cf(f1, sift=False)
         with pytest.raises(ReproError):
             verify_cf_against_reference(cf, benchmark, slice(2, 4), samples=30)
+
+
+class TestStableSeed:
+    def test_deterministic_across_calls(self):
+        assert stable_seed("adder", "F1", "Alg3.3") == stable_seed(
+            "adder", "F1", "Alg3.3"
+        )
+
+    def test_distinct_keys_distinct_seeds(self):
+        seeds = {
+            stable_seed(table, name, variant)
+            for table in ("table4", "table5")
+            for name in ("a", "b", "c")
+            for variant in ("ISF", "Alg3.1", "Alg3.3")
+        }
+        assert len(seeds) == 2 * 3 * 3
+
+    def test_pinned_value(self):
+        """Process-independent: the digest must never vary between runs."""
+        assert stable_seed("table4", "3-5 RNS", "ISF") == stable_seed(
+            "table4", "3-5 RNS", "ISF"
+        )
+        assert stable_seed() == stable_seed()
+        assert 0 <= stable_seed("x") < 2**64
+
+    def test_non_string_parts(self):
+        assert stable_seed("table6", 30, "Fig.8") == stable_seed(
+            "table6", "30", "Fig.8"
+        )

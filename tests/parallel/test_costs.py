@@ -1,0 +1,88 @@
+"""Tests for the cost model and longest-first scheduling."""
+
+import json
+
+from repro.parallel import CostModel, table4_task, table5_task, table6_task
+from repro.parallel.costs import KIND_DEFAULTS
+
+
+class TestEstimates:
+    def test_kind_defaults(self):
+        model = CostModel()
+        assert model.estimate("table4:foo") == KIND_DEFAULTS["table4"]
+        assert model.estimate("table6:99") == KIND_DEFAULTS["table6"]
+        assert model.estimate("weird:thing") == 1.0
+
+    def test_known_estimate_wins(self):
+        model = CostModel({"table4:foo": 12.5})
+        assert model.estimate("table4:foo") == 12.5
+
+    def test_observe_first_sample_taken_verbatim(self):
+        model = CostModel()
+        model.observe("table4:foo", 3.0)
+        assert model.estimate("table4:foo") == 3.0
+
+    def test_observe_ewma(self):
+        model = CostModel({"table4:foo": 2.0}, alpha=0.5)
+        model.observe("table4:foo", 4.0)
+        assert model.estimate("table4:foo") == 3.0
+
+
+class TestSeedingAndPersistence:
+    def test_seed_from_bench_json(self, tmp_path):
+        bench = tmp_path / "BENCH_X.json"
+        bench.write_text(
+            json.dumps(
+                {
+                    "records": {
+                        "table4:foo": {"wall_s": 7.5},
+                        "table5:bar": {"wall_s": 0.5, "ops_per_sec": 10},
+                        "no_wall": {"op_calls": 3},
+                    }
+                }
+            )
+        )
+        model = CostModel.load(seed_bench=[bench])
+        assert model.estimate("table4:foo") == 7.5
+        assert model.estimate("table5:bar") == 0.5
+        assert model.estimate("no_wall") == 1.0  # unmatched -> kind default
+
+    def test_persisted_observations_override_seeds(self, tmp_path):
+        bench = tmp_path / "BENCH_X.json"
+        bench.write_text(json.dumps({"records": {"table4:foo": {"wall_s": 7.5}}}))
+        path = tmp_path / "costs.json"
+        first = CostModel.load(path, seed_bench=[bench])
+        first.observe("table4:foo", 1.5)  # EWMA over the 7.5 seed -> 4.5
+        first.save()
+        again = CostModel.load(path, seed_bench=[bench])
+        # The persisted observation, not the bench seed, wins on reload.
+        assert again.estimate("table4:foo") == first.estimate("table4:foo") == 4.5
+
+    def test_missing_and_malformed_files_ignored(self, tmp_path):
+        bad = tmp_path / "BENCH_BAD.json"
+        bad.write_text("{not json")
+        model = CostModel.load(
+            tmp_path / "absent.json", seed_bench=[bad, tmp_path / "missing.json"]
+        )
+        assert model.estimates == {}
+
+    def test_save_without_path_is_noop(self):
+        assert CostModel().save() is None
+
+
+class TestScheduling:
+    def test_longest_first(self):
+        tasks = [table4_task("a"), table6_task(10), table5_task("b")]
+        model = CostModel()  # defaults: table6 > table5 > table4
+        assert model.schedule(tasks) == [1, 2, 0]
+
+    def test_stable_on_ties(self):
+        tasks = [table4_task("a"), table4_task("b"), table4_task("c")]
+        assert CostModel().schedule(tasks) == [0, 1, 2]
+
+    def test_estimates_reorder(self):
+        tasks = [table4_task("slow"), table4_task("fast")]
+        model = CostModel({"table4:slow": 10.0, "table4:fast": 0.1})
+        assert model.schedule(tasks) == [0, 1]
+        model = CostModel({"table4:slow": 0.1, "table4:fast": 10.0})
+        assert model.schedule(tasks) == [1, 0]

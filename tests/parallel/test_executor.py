@@ -1,0 +1,122 @@
+"""Tests for the process-pool executor: parity, scheduling, plumbing.
+
+The mini-sweep here uses the tiny ``3-5 RNS`` benchmark so the
+process-pool tests stay fast; the full-size parity sweep lives in
+``benchmarks/bench_parallel.py``.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.parallel import (
+    CostModel,
+    execute_task,
+    row_fingerprint,
+    run_tasks,
+    table4_task,
+    table5_task,
+    verify_shipped,
+)
+
+MINI = [
+    table4_task("3-5 RNS", verify=True, ship_cfs=True),
+    table5_task("3-5 RNS", verify=True),
+]
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    return run_tasks(MINI, jobs=1, cost_model=CostModel())
+
+
+@pytest.fixture(scope="module")
+def parallel():
+    return run_tasks(MINI, jobs=2, cost_model=CostModel())
+
+
+class TestParity:
+    def test_rows_bit_identical(self, sequential, parallel):
+        assert len(sequential.results) == len(parallel.results)
+        for seq, par in zip(sequential.results, parallel.results):
+            assert seq.key == par.key
+            assert row_fingerprint(seq.result) == row_fingerprint(par.result)
+
+    def test_results_in_submission_order(self, parallel):
+        assert [r.key for r in parallel.results] == [t.key for t in MINI]
+
+    def test_shipped_cfs_verify(self, parallel):
+        checked = verify_shipped(parallel.results[0])
+        assert checked == 6  # 2 partitions x (ISF, Alg3.1, Alg3.3)
+        assert verify_shipped(parallel.results[1]) == 0  # table5 ships none
+
+    def test_verify_shipped_detects_tampering(self, parallel):
+        result = parallel.results[0]
+        row = result.result
+        original = row.parts[0].measures["ISF"]
+        try:
+            row.parts[0].measures["ISF"] = type(original)(
+                max_width=original.max_width + 1, nodes=original.nodes
+            )
+            with pytest.raises(ReproError, match="parity mismatch"):
+                verify_shipped(result)
+        finally:
+            row.parts[0].measures["ISF"] = original
+
+
+class TestReports:
+    def test_sequential_report_shape(self, sequential):
+        assert sequential.jobs == 1
+        assert sequential.wall_s > 0
+        assert len(sequential.workers) == 1
+        (usage,) = sequential.workers.values()
+        assert usage.tasks == len(MINI)
+        assert sequential.schedule == [t.key for t in MINI]
+
+    def test_parallel_report_shape(self, parallel):
+        assert parallel.jobs == 2
+        assert parallel.scheduling_overhead_s >= 0.0
+        assert sum(u.tasks for u in parallel.workers.values()) == len(MINI)
+        for usage in parallel.workers.values():
+            assert usage.busy_s > 0
+            assert 0.0 <= usage.utilization
+        # Parent pid never appears: the work happened in workers.
+        import os
+
+        assert str(os.getpid()) not in parallel.workers
+
+    def test_schedule_is_longest_first(self):
+        model = CostModel({"table4:3-5 RNS": 0.1, "table5:3-5 RNS": 9.0})
+        report = run_tasks(MINI, jobs=1, cost_model=model)
+        # jobs=1 executes (and reports) submission order...
+        assert report.schedule == [t.key for t in MINI]
+        # ...while the model itself puts the expensive row first.
+        assert model.schedule(MINI) == [1, 0]
+
+    def test_to_record_is_json_ready(self, parallel):
+        import json
+
+        record = parallel.to_record()
+        text = json.dumps(record)
+        assert "row_wall_s" in text
+        assert record["jobs"] == 2
+
+    def test_cost_model_learns_from_run(self):
+        model = CostModel()
+        run_tasks(MINI, jobs=1, cost_model=model)
+        # Estimates are now observed walls, not kind defaults.
+        assert model.estimates["table4:3-5 RNS"] > 0
+        assert model.estimates["table5:3-5 RNS"] > 0
+
+
+class TestExecuteTask:
+    def test_unknown_kind_raises(self):
+        from repro.parallel.tasks import RowTask
+
+        with pytest.raises(ReproError, match="unknown row task kind"):
+            execute_task(RowTask("table99", "x"))
+
+    def test_delta_counters_nonzero(self):
+        result = execute_task(table4_task("3-5 RNS"))
+        assert result.stats_delta["op_calls"] > 0
+        assert result.stats_delta["kernel_steps"] > 0
+        assert result.wall_s > 0
