@@ -24,6 +24,9 @@ Environment:
 * ``REPRO_BENCH_FULL=1``    — sweep every Table 4 + Table 5 row
   instead of the reduced set.
 * ``REPRO_REQUIRE_SPEEDUP=X`` — fail unless speedup >= X.
+* ``REPRO_BENCH_TIMEOUT=S`` / ``REPRO_BENCH_RETRIES=N`` — per-attempt
+  row deadline and retry budget for both sweeps; any quarantined row
+  fails the parity test outright.
 """
 
 from __future__ import annotations
@@ -42,7 +45,13 @@ from repro.parallel import (
     write_parallel_bench,
 )
 
-from conftest import REPO_ROOT, RESULTS_DIR, bench_full
+from conftest import (
+    REPO_ROOT,
+    RESULTS_DIR,
+    bench_full,
+    bench_retries,
+    bench_timeout,
+)
 
 BENCH_PR3 = REPO_ROOT / "BENCH_PR3.json"
 
@@ -82,10 +91,19 @@ def test_parallel_sweep_parity_and_speedup():
         RESULTS_DIR / "costs.json", seed_bench=sorted(REPO_ROOT.glob("BENCH_*.json"))
     )
 
+    timeout = bench_timeout()
+    retries = bench_retries()
     with stats.record("parallel_sweep_seq", rows=len(tasks)):
-        sequential = run_tasks(tasks, jobs=1, cost_model=cost_model)
+        sequential = run_tasks(
+            tasks, jobs=1, cost_model=cost_model, timeout=timeout, retries=retries
+        )
     with stats.record("parallel_sweep_par", rows=len(tasks), jobs=jobs):
-        parallel = run_tasks(tasks, jobs=jobs, cost_model=cost_model)
+        parallel = run_tasks(
+            tasks, jobs=jobs, cost_model=cost_model, timeout=timeout, retries=retries
+        )
+    assert not sequential.failures and not parallel.failures, (
+        [f.key for f in sequential.failures + parallel.failures]
+    )
 
     # Parity: bit-identical widths/node counts/costs, row by row.
     for seq, par in zip(sequential.results, parallel.results):

@@ -10,6 +10,9 @@ Scale control:
 * REPRO_BENCH_JOBS=N  — run each row through the parallel executor
   (``repro.parallel``) with N worker processes; default 1 keeps the
   in-process sequential path.
+* REPRO_BENCH_TIMEOUT=S / REPRO_BENCH_RETRIES=N — per-attempt row
+  deadline and retry budget for those executor runs (DESIGN.md §8); a
+  quarantined row fails its benchmark with the failure record.
 
 Each benchmark writes the regenerated table/figure to
 ``benchmarks/results/<name>.txt`` so the artefacts survive pytest's
@@ -44,16 +47,48 @@ def bench_jobs() -> int:
         return 1
 
 
+def bench_timeout() -> float | None:
+    """Per-attempt row deadline (``REPRO_BENCH_TIMEOUT`` seconds)."""
+    raw = os.environ.get("REPRO_BENCH_TIMEOUT", "").strip()
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+def bench_retries() -> int:
+    """Retry budget for executor-backed rows (``REPRO_BENCH_RETRIES``)."""
+    raw = os.environ.get("REPRO_BENCH_RETRIES", "").strip()
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 2
+
+
 def run_row_task(task):
     """Execute one row task through the parallel executor.
 
     With ``REPRO_BENCH_JOBS=1`` this is the in-process sequential path;
     larger values exercise the process pool (the row itself is the
-    granularity, so a single row still occupies one worker).
+    granularity, so a single row still occupies one worker).  A
+    quarantined row is a benchmark failure — raise with its record.
     """
     from repro.parallel import run_tasks
 
-    return run_tasks([task], jobs=bench_jobs()).rows[0]
+    report = run_tasks(
+        [task],
+        jobs=bench_jobs(),
+        timeout=bench_timeout(),
+        retries=bench_retries(),
+    )
+    if report.failures:
+        failure = report.failures[0]
+        raise RuntimeError(
+            f"benchmark row {failure.key} quarantined: {failure.status} "
+            f"after {failure.attempts} attempt(s) — {failure.error}"
+        )
+    return report.rows[0]
 
 
 def write_result(name: str, text: str) -> pathlib.Path:

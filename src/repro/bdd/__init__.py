@@ -10,8 +10,12 @@ Public surface:
 * :mod:`repro.bdd.reorder` — in-place adjacent swaps and sifting.
 * :mod:`repro.bdd.traversal` — level profiles and crossing-edge sets.
 * :mod:`repro.bdd.dot` — Graphviz export in the paper's drawing style.
+* :mod:`repro.bdd.governor` — cooperative node/step/deadline budgets
+  (:class:`~repro.bdd.governor.Budget`) enforced inside the apply
+  kernel and the sifting loop.
 """
 
+from repro.bdd.governor import Budget
 from repro.bdd.manager import FALSE, TRUE, BDD
 from repro.bdd.builder import (
     from_cube,
@@ -47,6 +51,7 @@ from repro.bdd.transfer import transfer, transfer_by_name
 
 __all__ = [
     "BDD",
+    "Budget",
     "FALSE",
     "TRUE",
     "SiftSession",

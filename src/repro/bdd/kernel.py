@@ -39,6 +39,11 @@ from __future__ import annotations
 
 from itertools import islice
 
+from repro.bdd import governor as _governor
+
+_GOVERNED = _governor._ACTIVE  # the live budget stack (empty = ungoverned)
+_CHECK_MASK = _governor.CHECK_INTERVAL - 1
+
 #: Level assigned to terminal nodes: below every variable.
 TERMINAL_LEVEL = 1 << 30
 
@@ -344,6 +349,15 @@ def run(bdd, op: int, a: int, b: int = -1, c: int = -1) -> int:
     through delegated OR/AND/ITE visits followed by a store frame, so
     the whole evaluation — including the nested products — stays on
     this one stack.
+
+    When a :mod:`repro.bdd.governor` budget is active, the loop runs a
+    checkpoint every :data:`~repro.bdd.governor.CHECK_INTERVAL` steps
+    (once on entry, and the sub-interval remainder is charged on exit
+    so budgets accumulate across many short runs).  A budget violation
+    raises between iterations:
+    the partial frames are discarded, every node and cache entry
+    created so far is valid, and the charged steps still land in
+    ``_kernel_steps`` — the manager stays consistent and usable.
     """
     vid_arr = bdd._vid
     lo_arr = bdd._lo
@@ -362,218 +376,230 @@ def run(bdd, op: int, a: int, b: int = -1, c: int = -1) -> int:
     push = work.append
     pop = work.pop
     steps = 0
+    governed = _GOVERNED
+    if governed:
+        _governor.checkpoint(bdd)
 
-    while work:
-        frame = pop()
-        tag = frame[0]
+    try:
+        while work:
+            frame = pop()
+            tag = frame[0]
 
-        if tag == _VISIT:
-            steps += 1
-            op = frame[1]
-            a = frame[2]
-            b = frame[3]
-            c = frame[4]
-            t = terminal_rules[op](bdd, a, b, c)
-            if t is not None:
-                if type(t) is int:
-                    out.append(t)
-                else:  # normalized delegation (op2, a2, b2, c2)
-                    push((_VISIT,) + t)
-                continue
-            if commutative[op] and a > b:
-                a, b = b, a
-            cache = tiers[op]
-            data = cache.data
-
-            if op <= OP_XOR:
-                key = (a, b)
-                v = data.get(key)
-                if (
-                    v is not None
-                    and gen[a] == v[1]
-                    and gen[b] == v[2]
-                    and gen[v[0]] == v[3]
-                ):
-                    cache.hits += 1
-                    out.append(v[0])
+            if tag == _VISIT:
+                steps += 1
+                if governed and not steps & _CHECK_MASK:
+                    _governor.checkpoint(bdd, _CHECK_MASK + 1)
+                op = frame[1]
+                a = frame[2]
+                b = frame[3]
+                c = frame[4]
+                t = terminal_rules[op](bdd, a, b, c)
+                if t is not None:
+                    if type(t) is int:
+                        out.append(t)
+                    else:  # normalized delegation (op2, a2, b2, c2)
+                        push((_VISIT,) + t)
                     continue
-                cache.misses += 1
-                la = level_of[vid_arr[a]]
-                lb = level_of[vid_arr[b]]
-                if la <= lb:
+                if commutative[op] and a > b:
+                    a, b = b, a
+                cache = tiers[op]
+                data = cache.data
+
+                if op <= OP_XOR:
+                    key = (a, b)
+                    v = data.get(key)
+                    if (
+                        v is not None
+                        and gen[a] == v[1]
+                        and gen[b] == v[2]
+                        and gen[v[0]] == v[3]
+                    ):
+                        cache.hits += 1
+                        out.append(v[0])
+                        continue
+                    cache.misses += 1
+                    la = level_of[vid_arr[a]]
+                    lb = level_of[vid_arr[b]]
+                    if la <= lb:
+                        vid = vid_arr[a]
+                        a0 = lo_arr[a]
+                        a1 = hi_arr[a]
+                    else:
+                        vid = vid_arr[b]
+                        a0 = a1 = a
+                    if lb <= la:
+                        b0 = lo_arr[b]
+                        b1 = hi_arr[b]
+                    else:
+                        b0 = b1 = b
+                    push((_COMBINE, op, key, vid, (a, b)))
+                    push((_VISIT, op, a1, b1, -1))
+                    push((_VISIT, op, a0, b0, -1))
+
+                elif op == OP_NOT:
+                    v = data.get(a)
+                    if v is not None and gen[a] == v[1] and gen[v[0]] == v[2]:
+                        cache.hits += 1
+                        out.append(v[0])
+                        continue
+                    cache.misses += 1
+                    push((_COMBINE, op, a, vid_arr[a], (a,)))
+                    push((_VISIT, op, hi_arr[a], -1, -1))
+                    push((_VISIT, op, lo_arr[a], -1, -1))
+
+                elif op == OP_ITE:
+                    key = (a, b, c)
+                    v = data.get(key)
+                    if (
+                        v is not None
+                        and gen[a] == v[1]
+                        and gen[b] == v[2]
+                        and gen[c] == v[3]
+                        and gen[v[0]] == v[4]
+                    ):
+                        cache.hits += 1
+                        out.append(v[0])
+                        continue
+                    cache.misses += 1
+                    la = level_of[vid_arr[a]]  # f is internal past the terminal rule
+                    lb = TERMINAL_LEVEL if b <= 1 else level_of[vid_arr[b]]
+                    lc = TERMINAL_LEVEL if c <= 1 else level_of[vid_arr[c]]
+                    top = la if la <= lb else lb
+                    if lc < top:
+                        top = lc
+                    vid = var_at_level[top]
+                    if vid_arr[a] == vid:
+                        a0, a1 = lo_arr[a], hi_arr[a]
+                    else:
+                        a0 = a1 = a
+                    if b > 1 and vid_arr[b] == vid:
+                        b0, b1 = lo_arr[b], hi_arr[b]
+                    else:
+                        b0 = b1 = b
+                    if c > 1 and vid_arr[c] == vid:
+                        c0, c1 = lo_arr[c], hi_arr[c]
+                    else:
+                        c0 = c1 = c
+                    push((_COMBINE, op, key, vid, (a, b, c)))
+                    push((_VISIT, op, a1, b1, c1))
+                    push((_VISIT, op, a0, b0, c0))
+
+                elif op == OP_COFACTOR:
+                    key = (a, b, c)
+                    v = data.get(key)
+                    if v is not None and gen[a] == v[1] and gen[v[0]] == v[2]:
+                        cache.hits += 1
+                        out.append(v[0])
+                        continue
+                    cache.misses += 1
+                    if level_of[vid_arr[a]] == level_of[b]:
+                        r = hi_arr[a] if c else lo_arr[a]
+                        cache.insert(key, (r, gen[a], gen[r]))
+                        out.append(r)
+                    else:
+                        push((_COMBINE, op, key, vid_arr[a], (a,)))
+                        push((_VISIT, op, hi_arr[a], b, c))
+                        push((_VISIT, op, lo_arr[a], b, c))
+
+                elif op == OP_COMPOSE:
+                    key = (a, b, c)
+                    v = data.get(key)
+                    if (
+                        v is not None
+                        and gen[a] == v[1]
+                        and gen[c] == v[2]
+                        and gen[v[0]] == v[3]
+                    ):
+                        cache.hits += 1
+                        out.append(v[0])
+                        continue
+                    cache.misses += 1
+                    if level_of[vid_arr[a]] == level_of[b]:
+                        push((_STORE, op, key, (a, c)))
+                        push((_VISIT, OP_ITE, c, hi_arr[a], lo_arr[a]))
+                    else:
+                        var_node = mk(vid_arr[a], FALSE, TRUE)
+                        push((_SUBST, key, (a, c), var_node))
+                        push((_VISIT, op, hi_arr[a], b, c))
+                        push((_VISIT, op, lo_arr[a], b, c))
+
+                else:  # OP_EXISTS / OP_FORALL
+                    key = (a, b)
+                    v = data.get(key)
+                    if v is not None and gen[a] == v[1] and gen[v[0]] == v[2]:
+                        cache.hits += 1
+                        out.append(v[0])
+                        continue
+                    cache.misses += 1
                     vid = vid_arr[a]
-                    a0 = lo_arr[a]
-                    a1 = hi_arr[a]
+                    push((_QUANT, op, key, (a,), vid, vid in groups[b]))
+                    push((_VISIT, op, hi_arr[a], b, -1))
+                    push((_VISIT, op, lo_arr[a], b, -1))
+
+            elif tag == _COMBINE:
+                op = frame[1]
+                hi_r = out.pop()
+                lo_r = out.pop()
+                r = mk(frame[3], lo_r, hi_r)
+                cache = tiers[op]
+                key = frame[2]
+                nodes = frame[4]
+                if op == OP_NOT:
+                    cache.insert(key, (r, gen[key], gen[r]))
+                    # Complement is an involution; prime the reverse entry.
+                    cache.insert(r, (key, gen[r], gen[key]))
+                elif len(nodes) == 2:
+                    cache.insert(key, (r, gen[nodes[0]], gen[nodes[1]], gen[r]))
+                elif len(nodes) == 1:
+                    cache.insert(key, (r, gen[nodes[0]], gen[r]))
                 else:
-                    vid = vid_arr[b]
-                    a0 = a1 = a
-                if lb <= la:
-                    b0 = lo_arr[b]
-                    b1 = hi_arr[b]
-                else:
-                    b0 = b1 = b
-                push((_COMBINE, op, key, vid, (a, b)))
-                push((_VISIT, op, a1, b1, -1))
-                push((_VISIT, op, a0, b0, -1))
-
-            elif op == OP_NOT:
-                v = data.get(a)
-                if v is not None and gen[a] == v[1] and gen[v[0]] == v[2]:
-                    cache.hits += 1
-                    out.append(v[0])
-                    continue
-                cache.misses += 1
-                push((_COMBINE, op, a, vid_arr[a], (a,)))
-                push((_VISIT, op, hi_arr[a], -1, -1))
-                push((_VISIT, op, lo_arr[a], -1, -1))
-
-            elif op == OP_ITE:
-                key = (a, b, c)
-                v = data.get(key)
-                if (
-                    v is not None
-                    and gen[a] == v[1]
-                    and gen[b] == v[2]
-                    and gen[c] == v[3]
-                    and gen[v[0]] == v[4]
-                ):
-                    cache.hits += 1
-                    out.append(v[0])
-                    continue
-                cache.misses += 1
-                la = level_of[vid_arr[a]]  # f is internal past the terminal rule
-                lb = TERMINAL_LEVEL if b <= 1 else level_of[vid_arr[b]]
-                lc = TERMINAL_LEVEL if c <= 1 else level_of[vid_arr[c]]
-                top = la if la <= lb else lb
-                if lc < top:
-                    top = lc
-                vid = var_at_level[top]
-                if vid_arr[a] == vid:
-                    a0, a1 = lo_arr[a], hi_arr[a]
-                else:
-                    a0 = a1 = a
-                if b > 1 and vid_arr[b] == vid:
-                    b0, b1 = lo_arr[b], hi_arr[b]
-                else:
-                    b0 = b1 = b
-                if c > 1 and vid_arr[c] == vid:
-                    c0, c1 = lo_arr[c], hi_arr[c]
-                else:
-                    c0 = c1 = c
-                push((_COMBINE, op, key, vid, (a, b, c)))
-                push((_VISIT, op, a1, b1, c1))
-                push((_VISIT, op, a0, b0, c0))
-
-            elif op == OP_COFACTOR:
-                key = (a, b, c)
-                v = data.get(key)
-                if v is not None and gen[a] == v[1] and gen[v[0]] == v[2]:
-                    cache.hits += 1
-                    out.append(v[0])
-                    continue
-                cache.misses += 1
-                if level_of[vid_arr[a]] == level_of[b]:
-                    r = hi_arr[a] if c else lo_arr[a]
-                    cache.insert(key, (r, gen[a], gen[r]))
-                    out.append(r)
-                else:
-                    push((_COMBINE, op, key, vid_arr[a], (a,)))
-                    push((_VISIT, op, hi_arr[a], b, c))
-                    push((_VISIT, op, lo_arr[a], b, c))
-
-            elif op == OP_COMPOSE:
-                key = (a, b, c)
-                v = data.get(key)
-                if (
-                    v is not None
-                    and gen[a] == v[1]
-                    and gen[c] == v[2]
-                    and gen[v[0]] == v[3]
-                ):
-                    cache.hits += 1
-                    out.append(v[0])
-                    continue
-                cache.misses += 1
-                if level_of[vid_arr[a]] == level_of[b]:
-                    push((_STORE, op, key, (a, c)))
-                    push((_VISIT, OP_ITE, c, hi_arr[a], lo_arr[a]))
-                else:
-                    var_node = mk(vid_arr[a], FALSE, TRUE)
-                    push((_SUBST, key, (a, c), var_node))
-                    push((_VISIT, op, hi_arr[a], b, c))
-                    push((_VISIT, op, lo_arr[a], b, c))
-
-            else:  # OP_EXISTS / OP_FORALL
-                key = (a, b)
-                v = data.get(key)
-                if v is not None and gen[a] == v[1] and gen[v[0]] == v[2]:
-                    cache.hits += 1
-                    out.append(v[0])
-                    continue
-                cache.misses += 1
-                vid = vid_arr[a]
-                push((_QUANT, op, key, (a,), vid, vid in groups[b]))
-                push((_VISIT, op, hi_arr[a], b, -1))
-                push((_VISIT, op, lo_arr[a], b, -1))
-
-        elif tag == _COMBINE:
-            op = frame[1]
-            hi_r = out.pop()
-            lo_r = out.pop()
-            r = mk(frame[3], lo_r, hi_r)
-            cache = tiers[op]
-            key = frame[2]
-            nodes = frame[4]
-            if op == OP_NOT:
-                cache.insert(key, (r, gen[key], gen[r]))
-                # Complement is an involution; prime the reverse entry.
-                cache.insert(r, (key, gen[r], gen[key]))
-            elif len(nodes) == 2:
-                cache.insert(key, (r, gen[nodes[0]], gen[nodes[1]], gen[r]))
-            elif len(nodes) == 1:
-                cache.insert(key, (r, gen[nodes[0]], gen[r]))
-            else:
-                cache.insert(
-                    key, (r, gen[nodes[0]], gen[nodes[1]], gen[nodes[2]], gen[r])
-                )
-            out.append(r)
-
-        elif tag == _STORE:
-            op = frame[1]
-            r = out[-1]
-            nodes = frame[3]
-            if len(nodes) == 1:
-                value = (r, gen[nodes[0]], gen[r])
-            else:
-                value = (r, gen[nodes[0]], gen[nodes[1]], gen[r])
-            tiers[op].insert(frame[2], value)
-
-        elif tag == _QUANT:
-            op = frame[1]
-            hi_r = out.pop()
-            lo_r = out.pop()
-            if frame[5]:  # quantified level: OR/AND the cofactor results
-                push((_STORE, op, frame[2], frame[3]))
-                push(
-                    (
-                        _VISIT,
-                        OP_OR if op == OP_EXISTS else OP_AND,
-                        lo_r,
-                        hi_r,
-                        -1,
+                    cache.insert(
+                        key, (r, gen[nodes[0]], gen[nodes[1]], gen[nodes[2]], gen[r])
                     )
-                )
-            else:
-                r = mk(frame[4], lo_r, hi_r)
-                nodes = frame[3]
-                tiers[op].insert(frame[2], (r, gen[nodes[0]], gen[r]))
                 out.append(r)
 
-        else:  # _SUBST: compose's upper-level rebuild through ITE
-            hi_r = out.pop()
-            lo_r = out.pop()
-            push((_STORE, OP_COMPOSE, frame[1], frame[2]))
-            push((_VISIT, OP_ITE, frame[3], hi_r, lo_r))
+            elif tag == _STORE:
+                op = frame[1]
+                r = out[-1]
+                nodes = frame[3]
+                if len(nodes) == 1:
+                    value = (r, gen[nodes[0]], gen[r])
+                else:
+                    value = (r, gen[nodes[0]], gen[nodes[1]], gen[r])
+                tiers[op].insert(frame[2], value)
 
-    bdd._kernel_steps += steps
+            elif tag == _QUANT:
+                op = frame[1]
+                hi_r = out.pop()
+                lo_r = out.pop()
+                if frame[5]:  # quantified level: OR/AND the cofactor results
+                    push((_STORE, op, frame[2], frame[3]))
+                    push(
+                        (
+                            _VISIT,
+                            OP_OR if op == OP_EXISTS else OP_AND,
+                            lo_r,
+                            hi_r,
+                            -1,
+                        )
+                    )
+                else:
+                    r = mk(frame[4], lo_r, hi_r)
+                    nodes = frame[3]
+                    tiers[op].insert(frame[2], (r, gen[nodes[0]], gen[r]))
+                    out.append(r)
+
+            else:  # _SUBST: compose's upper-level rebuild through ITE
+                hi_r = out.pop()
+                lo_r = out.pop()
+                push((_STORE, OP_COMPOSE, frame[1], frame[2]))
+                push((_VISIT, OP_ITE, frame[3], hi_r, lo_r))
+
+        # Charge the sub-interval remainder so short runs still count:
+        # step budgets must accumulate across many small applies, not
+        # only within one long one.
+        if governed and steps & _CHECK_MASK:
+            _governor.checkpoint(bdd, steps & _CHECK_MASK)
+    finally:
+        bdd._kernel_steps += steps
     return out[-1]

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
+from repro.bdd import governor as _governor
 from repro.bdd.manager import BDD
 from repro.errors import OrderingError
 from repro._config import LIMITS
@@ -241,6 +242,11 @@ def sift(
             population[v] = len(bdd._unique[v])
         order = sorted(range(bdd.num_vars), key=lambda v: -population[v])
         for vid in order:
+            # Cooperative budget check between variables: a raise here
+            # (or inside _sift_one, between swaps) leaves the manager
+            # consistent — just under a partially improved order.
+            if _governor._ACTIVE:
+                _governor.checkpoint(bdd)
             current = _sift_one(bdd, session, vid, precedence, cost, max_growth)
         if current >= round_start:
             break
@@ -268,6 +274,10 @@ def _sift_one(
         level = bdd.level_of_vid(vid)
         limit = ub if direction == 1 else lb
         while level != limit:
+            # One adjacent swap ~ one charged step: a ``max_steps``
+            # budget bounds sifting work, not just kernel evaluations.
+            if _governor._ACTIVE:
+                _governor.checkpoint(bdd, 1)
             session.swap(level if direction == 1 else level - 1)
             level += direction
             c = cost()

@@ -29,8 +29,11 @@ from contextlib import contextmanager
 from pathlib import Path
 
 #: BENCH_*.json schema version (bumped when the payload shape changes).
-SCHEMA = "repro-bench-v2"
-SCHEMA_VERSION = 2
+#: v3 adds the sweep-outcome counters (:data:`SWEEP_KEYS`) to the
+#: parallel executor's ``stats_totals`` and per-sweep ``failures`` /
+#: ``row_status`` records to the BENCH_PR3-style payload.
+SCHEMA = "repro-bench-v3"
+SCHEMA_VERSION = 3
 
 #: Counters that add across managers and processes.  ``peak_nodes``
 #: aggregates with ``max`` instead and is handled separately.
@@ -42,6 +45,17 @@ ADDITIVE_KEYS = (
     "cache_inserts",
     "cache_evictions",
     "cache_invalidations",
+)
+
+#: Sweep-outcome counters the parallel executor folds into its
+#: ``stats_totals`` (schema v3).  Not engine counters — they describe
+#: row outcomes, so they are deliberately *not* in :data:`ADDITIVE_KEYS`
+#: and never merge into :data:`WORKER_TOTALS`.
+SWEEP_KEYS = (
+    "rows_completed",
+    "rows_failed",
+    "rows_degraded",
+    "retries",
 )
 
 #: Live managers, by weak reference.

@@ -42,6 +42,30 @@ def main(argv: Sequence[str] | None = None) -> int:
             metavar="N",
             help="worker processes for the row sweep (default: 1, in-process)",
         )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="S",
+            help="per-attempt row deadline in seconds (default: none); "
+            "rows past it are retried, then quarantined",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=2,
+            metavar="N",
+            help="extra attempts for a failing row, the last one in-process "
+            "(default: 2)",
+        )
+        p.add_argument(
+            "--node-limit",
+            type=int,
+            default=None,
+            metavar="N",
+            help="per-row BDD node budget; rows exceeding it report "
+            "status=budget_exceeded instead of running away (default: none)",
+        )
 
     p4 = sub.add_parser("table4", help="maximum width / node count table")
     p4.add_argument("names", nargs="*", help="benchmark names (default: all)")
@@ -118,31 +142,68 @@ def main(argv: Sequence[str] | None = None) -> int:
     return 2
 
 
+def _warn_missing_rows(produced: int, expected: int, what: str) -> None:
+    """Quarantined/budget-dropped rows leave a visible stderr trace."""
+    if produced < expected:
+        print(
+            f"warning: {expected - produced} of {expected} {what} row(s) "
+            "were quarantined or exceeded their budget and are missing "
+            "from the table",
+            file=sys.stderr,
+        )
+
+
 def _cmd_table4(args) -> int:
+    from repro.benchfns.registry import table4_names
     from repro.experiments.table4 import format_table4, run_table4
 
+    names = args.names or table4_names()
     rows = run_table4(
-        args.names or None,
+        names,
         sift=not args.no_sift,
         verify=args.verify,
         jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        node_limit=args.node_limit,
     )
+    _warn_missing_rows(len(rows), len(names), "table4")
     print(format_table4(rows))
     return 0
 
 
 def _cmd_table5(args) -> int:
+    from repro.benchfns.registry import arithmetic_names
     from repro.experiments.table5 import format_table5, run_table5
 
-    rows = run_table5(args.names or None, verify=args.verify, jobs=args.jobs)
+    names = args.names or arithmetic_names()
+    rows = run_table5(
+        names,
+        verify=args.verify,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        node_limit=args.node_limit,
+    )
+    _warn_missing_rows(len(rows), len(names), "table5")
     print(format_table5(rows))
     return 0
 
 
 def _cmd_table6(args) -> int:
+    from repro._config import word_list_sizes
     from repro.experiments.table6 import format_table6, run_table6
 
-    rows = run_table6(args.sizes or None, verify=args.verify, jobs=args.jobs)
+    sizes = args.sizes or list(word_list_sizes())
+    rows = run_table6(
+        sizes,
+        verify=args.verify,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        node_limit=args.node_limit,
+    )
+    _warn_missing_rows(len(rows), 2 * len(sizes), "table6")
     print(format_table6(rows))
     return 0
 
@@ -168,41 +229,68 @@ def _cmd_sweep(args) -> int:
     tasks = []
     if "4" in tables:
         tasks += [
-            table4_task(n, verify=args.verify, ship_cfs=args.jobs > 1)
+            table4_task(
+                n,
+                verify=args.verify,
+                ship_cfs=args.jobs > 1,
+                node_limit=args.node_limit,
+            )
             for n in (args.names or table4_names())
         ]
     if "5" in tables:
         tasks += [
-            table5_task(n, verify=args.verify)
+            table5_task(n, verify=args.verify, node_limit=args.node_limit)
             for n in (args.names or arithmetic_names())
         ]
     if "6" in tables:
         from repro._config import word_list_sizes
         from repro.parallel import table6_task
 
-        tasks += [table6_task(c, verify=args.verify) for c in word_list_sizes()]
+        tasks += [
+            table6_task(c, verify=args.verify, node_limit=args.node_limit)
+            for c in word_list_sizes()
+        ]
 
     cost_model = CostModel.load(args.cost_file) if args.cost_file else None
     sweeps = {}
     if args.compare or args.jobs <= 1:
-        sweeps["jobs=1"] = run_tasks(tasks, jobs=1, cost_model=cost_model)
+        sweeps["jobs=1"] = run_tasks(
+            tasks,
+            jobs=1,
+            cost_model=cost_model,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
     if args.jobs > 1:
         sweeps[f"jobs={args.jobs}"] = run_tasks(
-            tasks, jobs=args.jobs, cost_model=cost_model
+            tasks,
+            jobs=args.jobs,
+            cost_model=cost_model,
+            timeout=args.timeout,
+            retries=args.retries,
         )
     parallel_report = sweeps.get(f"jobs={args.jobs}")
     if parallel_report is not None:
         for result in parallel_report.results:
-            verify_shipped(result)
+            if result.status == "ok":
+                verify_shipped(result)
     if args.compare and parallel_report is not None:
         baseline = sweeps["jobs=1"]
-        for seq, par in zip(baseline.results, parallel_report.results):
+        # Compare by key: a quarantined row in either sweep is reported
+        # on its failures list, not silently skipped by a misaligned zip.
+        par_by_key = {r.key: r for r in parallel_report.results}
+        compared = 0
+        for seq in baseline.results:
+            par = par_by_key.get(seq.key)
+            if par is None or seq.status != "ok" or par.status != "ok":
+                continue
             if row_fingerprint(seq.result) != row_fingerprint(par.result):
                 raise ReproError(
                     f"{seq.key}: parallel result differs from sequential"
                 )
+            compared += 1
         print(
-            f"parity OK over {len(tasks)} rows: "
+            f"parity OK over {compared} of {len(tasks)} rows: "
             f"jobs=1 {baseline.wall_s:.2f}s vs jobs={args.jobs} "
             f"{parallel_report.wall_s:.2f}s"
         )
@@ -210,8 +298,22 @@ def _cmd_sweep(args) -> int:
         print(
             f"{label}: wall {report.wall_s:.2f}s, busy {report.busy_s:.2f}s, "
             f"overhead {report.scheduling_overhead_s:.2f}s, "
-            f"{len(report.workers)} worker(s)"
+            f"{len(report.workers)} worker(s), {len(report.failures)} "
+            f"quarantined, {report.retries} retr(y/ies)"
         )
+        for failure in report.failures:
+            print(
+                f"  quarantined {failure.key}: {failure.status} after "
+                f"{failure.attempts} attempt(s) — {failure.error}",
+                file=sys.stderr,
+            )
+        for result in report.results:
+            if result.status != "ok":
+                print(
+                    f"  {result.key}: status={result.status}"
+                    + (f" — {result.error}" if result.error else ""),
+                    file=sys.stderr,
+                )
     if args.bench_json:
         path = write_parallel_bench(
             args.bench_json, sweeps, meta={"source": "cli sweep"}

@@ -33,6 +33,32 @@ class ForeignNodeError(BDDError):
     """A node id from a different manager (or a stale id) was used."""
 
 
+class BudgetError(BDDError):
+    """Base class for cooperative resource-governor violations.
+
+    Raised by :mod:`repro.bdd.governor` checkpoints inside the apply
+    kernel and the sifting loop.  The manager is always left in a
+    consistent, usable state: the interrupted operation's partial
+    results are simply extra (valid) nodes, and subsequent operations
+    on the same manager succeed.  ``budget`` references the
+    :class:`~repro.bdd.governor.Budget` whose limit was exceeded, so a
+    caller managing nested budgets can tell its own limit from an
+    enclosing one.
+    """
+
+    def __init__(self, message: str, *, budget=None) -> None:
+        super().__init__(message)
+        self.budget = budget
+
+
+class ResourceLimitError(BudgetError):
+    """A node or apply-step budget was exhausted (see ``Budget``)."""
+
+
+class DeadlineError(BudgetError):
+    """A wall-clock deadline passed during a governed operation."""
+
+
 class SpecificationError(ReproError):
     """An incompletely specified function violates its invariants.
 
@@ -60,3 +86,13 @@ class CascadeError(ReproError):
 
 class BenchmarkError(ReproError):
     """A benchmark function generator received invalid parameters."""
+
+
+class FaultInjected(ReproError):
+    """A deterministic test fault fired (``REPRO_FAULT_INJECT``).
+
+    Only ever raised when the fault-injection environment hook of
+    :mod:`repro.parallel.tasks` is armed; it exists so the executor's
+    recovery paths (retry, pool rebuild, quarantine) are testable in CI
+    without depending on real crashes.
+    """

@@ -39,11 +39,35 @@ def measure(cf: CharFunction) -> VariantMeasure:
     return VariantMeasure(max_width(cf.bdd, cf.root), cf.num_nodes())
 
 
+def _sift_or_degrade(cf: CharFunction, what: str) -> None:
+    """Sift ``cf``; under an exhausted resource budget, keep it unsifted.
+
+    Sifting is an optimization, not a correctness step, so when a
+    governing :class:`~repro.bdd.governor.Budget` trips mid-reorder the
+    row degrades (recorded via :func:`~repro.bdd.governor.note_degraded`
+    and surfaced as ``status="degraded"``) instead of dying.  The
+    aborted ``SiftSession`` leaves the manager consistent — just under
+    a partially improved order.  If the budget is *still* exhausted
+    (e.g. the node count stays over the limit after the abort), the
+    next governed operation re-raises and the row reports
+    ``budget_exceeded``; only transient violations degrade.
+    """
+    from repro.bdd import governor
+    from repro.errors import DeadlineError, ResourceLimitError
+
+    try:
+        cf.sift(cost="auto")
+    except (ResourceLimitError, DeadlineError) as exc:
+        if not governor.active():
+            raise  # not ours to absorb (no budget means a plain bug)
+        governor.note_degraded(f"sift aborted for {what}: {exc}")
+
+
 def build_sifted_cf(part: MultiOutputISF, *, sift: bool = True) -> CharFunction:
     """BDD_for_CF of one output partition, sifted per Sect. 5.1."""
     cf = CharFunction.from_isf(part)
     if sift:
-        cf.sift(cost="auto")
+        _sift_or_degrade(cf, "ISF partition")
     return cf
 
 
@@ -58,7 +82,7 @@ def build_extension_cf(
     """
     cf = CharFunction.from_isf(part.extension(dc_value))
     if sift:
-        cf.sift(cost="auto")
+        _sift_or_degrade(cf, f"DC={dc_value} extension")
     return cf
 
 

@@ -138,6 +138,9 @@ def run_table4(
     sift: bool = True,
     verify: bool = False,
     jobs: int = 1,
+    timeout: float | None = None,
+    retries: int = 2,
+    node_limit: int | None = None,
 ) -> list[Table4Row]:
     """Run the pipeline over the configured benchmark list.
 
@@ -146,15 +149,22 @@ def run_table4(
     longest-first and results come back in table order, bit-identical
     at any jobs value.  With ``jobs > 1`` the workers additionally ship
     their CFs back for parent-side parity checks.
+
+    ``timeout``/``retries`` bound each row attempt (failing rows are
+    quarantined by the executor and simply absent from the returned
+    list); ``node_limit`` runs every row under a node budget, dropping
+    rows that exceed it.
     """
     from repro.parallel import run_tasks, table4_task, verify_shipped
 
     names = list(names) if names is not None else table4_names()
     tasks = [
-        table4_task(name, sift=sift, verify=verify, ship_cfs=jobs > 1)
+        table4_task(
+            name, sift=sift, verify=verify, ship_cfs=jobs > 1, node_limit=node_limit
+        )
         for name in names
     ]
-    report = run_tasks(tasks, jobs=jobs)
+    report = run_tasks(tasks, jobs=jobs, timeout=timeout, retries=retries)
     for result in report.results:
         verify_shipped(result)
     return report.rows

@@ -160,19 +160,26 @@ def run_row(benchmark: Benchmark, *, verify: bool = False, sift: bool = True) ->
 
 
 def run_table5(
-    names: list[str] | None = None, *, verify: bool = False, jobs: int = 1
+    names: list[str] | None = None,
+    *,
+    verify: bool = False,
+    jobs: int = 1,
+    timeout: float | None = None,
+    retries: int = 2,
+    node_limit: int | None = None,
 ) -> list[Table5Row]:
     """Run the reconstructed Table 5 over the arithmetic functions.
 
     ``jobs`` fans the rows out over the process-pool executor
     (:func:`repro.parallel.run_tasks`); results are bit-identical at
-    any jobs value.
+    any jobs value.  ``timeout``/``retries``/``node_limit`` bound each
+    row (see :func:`repro.experiments.table4.run_table4`).
     """
     from repro.parallel import run_tasks, table5_task
 
     names = list(names) if names is not None else arithmetic_names()
-    tasks = [table5_task(name, verify=verify) for name in names]
-    return run_tasks(tasks, jobs=jobs).rows
+    tasks = [table5_task(name, verify=verify, node_limit=node_limit) for name in names]
+    return run_tasks(tasks, jobs=jobs, timeout=timeout, retries=retries).rows
 
 
 def format_table5(rows: list[Table5Row]) -> str:

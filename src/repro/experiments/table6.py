@@ -172,18 +172,28 @@ def run_table6(
     verify: bool = False,
     sift: bool = True,
     jobs: int = 1,
+    timeout: float | None = None,
+    retries: int = 2,
+    node_limit: int | None = None,
 ) -> list[Table6Design]:
     """Both designs for every configured word list size.
 
     With ``jobs > 1`` each word-list size becomes one row task on the
-    process-pool executor (:func:`repro.parallel.run_tasks`).
+    process-pool executor (:func:`repro.parallel.run_tasks`);
+    ``timeout``/``retries``/``node_limit`` bound each row (see
+    :func:`repro.experiments.table4.run_table4`).
     """
-    if jobs > 1:
+    if jobs > 1 or timeout is not None or node_limit is not None:
+        # Row bounds are enforced by the executor, so a bounded run
+        # goes through it even at jobs=1 (in-process, no pool).
         from repro.parallel import run_tasks, table6_task
 
         sizes = list(sizes) if sizes is not None else list(word_list_sizes())
-        tasks = [table6_task(count, sift=sift, verify=verify) for count in sizes]
-        report = run_tasks(tasks, jobs=jobs)
+        tasks = [
+            table6_task(count, sift=sift, verify=verify, node_limit=node_limit)
+            for count in sizes
+        ]
+        report = run_tasks(tasks, jobs=jobs, timeout=timeout, retries=retries)
         return [row for rows in report.rows for row in rows]
     rows: list[Table6Design] = []
     for count in sizes if sizes is not None else list(word_list_sizes()):

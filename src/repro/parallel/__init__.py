@@ -15,10 +15,21 @@ this package fans them out over a shared-nothing process pool:
 ``run_tasks(tasks, jobs=1)`` is the sequential in-process path used by
 default everywhere; pass ``--jobs N`` on the CLI (or ``jobs=N``) to
 parallelize.  Results are bit-identical at any jobs value.
+
+Execution is fault tolerant: per-attempt row deadlines (``timeout=``),
+bounded retries with exponential backoff and pool rebuilds, and
+structured quarantine (:class:`TaskFailure` on
+``SweepReport.failures``) instead of raising — see
+:mod:`repro.parallel.executor`.
 """
 
 from repro.parallel.costs import CostModel
-from repro.parallel.executor import SweepReport, WorkerUsage, run_tasks
+from repro.parallel.executor import (
+    SweepReport,
+    TaskFailure,
+    WorkerUsage,
+    run_tasks,
+)
 from repro.parallel.report import write_parallel_bench
 from repro.parallel.tasks import (
     RowTask,
@@ -35,6 +46,7 @@ __all__ = [
     "CostModel",
     "RowTask",
     "SweepReport",
+    "TaskFailure",
     "TaskResult",
     "WorkerUsage",
     "execute_task",

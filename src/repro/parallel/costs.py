@@ -22,6 +22,9 @@ optimization, never a correctness dependency.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import warnings
 from collections.abc import Iterable, Sequence
 from pathlib import Path
 
@@ -64,7 +67,13 @@ class CostModel:
         """Load persisted estimates, seeding gaps from BENCH_*.json files.
 
         Own observations (the ``path`` file) take precedence over the
-        benchmark-record seeds; missing or malformed files are ignored.
+        benchmark-record seeds.  A *missing* observation file is normal
+        (first run) and silent; a *corrupt* one is evidence of a torn
+        write or concurrent clobber — it is moved aside to
+        ``<path>.bad`` and reported with a warning rather than silently
+        starting the model over (estimates are cheap to relearn, but a
+        quiet reset would mask the underlying bug).  Seed BENCH files
+        stay best-effort silent either way.
         """
         estimates: dict[str, float] = {}
         for bench in seed_bench:
@@ -72,11 +81,24 @@ class CostModel:
         if path is not None:
             p = Path(path)
             if p.exists():
+                data: dict | None
                 try:
                     data = json.loads(p.read_text())
                 except (OSError, json.JSONDecodeError):
-                    data = {}
-                if data.get("format") == COST_FORMAT:
+                    data = None
+                if not isinstance(data, dict) or data.get("format") != COST_FORMAT:
+                    bad = p.with_name(p.name + ".bad")
+                    try:
+                        os.replace(p, bad)
+                        where = f"backed up to {bad}"
+                    except OSError:
+                        where = "could not be backed up"
+                    warnings.warn(
+                        f"cost file {p} is corrupt or not a {COST_FORMAT} "
+                        f"document ({where}); starting with fresh estimates",
+                        stacklevel=2,
+                    )
+                else:
                     for key, value in data.get("estimates", {}).items():
                         try:
                             estimates[key] = float(value)
@@ -85,7 +107,13 @@ class CostModel:
         return cls(estimates, path=path, alpha=alpha)
 
     def save(self, path: str | Path | None = None) -> Path | None:
-        """Persist the estimates; no-op when no path is configured."""
+        """Persist the estimates; no-op when no path is configured.
+
+        The write is atomic (temp file + ``os.replace`` in the target
+        directory), so a sweep killed mid-save — exactly the regime the
+        fault-tolerant executor operates in — can never leave a torn
+        half-JSON behind for the next :meth:`load` to trip over.
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             return None
@@ -95,7 +123,19 @@ class CostModel:
             "version": COST_VERSION,
             "estimates": {k: round(v, 6) for k, v in sorted(self.estimates.items())},
         }
-        target.write_text(json.dumps(payload, indent=2) + "\n")
+        fd, tmp = tempfile.mkstemp(
+            prefix=target.name + ".", suffix=".tmp", dir=target.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(payload, indent=2) + "\n")
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return target
 
     # ------------------------------------------------------------------

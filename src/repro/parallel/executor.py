@@ -1,4 +1,4 @@
-"""Shared-nothing process-pool execution of experiment row tasks.
+"""Fault-tolerant shared-nothing process-pool execution of row tasks.
 
 :func:`run_tasks` is the one entry point: it schedules the given
 :class:`~repro.parallel.tasks.RowTask`s longest-first (see
@@ -8,6 +8,29 @@ in submission order.  ``jobs=1`` short-circuits to an in-process loop —
 byte-for-byte the pre-parallel sequential path, with no pickling and no
 pool — which the determinism tests use as the reference.
 
+Fault tolerance: every row carries an optional per-attempt ``timeout``
+and a bounded retry budget (``retries`` extra attempts with exponential
+backoff).  A row attempt can fail three ways, all survivable:
+
+* **worker exception** — the future carries it back; the row is
+  retried, and the final allowed attempt runs *in the parent process*
+  so that pool-transport problems (e.g. unpicklable results) cannot
+  starve a row that computes fine.
+* **worker death** (``BrokenProcessPool``) — the pool is torn down and
+  rebuilt; every inflight row is charged one attempt (the dead worker
+  cannot be attributed) and requeued or quarantined.
+* **hang** — a row past its deadline cannot be cancelled cooperatively,
+  so the pool is killed (workers terminated), only the expired row is
+  charged an attempt, and the innocent inflight rows are requeued
+  uncharged on a fresh pool.
+
+Rows that exhaust their attempts are quarantined as structured
+:class:`TaskFailure` records on ``SweepReport.failures`` — ``run_tasks``
+**never raises for a row failure** and never returns fewer than
+``len(tasks)`` outcomes (``results + failures``, checked by an
+invariant).  ``KeyboardInterrupt`` cancels the queue and shuts the pool
+down before propagating.
+
 Cross-process stats: every worker measures its own engine-counter delta
 around the row; the executor sums those deltas into
 ``SweepReport.stats_totals`` and (for ``jobs > 1``) folds them into the
@@ -15,19 +38,31 @@ parent's :mod:`repro.bdd.stats` registry via
 :func:`~repro.bdd.stats.merge_worker_totals`, so engine-wide snapshots
 keep working when the work happened elsewhere.  The additive counters
 of an N-worker sweep equal those of the same sweep at ``jobs=1``
-(pinned by ``tests/parallel/test_aggregate.py``).
+(pinned by ``tests/parallel/test_aggregate.py``); completed rows
+aggregate and feed the cost model even when other rows failed.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
 from repro.bdd import stats
+from repro.bdd.governor import Budget
+from repro.errors import DeadlineError, ReproError, ResourceLimitError
 from repro.parallel.costs import CostModel
 from repro.parallel.tasks import RowTask, TaskResult, execute_task
+
+#: Grace period (seconds) for terminated worker processes to exit
+#: before they are killed outright during a pool teardown.
+_KILL_GRACE_S = 5.0
 
 
 @dataclass
@@ -37,6 +72,27 @@ class WorkerUsage:
     tasks: int = 0
     busy_s: float = 0.0
     utilization: float = 0.0
+    failures: int = 0
+
+
+@dataclass
+class TaskFailure:
+    """One quarantined row: every attempt failed (or timed out).
+
+    ``status`` is ``"timeout"`` when the last attempt hit the row
+    deadline, ``"crashed"`` when it took the worker process down, and
+    ``"failed"`` for an ordinary exception.  ``traceback_digest`` is a
+    short stable hash of the full traceback plus the innermost frame,
+    enough to group identical failures without shipping whole dumps.
+    """
+
+    key: str
+    status: str
+    attempts: int
+    error: str
+    traceback_digest: str = ""
+    elapsed_s: float = 0.0
+    pid: int = 0
 
 
 @dataclass
@@ -50,16 +106,31 @@ class SweepReport:
     stats_totals: dict = field(default_factory=dict)
     workers: dict[str, WorkerUsage] = field(default_factory=dict)
     scheduling_overhead_s: float = 0.0
+    failures: list[TaskFailure] = field(default_factory=list)
+    retries: int = 0
 
     @property
     def rows(self) -> list:
-        """Row results in submission order."""
-        return [r.result for r in self.results]
+        """Completed row results in submission order.
+
+        Quarantined rows (``failures``) and ``budget_exceeded`` results
+        carry no row payload and are excluded; check ``failures`` and
+        per-result ``status`` for the full account.
+        """
+        return [r.result for r in self.results if r.result is not None]
 
     @property
     def busy_s(self) -> float:
         """Total in-row wall time summed over all workers."""
         return sum(r.wall_s for r in self.results)
+
+    @property
+    def rows_failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def rows_degraded(self) -> int:
+        return sum(1 for r in self.results if r.status in ("degraded", "budget_exceeded"))
 
     def to_record(self) -> dict:
         """JSON-ready summary for BENCH_*.json emission."""
@@ -70,16 +141,94 @@ class SweepReport:
             "scheduling_overhead_s": self.scheduling_overhead_s,
             "schedule": list(self.schedule),
             "row_wall_s": {r.key: r.wall_s for r in self.results},
+            "row_status": {r.key: r.status for r in self.results},
             "workers": {
                 pid: {
                     "tasks": usage.tasks,
                     "busy_s": usage.busy_s,
                     "utilization": usage.utilization,
+                    "failures": usage.failures,
                 }
                 for pid, usage in self.workers.items()
             },
+            "failures": [
+                {
+                    "key": f.key,
+                    "status": f.status,
+                    "attempts": f.attempts,
+                    "error": f.error,
+                    "traceback_digest": f.traceback_digest,
+                    "elapsed_s": f.elapsed_s,
+                }
+                for f in self.failures
+            ],
+            "retries": self.retries,
             "stats_totals": dict(self.stats_totals),
         }
+
+
+def _traceback_digest(exc: BaseException) -> str:
+    """Short stable id of a failure: blake2b of the traceback + frame."""
+    text = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+    digest = hashlib.blake2b(text.encode("utf-8", "replace"), digest_size=6).hexdigest()
+    frames = traceback.extract_tb(exc.__traceback__)
+    if frames:
+        last = frames[-1]
+        return f"{digest} {os.path.basename(last.filename)}:{last.lineno} in {last.name}"
+    return digest
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even when its workers are hung or dead.
+
+    ``shutdown`` alone joins workers, which never returns for a hung
+    one, so the workers are terminated *first*: their death trips the
+    pool's own broken-pool detection, which is what unwinds the
+    management thread (shutting down before terminating leaves that
+    thread waiting forever and deadlocks interpreter exit, which joins
+    it from an atexit hook).  The ``shutdown`` afterwards then has
+    nothing left to wait on.
+    """
+    # _processes is None once a broken pool has torn itself down.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    for proc in processes:
+        if proc.is_alive():
+            proc.terminate()
+    deadline = time.monotonic() + _KILL_GRACE_S
+    for proc in processes:
+        proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        if proc.is_alive():  # pragma: no cover - terminate() normally suffices
+            proc.kill()
+            proc.join(timeout=1.0)
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _attempt_inline(task: RowTask, timeout: float | None) -> TaskResult:
+    """One attempt in the current process, under a deadline budget.
+
+    The deadline is cooperative (checked at governor checkpoints), so an
+    in-parent attempt cannot hang the sweep longer than roughly one
+    check interval past ``timeout``.  Errors raised by *this* budget
+    surface as :class:`DeadlineError`; a row-level ``node_limit`` budget
+    is handled inside ``execute_task`` and never reaches here.
+    """
+    if timeout is None:
+        return execute_task(task)
+    deadline = Budget(deadline_s=timeout)
+    try:
+        with deadline:
+            return execute_task(task)
+    except (DeadlineError, ResourceLimitError) as exc:
+        if exc.budget is deadline:
+            raise DeadlineError(
+                f"{task.key}: in-process attempt exceeded {timeout:.3f}s",
+                budget=deadline,
+            ) from exc
+        raise
 
 
 def run_tasks(
@@ -88,13 +237,24 @@ def run_tasks(
     jobs: int = 1,
     cost_model: CostModel | None = None,
     merge_stats: bool = True,
+    timeout: float | None = None,
+    retries: int = 2,
+    backoff_s: float = 0.25,
 ) -> SweepReport:
     """Execute row tasks on ``jobs`` worker processes; see module doc.
 
+    ``timeout`` is the per-*attempt* row deadline in seconds (``None``
+    disables it); ``retries`` is how many extra attempts a failing row
+    gets (exponential backoff starting at ``backoff_s``), with the last
+    allowed attempt running in the parent process.  Failed rows are
+    quarantined on ``SweepReport.failures``, never raised.
+
     The returned report lists results in the submission order of
-    ``tasks`` regardless of the schedule.  Observed wall times are fed
-    back into ``cost_model`` (and persisted when it has a path), so the
-    second sweep schedules better than the first.
+    ``tasks`` regardless of the schedule.  Observed wall times of
+    completed rows are fed back into ``cost_model`` (and persisted when
+    it has a path), so the second sweep schedules better than the
+    first — failures feed nothing, so a flaky row's estimate is not
+    poisoned by its crashes.
     """
     tasks = list(tasks)
     if cost_model is None:
@@ -102,21 +262,96 @@ def run_tasks(
     order = cost_model.schedule(tasks)
     t0 = time.perf_counter()
     results: list[TaskResult | None] = [None] * len(tasks)
-    if jobs <= 1:
-        # In-process fallback: submission order, no pool, no pickling —
-        # the deterministic reference path.
-        for i, task in enumerate(tasks):
-            results[i] = execute_task(task)
-    else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            pending = {
-                pool.submit(execute_task, tasks[i]): i for i in order
-            }
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    i = pending.pop(future)
-                    results[i] = future.result()
+    failures: dict[int, TaskFailure] = {}
+    attempts = [0] * len(tasks)  # failed attempts consumed per row
+    elapsed = [0.0] * len(tasks)
+    total_retries = 0
+    worker_failures: dict[str, int] = {}
+
+    # Mark this process as the sweep parent for the fault-injection
+    # hooks (restored on exit; parent-vs-worker changes fault behavior).
+    prev_parent = os.environ.get("REPRO_FAULT_PARENT")
+    os.environ["REPRO_FAULT_PARENT"] = str(os.getpid())
+
+    def note_failure(i: int, exc: BaseException, *, status: str, pid: int = 0) -> bool:
+        """Charge one failed attempt; True if the row may retry."""
+        nonlocal total_retries
+        attempts[i] += 1
+        worker_failures[str(pid) if pid else "parent"] = (
+            worker_failures.get(str(pid) if pid else "parent", 0) + 1
+        )
+        if attempts[i] <= retries:
+            total_retries += 1
+            return True
+        failures[i] = TaskFailure(
+            key=tasks[i].key,
+            status=status,
+            attempts=attempts[i],
+            error=_describe(exc),
+            traceback_digest=_traceback_digest(exc),
+            elapsed_s=elapsed[i],
+            pid=pid,
+        )
+        return False
+
+    def run_final_inline(i: int) -> None:
+        """Last allowed attempt, in the parent process."""
+        t_start = time.perf_counter()
+        try:
+            results[i] = _attempt_inline(tasks[i], timeout)
+        except KeyboardInterrupt:
+            raise
+        except DeadlineError as exc:
+            elapsed[i] += time.perf_counter() - t_start
+            note_failure(i, exc, status="timeout")
+        except Exception as exc:
+            elapsed[i] += time.perf_counter() - t_start
+            note_failure(i, exc, status="failed")
+        else:
+            elapsed[i] += time.perf_counter() - t_start
+
+    try:
+        if jobs <= 1:
+            # In-process path: submission order, no pool, no pickling —
+            # the deterministic reference path, with the same retry and
+            # quarantine semantics as the pool path.
+            for i, task in enumerate(tasks):
+                while results[i] is None and i not in failures:
+                    t_start = time.perf_counter()
+                    try:
+                        results[i] = _attempt_inline(task, timeout)
+                    except KeyboardInterrupt:
+                        raise
+                    except DeadlineError as exc:
+                        elapsed[i] += time.perf_counter() - t_start
+                        if note_failure(i, exc, status="timeout"):
+                            time.sleep(backoff_s * (2 ** (attempts[i] - 1)))
+                    except Exception as exc:
+                        elapsed[i] += time.perf_counter() - t_start
+                        if note_failure(i, exc, status="failed"):
+                            time.sleep(backoff_s * (2 ** (attempts[i] - 1)))
+                    else:
+                        elapsed[i] += time.perf_counter() - t_start
+        else:
+            _run_pool(
+                tasks,
+                order,
+                jobs,
+                timeout,
+                retries,
+                backoff_s,
+                results,
+                failures,
+                attempts,
+                elapsed,
+                note_failure,
+                run_final_inline,
+            )
+    finally:
+        if prev_parent is None:
+            os.environ.pop("REPRO_FAULT_PARENT", None)
+        else:
+            os.environ["REPRO_FAULT_PARENT"] = prev_parent
     wall = time.perf_counter() - t0
 
     executed = order if jobs > 1 else range(len(tasks))
@@ -125,9 +360,16 @@ def run_tasks(
         wall_s=wall,
         results=[r for r in results if r is not None],
         schedule=[tasks[i].key for i in executed],
+        failures=[failures[i] for i in sorted(failures)],
+        retries=total_retries,
     )
-    report.stats_totals = _aggregate(report.results)
-    report.workers = _worker_usage(report.results, wall)
+    if len(report.results) + len(report.failures) != len(tasks):
+        raise ReproError(
+            f"executor lost rows: {len(tasks)} tasks -> "
+            f"{len(report.results)} results + {len(report.failures)} failures"
+        )
+    report.stats_totals = _aggregate(report)
+    report.workers = _worker_usage(report.results, wall, worker_failures)
     busiest = max((u.busy_s for u in report.workers.values()), default=0.0)
     report.scheduling_overhead_s = max(0.0, wall - busiest)
     if jobs > 1 and merge_stats:
@@ -138,25 +380,186 @@ def run_tasks(
     return report
 
 
-def _aggregate(results: Sequence[TaskResult]) -> dict:
-    """Sum the additive counters over all task deltas; max the peak."""
+def _run_pool(
+    tasks: list[RowTask],
+    order: list[int],
+    jobs: int,
+    timeout: float | None,
+    retries: int,
+    backoff_s: float,
+    results: list[TaskResult | None],
+    failures: dict[int, TaskFailure],
+    attempts: list[int],
+    elapsed: list[float],
+    note_failure,
+    run_final_inline,
+) -> None:
+    """The pool scheduling loop of :func:`run_tasks` (jobs > 1).
+
+    At most ``jobs`` rows are inflight at once, so a submitted future is
+    (modulo worker startup) running — which makes a per-attempt deadline
+    measured from submission honest, and keeps a pool teardown cheap.
+    """
+    ready: deque[tuple[int, float]] = deque((i, 0.0) for i in order)
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    pending: dict[Future, tuple[int, float | None, float]] = {}
+
+    def submit(i: int) -> None:
+        fut = pool.submit(execute_task, tasks[i])
+        now = time.monotonic()
+        pending[fut] = (i, now + timeout if timeout is not None else None, now)
+
+    def requeue(i: int, *, charged: bool, exc: BaseException | None = None,
+                status: str = "failed", pid: int = 0) -> None:
+        if not charged:
+            ready.append((i, 0.0))
+            return
+        if note_failure(i, exc, status=status, pid=pid):
+            delay = backoff_s * (2 ** (attempts[i] - 1))
+            ready.append((i, time.monotonic() + delay))
+
+    def rebuild_pool() -> None:
+        nonlocal pool
+        _kill_pool(pool)
+        pool = ProcessPoolExecutor(max_workers=jobs)
+
+    def drain_broken(exc: BaseException) -> None:
+        """All inflight rows are charged one attempt: the dead worker
+        cannot be attributed, and charging everyone keeps the retry
+        budget an upper bound (the honest direction to be wrong in)."""
+        inflight = list(pending.items())
+        pending.clear()
+        now = time.monotonic()
+        for _fut, (i, _dl, t_sub) in inflight:
+            elapsed[i] += now - t_sub
+            requeue(i, charged=True, exc=exc, status="crashed")
+        rebuild_pool()
+
+    try:
+        while ready or pending:
+            now = time.monotonic()
+            while ready and len(pending) < jobs:
+                # Pull the first dispatchable row (backoff respected).
+                for _ in range(len(ready)):
+                    i, not_before = ready.popleft()
+                    if not_before <= now:
+                        break
+                    ready.append((i, not_before))
+                else:
+                    break
+                if retries > 0 and attempts[i] == retries:
+                    run_final_inline(i)
+                else:
+                    submit(i)
+            if not pending:
+                if ready:
+                    # Everything is backing off; sleep to the earliest.
+                    time.sleep(
+                        max(0.0, min(nb for _, nb in ready) - time.monotonic())
+                    )
+                continue
+            wait_s = None
+            deadlines = [dl for _, dl, _ in pending.values() if dl is not None]
+            if deadlines:
+                wait_s = max(0.0, min(deadlines) - time.monotonic())
+            backoffs = [nb for _, nb in ready if nb > now]
+            if backoffs and len(pending) < jobs:
+                soonest = max(0.0, min(backoffs) - time.monotonic())
+                wait_s = soonest if wait_s is None else min(wait_s, soonest)
+            done, _ = wait(pending, timeout=wait_s, return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            broken: BaseException | None = None
+            for fut in done:
+                i, _dl, t_sub = pending.pop(fut)
+                elapsed[i] += now - t_sub
+                try:
+                    results[i] = fut.result()
+                except BrokenProcessPool as exc:
+                    broken = exc
+                    requeue(i, charged=True, exc=exc, status="crashed")
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    requeue(i, charged=True, exc=exc, status="failed")
+            if broken is not None:
+                drain_broken(broken)
+                continue
+            # Deadline sweep: expired rows charge an attempt; a running
+            # row cannot be cancelled, so the whole pool is killed and
+            # the innocent inflight rows requeue uncharged.
+            expired = [
+                (fut, entry)
+                for fut, entry in pending.items()
+                if entry[1] is not None and now >= entry[1]
+            ]
+            if not expired:
+                continue
+            must_kill = False
+            for fut, (i, _dl, t_sub) in expired:
+                del pending[fut]
+                elapsed[i] += now - t_sub
+                if fut.cancel():
+                    # Never started (rare: worker was still spawning);
+                    # not the row's fault — requeue uncharged.
+                    requeue(i, charged=False)
+                else:
+                    must_kill = True
+                    exc = DeadlineError(
+                        f"{tasks[i].key}: attempt exceeded {timeout:.3f}s"
+                    )
+                    requeue(i, charged=True, exc=exc, status="timeout")
+            if must_kill:
+                innocents = [entry for entry in pending.values()]
+                pending.clear()
+                for i, _dl, t_sub in innocents:
+                    elapsed[i] += now - t_sub
+                    requeue(i, charged=False)
+                rebuild_pool()
+    except BaseException:
+        # KeyboardInterrupt (and anything unexpected): cancel the queue
+        # and tear the pool down before propagating.
+        _kill_pool(pool)
+        raise
+    else:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _aggregate(report: SweepReport) -> dict:
+    """Sum the additive counters over all task deltas; max the peak.
+
+    Also folds in the sweep-outcome counters of the v3 schema
+    (:data:`repro.bdd.stats.SWEEP_KEYS`) so BENCH_*.json consumers see
+    row failures next to the engine counters they affect.
+    """
     totals = {key: 0 for key in stats.ADDITIVE_KEYS}
     peak = 0
-    for result in results:
+    for result in report.results:
         delta = result.stats_delta
         for key in stats.ADDITIVE_KEYS:
             totals[key] += int(delta.get(key, 0))
         peak = max(peak, int(delta.get("peak_nodes", 0)))
     totals["peak_nodes"] = peak
+    totals["rows_completed"] = len(report.results)
+    totals["rows_failed"] = report.rows_failed
+    totals["rows_degraded"] = report.rows_degraded
+    totals["retries"] = report.retries
     return totals
 
 
-def _worker_usage(results: Sequence[TaskResult], wall: float) -> dict[str, WorkerUsage]:
+def _worker_usage(
+    results: Sequence[TaskResult],
+    wall: float,
+    worker_failures: dict[str, int] | None = None,
+) -> dict[str, WorkerUsage]:
     workers: dict[str, WorkerUsage] = {}
     for result in results:
         usage = workers.setdefault(str(result.pid), WorkerUsage())
         usage.tasks += 1
         usage.busy_s += result.wall_s
+    for pid, count in (worker_failures or {}).items():
+        workers.setdefault(pid, WorkerUsage()).failures = count
     for usage in workers.values():
-        usage.utilization = (usage.busy_s / wall) if wall > 0 else 0.0
+        # Clamp: clock skew between perf_counter spans (or a wall that
+        # excludes retries) must not report >100% or negative usage.
+        usage.utilization = min(1.0, max(0.0, usage.busy_s / wall)) if wall > 0 else 0.0
     return workers

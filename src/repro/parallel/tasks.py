@@ -16,16 +16,44 @@ Determinism: every sampling verifier inside a row derives its seed from
 the stable (benchmark, partition, variant) key — see
 :func:`repro.experiments.runner.stable_seed` — so a row computes the
 same result in any process at any ``--jobs`` value.
+
+Fault injection (tests and CI only): ``REPRO_FAULT_INJECT`` holds a
+``;``-separated list of ``mode=rowkey`` or ``mode=rowkey@count``
+entries; :func:`execute_task` consults it on entry and fires the
+matching fault deterministically.  Modes:
+
+* ``crash``  — the worker dies with ``os._exit`` (simulates a segfault;
+  the parent sees ``BrokenProcessPool``).  In the parent process the
+  fault degrades to raising :class:`~repro.errors.FaultInjected`, so
+  the in-process retry path is exercised without killing the sweep.
+* ``hang``   — the worker sleeps ``REPRO_FAULT_HANG_S`` seconds
+  (default 3600), long enough to trip any row deadline.  In the parent
+  it raises instead.
+* ``raise``  — raises :class:`~repro.errors.FaultInjected` anywhere.
+* ``pickle`` — poisons the result with an unpicklable object so the
+  worker fails while shipping it back (a no-op in the parent, where
+  nothing is pickled).
+
+``@count`` limits how many times an entry fires; cross-process
+counting needs ``REPRO_FAULT_STATE`` to name a shared directory (one
+counter file per entry).  The executor exports ``REPRO_FAULT_PARENT``
+(its pid) so a fault can tell parent from worker.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import ReproError
+from repro.errors import (
+    DeadlineError,
+    FaultInjected,
+    ReproError,
+    ResourceLimitError,
+)
 
 
 @dataclass(frozen=True)
@@ -52,31 +80,77 @@ class RowTask:
 
 
 def _freeze(options: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
-    return tuple(sorted(options.items()))
-
-
-def table4_task(
-    name: str, *, sift: bool = True, verify: bool = False, ship_cfs: bool = False
-) -> RowTask:
-    """One Table 4 row (both output partitions, all five variants)."""
-    return RowTask(
-        "table4", name, _freeze({"sift": sift, "verify": verify, "ship_cfs": ship_cfs})
+    # node_limit=None means "ungoverned" and is omitted entirely so that
+    # option tuples (and row fingerprints over them) are unchanged for
+    # callers that never set a limit.
+    return tuple(
+        sorted((k, v) for k, v in options.items() if not (k == "node_limit" and v is None))
     )
 
 
-def table5_task(name: str, *, sift: bool = True, verify: bool = False) -> RowTask:
+def table4_task(
+    name: str,
+    *,
+    sift: bool = True,
+    verify: bool = False,
+    ship_cfs: bool = False,
+    node_limit: int | None = None,
+) -> RowTask:
+    """One Table 4 row (both output partitions, all five variants)."""
+    return RowTask(
+        "table4",
+        name,
+        _freeze(
+            {
+                "sift": sift,
+                "verify": verify,
+                "ship_cfs": ship_cfs,
+                "node_limit": node_limit,
+            }
+        ),
+    )
+
+
+def table5_task(
+    name: str,
+    *,
+    sift: bool = True,
+    verify: bool = False,
+    node_limit: int | None = None,
+) -> RowTask:
     """One Table 5 row (DC=0 and Alg3.3 cascade designs)."""
-    return RowTask("table5", name, _freeze({"sift": sift, "verify": verify}))
+    return RowTask(
+        "table5",
+        name,
+        _freeze({"sift": sift, "verify": verify, "node_limit": node_limit}),
+    )
 
 
-def table6_task(count: int, *, sift: bool = True, verify: bool = False) -> RowTask:
+def table6_task(
+    count: int,
+    *,
+    sift: bool = True,
+    verify: bool = False,
+    node_limit: int | None = None,
+) -> RowTask:
     """One Table 6 word-list size (DC=0 and Fig. 8 designs)."""
-    return RowTask("table6", str(count), _freeze({"sift": sift, "verify": verify}))
+    return RowTask(
+        "table6",
+        str(count),
+        _freeze({"sift": sift, "verify": verify, "node_limit": node_limit}),
+    )
 
 
 @dataclass
 class TaskResult:
-    """What a worker ships back for one row task."""
+    """What a worker ships back for one row task.
+
+    ``status`` is ``"ok"`` for a normal row, ``"degraded"`` when a
+    pipeline stage fell back to a cheaper path under a resource budget
+    (``degraded`` lists the fallbacks taken), or ``"budget_exceeded"``
+    when the row's own ``node_limit`` budget was exhausted outright —
+    then ``result`` is ``None`` and ``error`` describes the limit.
+    """
 
     key: str
     result: Any
@@ -84,6 +158,101 @@ class TaskResult:
     pid: int
     stats_delta: dict = field(default_factory=dict)
     shipped_cfs: dict[str, dict] = field(default_factory=dict)
+    status: str = "ok"
+    error: str | None = None
+    degraded: tuple[str, ...] = ()
+
+
+# ----------------------------------------------------------------------
+# Deterministic fault injection (see module docstring)
+# ----------------------------------------------------------------------
+
+
+def _parse_fault_spec(spec: str) -> list[tuple[str, str, int | None]]:
+    """``"crash=table4:foo;hang=table5:bar@2"`` -> [(mode, key, count)]."""
+    entries: list[tuple[str, str, int | None]] = []
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if not chunk or "=" not in chunk:
+            continue
+        mode, _, key = chunk.partition("=")
+        count: int | None = None
+        if "@" in key:
+            key, _, raw = key.rpartition("@")
+            try:
+                count = int(raw)
+            except ValueError:
+                count = None
+        entries.append((mode.strip(), key.strip(), count))
+    return entries
+
+
+def _claim_fault(entry: str, limit: int) -> bool:
+    """True while the count-limited ``entry`` has fires left.
+
+    Cross-process counting uses one append-only file per entry under
+    ``REPRO_FAULT_STATE`` (each fire appends a byte); without a state
+    dir the count is tracked per process, which only suffices for
+    in-parent (jobs=1 / final-attempt) runs.
+    """
+    state_dir = os.environ.get("REPRO_FAULT_STATE")
+    if not state_dir:
+        fired = _LOCAL_FIRES.get(entry, 0)
+        if fired >= limit:
+            return False
+        _LOCAL_FIRES[entry] = fired + 1
+        return True
+    name = hashlib.blake2b(entry.encode("utf-8"), digest_size=8).hexdigest()
+    path = os.path.join(state_dir, f"fault-{name}")
+    try:
+        with open(path, "ab") as handle:
+            if handle.tell() >= limit:
+                return False
+            handle.write(b"\x01")
+        return True
+    except OSError:
+        return True  # unusable state dir: fail open so the test still faults
+
+
+_LOCAL_FIRES: dict[str, int] = {}
+
+#: Sentinel planted in a ``TaskResult`` by the ``pickle`` fault mode;
+#: module-level lambdas the pickler cannot resolve make shipping fail.
+_UNPICKLABLE = lambda: None  # noqa: E731
+
+
+def _maybe_inject(task: RowTask) -> Any | None:
+    """Fire a configured fault for ``task``; returns a result poison.
+
+    Returns ``None`` normally, or an unpicklable object the caller must
+    attach to its result (``pickle`` mode).  ``crash``/``hang`` never
+    return in a worker process.
+    """
+    spec = os.environ.get("REPRO_FAULT_INJECT")
+    if not spec:
+        return None
+    parent = os.environ.get("REPRO_FAULT_PARENT")
+    in_parent = parent is not None and parent == str(os.getpid())
+    for mode, key, count in _parse_fault_spec(spec):
+        if key != task.key:
+            continue
+        entry = f"{mode}={key}"
+        if count is not None and not _claim_fault(entry, count):
+            continue
+        if mode == "crash":
+            if in_parent:
+                raise FaultInjected(f"injected crash for {task.key} (in parent)")
+            os._exit(32)
+        if mode == "hang":
+            if in_parent:
+                raise FaultInjected(f"injected hang for {task.key} (in parent)")
+            time.sleep(float(os.environ.get("REPRO_FAULT_HANG_S", "3600")))
+            continue
+        if mode == "raise":
+            raise FaultInjected(f"injected failure for {task.key}")
+        if mode == "pickle" and not in_parent:
+            return _UNPICKLABLE
+    return None
 
 
 def _run_table4(name: str, opts: dict) -> tuple[Any, dict[str, dict]]:
@@ -141,17 +310,50 @@ def execute_task(task: RowTask) -> TaskResult:
     function so :mod:`concurrent.futures` can pickle it); the ``jobs=1``
     fallback calls it in-process, which is exactly the pre-parallel
     sequential path.
+
+    A ``node_limit`` option runs the row under a
+    :class:`~repro.bdd.governor.Budget`; only errors raised by *that*
+    budget are converted to a ``status="budget_exceeded"`` result —
+    an enclosing budget's error (the executor's per-attempt deadline)
+    propagates so the executor can retry or quarantine the row.
     """
     from repro.bdd import stats
+    from repro.bdd.governor import Budget
 
     runner = _DISPATCH.get(task.kind)
     if runner is None:
         raise ReproError(f"unknown row task kind {task.kind!r}")
+    poison = _maybe_inject(task)
+    opts = task.opts()
+    node_limit = opts.pop("node_limit", None)
+    budget = Budget(max_nodes=node_limit) if node_limit else None
     before = stats.snapshot()
     t0 = time.perf_counter()
-    result, shipped = runner(task.name, task.opts())
+    status = "ok"
+    error: str | None = None
+    degraded: tuple[str, ...] = ()
+    result: Any = None
+    shipped: dict[str, dict] = {}
+    try:
+        if budget is not None:
+            with budget:
+                result, shipped = runner(task.name, opts)
+            degraded = tuple(budget.degradations)
+            if degraded:
+                status = "degraded"
+        else:
+            result, shipped = runner(task.name, opts)
+    except (ResourceLimitError, DeadlineError) as exc:
+        if budget is None or exc.budget is not budget:
+            raise  # someone else's budget (e.g. the executor's deadline)
+        status = "budget_exceeded"
+        error = str(exc)
+        result = None
+        shipped = {}
     wall = time.perf_counter() - t0
     delta = stats.counter_delta(before, stats.snapshot())
+    if poison is not None:
+        result = (result, poison)
     return TaskResult(
         key=task.key,
         result=result,
@@ -159,6 +361,9 @@ def execute_task(task: RowTask) -> TaskResult:
         pid=os.getpid(),
         stats_delta=delta,
         shipped_cfs=shipped,
+        status=status,
+        error=error,
+        degraded=degraded,
     )
 
 

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.parallel import CostModel, table4_task, table5_task, table6_task
 from repro.parallel.costs import KIND_DEFAULTS
 
@@ -68,6 +70,45 @@ class TestSeedingAndPersistence:
 
     def test_save_without_path_is_noop(self):
         assert CostModel().save() is None
+
+
+class TestRobustPersistence:
+    def test_corrupt_cost_file_backed_up_with_warning(self, tmp_path):
+        path = tmp_path / "costs.json"
+        path.write_text("{torn half-write")
+        with pytest.warns(UserWarning, match="corrupt"):
+            model = CostModel.load(path)
+        assert model.estimates == {}
+        assert not path.exists()
+        assert (tmp_path / "costs.json.bad").read_text() == "{torn half-write"
+
+    def test_wrong_format_file_backed_up_with_warning(self, tmp_path):
+        path = tmp_path / "costs.json"
+        path.write_text(json.dumps({"format": "something-else", "estimates": {}}))
+        with pytest.warns(UserWarning, match="corrupt or not a"):
+            CostModel.load(path)
+        assert (tmp_path / "costs.json.bad").exists()
+
+    def test_missing_cost_file_stays_silent(self, tmp_path, recwarn):
+        model = CostModel.load(tmp_path / "absent.json")
+        assert model.estimates == {}
+        assert not recwarn.list
+
+    def test_save_is_atomic_no_temp_leftovers(self, tmp_path):
+        path = tmp_path / "costs.json"
+        model = CostModel({"table4:foo": 1.25}, path=path)
+        assert model.save() == path
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-cost-model"
+        assert data["estimates"] == {"table4:foo": 1.25}
+        # Only the final file remains: the temp staging file was renamed.
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["costs.json"]
+
+    def test_save_then_load_roundtrip_after_overwrite(self, tmp_path):
+        path = tmp_path / "costs.json"
+        CostModel({"table5:a": 2.0}, path=path).save()
+        CostModel({"table5:a": 3.0}, path=path).save()  # overwrite in place
+        assert CostModel.load(path).estimates == {"table5:a": 3.0}
 
 
 class TestScheduling:
