@@ -13,6 +13,10 @@ Scale control:
 * REPRO_BENCH_TIMEOUT=S / REPRO_BENCH_RETRIES=N — per-attempt row
   deadline and retry budget for those executor runs (DESIGN.md §8); a
   quarantined row fails its benchmark with the failure record.
+* REPRO_BENCH_JOURNAL=PATH — write-ahead journal of executor-driven
+  rows (DESIGN.md §9); REPRO_BENCH_RESUME=1 additionally skips rows
+  already completed in that journal, so a killed benchmark run can be
+  restarted without re-paying for finished work.
 
 Each benchmark writes the regenerated table/figure to
 ``benchmarks/results/<name>.txt`` so the artefacts survive pytest's
@@ -21,6 +25,7 @@ output capture.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -66,6 +71,51 @@ def bench_retries() -> int:
         return 2
 
 
+_BENCH_JOURNAL = None
+
+
+def bench_journal():
+    """Session-wide sweep journal (``REPRO_BENCH_JOURNAL``), or ``None``.
+
+    Opened once per session — every :func:`run_row_task` call appends
+    to the same journal, and with ``REPRO_BENCH_RESUME=1`` rows a
+    previous (killed) benchmark run already completed are replayed
+    instead of recomputed.
+    """
+    global _BENCH_JOURNAL
+    path = os.environ.get("REPRO_BENCH_JOURNAL", "").strip()
+    if not path:
+        return None
+    if _BENCH_JOURNAL is None:
+        from repro.parallel import Journal
+
+        resume = os.environ.get("REPRO_BENCH_RESUME", "").strip() not in (
+            "", "0", "false",
+        )
+        _BENCH_JOURNAL = Journal(path, resume=resume)
+    return _BENCH_JOURNAL
+
+
+def read_bench_json(path) -> dict:
+    """Load a BENCH_*.json, validating its schema version.
+
+    Raises a clear error for stale v1/v2/v3 files (or foreign JSON)
+    instead of letting a consumer silently miss the v4 journal/selfcheck
+    fields it expects.
+    """
+    path = pathlib.Path(path)
+    data = json.loads(path.read_text())
+    found = (data.get("schema"), data.get("schema_version"))
+    if not isinstance(data, dict) or found != (stats.SCHEMA, stats.SCHEMA_VERSION):
+        raise RuntimeError(
+            f"{path}: stale or foreign BENCH report (schema {found[0]!r} "
+            f"version {found[1]!r}; this tree writes {stats.SCHEMA!r} "
+            f"version {stats.SCHEMA_VERSION}) — regenerate it with the "
+            f"current benchmarks"
+        )
+    return data
+
+
 def run_row_task(task):
     """Execute one row task through the parallel executor.
 
@@ -81,6 +131,7 @@ def run_row_task(task):
         jobs=bench_jobs(),
         timeout=bench_timeout(),
         retries=bench_retries(),
+        journal=bench_journal(),
     )
     if report.failures:
         failure = report.failures[0]
@@ -120,10 +171,17 @@ def run_once(benchmark, fn, record_name: str | None = None, **extra):
 
 def pytest_sessionfinish(session, exitstatus):
     """Emit the machine-readable engine benchmark report at the repo root."""
+    global _BENCH_JOURNAL
+    if _BENCH_JOURNAL is not None:
+        _BENCH_JOURNAL.close()
+        _BENCH_JOURNAL = None
     if stats.RECORDS:
         path = stats.write_bench_json(
             BENCH_JSON,
             meta={"suite": "benchmarks", "exitstatus": int(exitstatus)},
             jobs=bench_jobs(),
         )
+        # Read-back through the validating reader: the file we just
+        # wrote must be a well-formed current-schema document.
+        read_bench_json(path)
         print(f"\nengine benchmark report written to {path}")

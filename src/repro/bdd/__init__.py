@@ -13,7 +13,22 @@ Public surface:
 * :mod:`repro.bdd.governor` — cooperative node/step/deadline budgets
   (:class:`~repro.bdd.governor.Budget`) enforced inside the apply
   kernel and the sifting loop.
+* :mod:`repro.bdd.check` — structural invariant verification
+  (:func:`~repro.bdd.check.check_manager` /
+  :func:`~repro.bdd.check.check_payload`), armed by
+  ``REPRO_SELFCHECK=1`` at sweep row boundaries and on payload loads.
 """
+
+from repro.bdd.check import (
+    InvariantViolation,
+    check_charfunction,
+    check_manager,
+    check_payload,
+    selfcheck_enabled,
+    verify_charfunction,
+    verify_manager,
+    verify_payload,
+)
 
 from repro.bdd.governor import Budget
 from repro.bdd.manager import FALSE, TRUE, BDD
@@ -54,7 +69,11 @@ __all__ = [
     "Budget",
     "FALSE",
     "TRUE",
+    "InvariantViolation",
     "SiftSession",
+    "check_charfunction",
+    "check_manager",
+    "check_payload",
     "constrain",
     "count_paths_to_one",
     "crossing_counts",
@@ -77,11 +96,15 @@ __all__ = [
     "load_forest_payload",
     "level_profile",
     "nodes_by_level",
+    "selfcheck_enabled",
     "set_order",
     "sift",
     "restrict_gc",
     "to_dot",
     "transfer",
     "transfer_by_name",
+    "verify_charfunction",
+    "verify_manager",
+    "verify_payload",
     "word_geq_const",
 ]

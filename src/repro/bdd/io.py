@@ -82,7 +82,18 @@ def forest_payload(bdd: BDD, roots: Mapping[str, int]) -> dict:
 
 
 def load_forest_payload(data: dict) -> tuple[BDD, dict[str, int]]:
-    """Rebuild a forest payload (see :func:`forest_payload`)."""
+    """Rebuild a forest payload (see :func:`forest_payload`).
+
+    Under ``REPRO_SELFCHECK=1`` the payload is audited *before* any
+    node is built (:func:`repro.bdd.check.verify_payload`) and the
+    rebuilt manager *after* — verify-on-load for every path that pulls
+    a serialized BDD in, including the ``transfer_by_name`` refinement
+    checks over worker-shipped CFs.
+    """
+    from repro.bdd import check
+
+    if check.selfcheck_enabled():
+        check.verify_payload(data, what="forest payload (on load)")
     if data.get("format") != "repro-bdd-forest" or data.get("version") != 1:
         raise BDDError("not a repro-bdd-forest v1 document")
     bdd = BDD()
@@ -97,6 +108,10 @@ def load_forest_payload(data: dict) -> tuple[BDD, dict[str, int]]:
         node = bdd.mk(vids[var_index], ids[lo], ids[hi])
         ids.append(node)
     roots = {name: ids[r] for name, r in data["roots"].items()}
+    if check.selfcheck_enabled():
+        check.verify_manager(
+            bdd, roots.values(), what="rebuilt forest (on load)"
+        )
     return bdd, roots
 
 
@@ -131,7 +146,7 @@ def load_charfunction_payload(data: dict) -> CharFunction:
     if meta is None:
         raise BDDError("document does not contain a charfunction section")
     bdd, roots = load_forest_payload(data)
-    return CharFunction(
+    cf = CharFunction(
         bdd,
         roots["chi"],
         [bdd.vid(name) for name in meta["inputs"]],
@@ -142,6 +157,11 @@ def load_charfunction_payload(data: dict) -> CharFunction:
             for y, xs in meta["output_supports"].items()
         },
     )
+    from repro.bdd import check
+
+    if check.selfcheck_enabled():
+        check.verify_charfunction(cf, what=f"loaded CF {cf.name!r}")
+    return cf
 
 
 def dump_charfunction(cf: CharFunction) -> str:

@@ -23,17 +23,22 @@ from __future__ import annotations
 
 import datetime
 import json
+import os
+import tempfile
 import time
 import weakref
 from contextlib import contextmanager
 from pathlib import Path
 
 #: BENCH_*.json schema version (bumped when the payload shape changes).
-#: v3 adds the sweep-outcome counters (:data:`SWEEP_KEYS`) to the
+#: v3 added the sweep-outcome counters (:data:`SWEEP_KEYS`) to the
 #: parallel executor's ``stats_totals`` and per-sweep ``failures`` /
-#: ``row_status`` records to the BENCH_PR3-style payload.
-SCHEMA = "repro-bench-v3"
-SCHEMA_VERSION = 3
+#: ``row_status`` records to the BENCH_PR3-style payload.  v4 adds the
+#: journal/resume fields (``rows_resumed`` in :data:`SWEEP_KEYS`,
+#: per-sweep ``journal_path``) and the :data:`SELFCHECK_KEYS` counters
+#: of the ``REPRO_SELFCHECK`` invariant-verification layer.
+SCHEMA = "repro-bench-v4"
+SCHEMA_VERSION = 4
 
 #: Counters that add across managers and processes.  ``peak_nodes``
 #: aggregates with ``max`` instead and is handled separately.
@@ -56,6 +61,20 @@ SWEEP_KEYS = (
     "rows_failed",
     "rows_degraded",
     "retries",
+    "rows_resumed",
+)
+
+#: Self-check counters (schema v4) from :mod:`repro.bdd.check` — how
+#: many ``REPRO_SELFCHECK`` invariant audits ran and what they found.
+#: Like :data:`SWEEP_KEYS` they are *not* additive engine counters:
+#: they travel in worker stats deltas and sum into ``stats_totals``,
+#: but never merge into :data:`WORKER_TOTALS` (a parent-side audit is
+#: extra work by design, so jobs=1 vs jobs=N parity over
+#: :data:`ADDITIVE_KEYS` must not see them).
+SELFCHECK_KEYS = (
+    "selfcheck_manager_checks",
+    "selfcheck_payload_checks",
+    "selfcheck_violations",
 )
 
 #: Live managers, by weak reference.
@@ -131,6 +150,11 @@ def snapshot() -> dict:
     totals["alive_nodes"] = alive
     lookups = totals["cache_hits"] + totals["cache_misses"]
     totals["cache_hit_rate"] = (totals["cache_hits"] / lookups) if lookups else 0.0
+    from repro.bdd.check import COUNTERS as _selfcheck
+
+    totals["selfcheck_manager_checks"] = _selfcheck["manager_checks"]
+    totals["selfcheck_payload_checks"] = _selfcheck["payload_checks"]
+    totals["selfcheck_violations"] = _selfcheck["violations"]
     return totals
 
 
@@ -142,6 +166,8 @@ def counter_delta(before: dict, after: dict) -> dict:
     """
     delta = {key: after[key] - before[key] for key in ADDITIVE_KEYS}
     delta["peak_nodes"] = after["peak_nodes"]
+    for key in SELFCHECK_KEYS:
+        delta[key] = after.get(key, 0) - before.get(key, 0)
     return delta
 
 
@@ -217,5 +243,31 @@ def write_bench_json(
     }
     if meta:
         payload["meta"] = meta
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The same pattern as :meth:`repro.parallel.costs.CostModel.save`: a
+    process killed mid-write can leave a stray temp file but never a
+    torn half-document at the target path, so BENCH_*.json readers (and
+    the schema validation in ``benchmarks/conftest.py``) only ever see
+    complete payloads.
+    """
+    target = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        prefix=target.name + ".", suffix=".tmp", dir=target.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return target

@@ -66,6 +66,19 @@ def main(argv: Sequence[str] | None = None) -> int:
             help="per-row BDD node budget; rows exceeding it report "
             "status=budget_exceeded instead of running away (default: none)",
         )
+        p.add_argument(
+            "--journal",
+            metavar="PATH",
+            default=None,
+            help="write-ahead journal of row progress at PATH; every "
+            "attempt/result is fsync'd before the sweep proceeds",
+        )
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="skip rows already completed in --journal (matching "
+            "configuration); requires --journal",
+        )
 
     p4 = sub.add_parser("table4", help="maximum width / node count table")
     p4.add_argument("names", nargs="*", help="benchmark names (default: all)")
@@ -92,6 +105,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--compare",
         action="store_true",
         help="also run the --jobs 1 baseline and assert row parity",
+    )
+    psweep.add_argument(
+        "--strict",
+        action="store_true",
+        help="with --compare: exit non-zero when any row is missing "
+        "from either sweep or the fingerprints mismatch (CI mode)",
     )
     psweep.add_argument("--verify", action="store_true")
     psweep.add_argument(
@@ -121,6 +140,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     ppla.add_argument("--dump-dot", metavar="PATH", help="write the reduced CF as DOT")
 
     args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and not getattr(args, "journal", None):
+        parser.error("--resume requires --journal PATH")
     command = args.command
     if command == "table4":
         return _cmd_table4(args)
@@ -166,6 +187,8 @@ def _cmd_table4(args) -> int:
         timeout=args.timeout,
         retries=args.retries,
         node_limit=args.node_limit,
+        journal=args.journal,
+        resume=args.resume,
     )
     _warn_missing_rows(len(rows), len(names), "table4")
     print(format_table4(rows))
@@ -184,6 +207,8 @@ def _cmd_table5(args) -> int:
         timeout=args.timeout,
         retries=args.retries,
         node_limit=args.node_limit,
+        journal=args.journal,
+        resume=args.resume,
     )
     _warn_missing_rows(len(rows), len(names), "table5")
     print(format_table5(rows))
@@ -202,6 +227,8 @@ def _cmd_table6(args) -> int:
         timeout=args.timeout,
         retries=args.retries,
         node_limit=args.node_limit,
+        journal=args.journal,
+        resume=args.resume,
     )
     _warn_missing_rows(len(rows), 2 * len(sizes), "table6")
     print(format_table6(rows))
@@ -226,6 +253,13 @@ def _cmd_sweep(args) -> int:
     if unknown:
         print(f"unknown tables: {', '.join(sorted(unknown))}", file=sys.stderr)
         return 2
+    if args.names:
+        # Fail fast: an unknown benchmark name is a misconfigured
+        # invocation, not a row fault to quarantine row by row.
+        from repro.benchfns.registry import get_benchmark
+
+        for name in args.names:
+            get_benchmark(name)
     tasks = []
     if "4" in tables:
         tasks += [
@@ -253,6 +287,8 @@ def _cmd_sweep(args) -> int:
 
     cost_model = CostModel.load(args.cost_file) if args.cost_file else None
     sweeps = {}
+    # The journal attaches to the sweep the user asked for; the extra
+    # --compare baseline is a throwaway check and never journals.
     if args.compare or args.jobs <= 1:
         sweeps["jobs=1"] = run_tasks(
             tasks,
@@ -260,6 +296,8 @@ def _cmd_sweep(args) -> int:
             cost_model=cost_model,
             timeout=args.timeout,
             retries=args.retries,
+            journal=args.journal if args.jobs <= 1 else None,
+            resume=args.resume if args.jobs <= 1 else False,
         )
     if args.jobs > 1:
         sweeps[f"jobs={args.jobs}"] = run_tasks(
@@ -268,12 +306,15 @@ def _cmd_sweep(args) -> int:
             cost_model=cost_model,
             timeout=args.timeout,
             retries=args.retries,
+            journal=args.journal,
+            resume=args.resume,
         )
     parallel_report = sweeps.get(f"jobs={args.jobs}")
     if parallel_report is not None:
         for result in parallel_report.results:
             if result.status == "ok":
                 verify_shipped(result)
+    strict_problems: list[str] = []
     if args.compare and parallel_report is not None:
         baseline = sweeps["jobs=1"]
         # Compare by key: a quarantined row in either sweep is reported
@@ -283,23 +324,38 @@ def _cmd_sweep(args) -> int:
         for seq in baseline.results:
             par = par_by_key.get(seq.key)
             if par is None or seq.status != "ok" or par.status != "ok":
+                strict_problems.append(
+                    f"{seq.key}: not comparable (sequential status "
+                    f"{seq.status!r}, parallel "
+                    f"{par.status if par is not None else 'missing'!r})"
+                )
                 continue
             if row_fingerprint(seq.result) != row_fingerprint(par.result):
-                raise ReproError(
+                if not args.strict:
+                    raise ReproError(
+                        f"{seq.key}: parallel result differs from sequential"
+                    )
+                strict_problems.append(
                     f"{seq.key}: parallel result differs from sequential"
                 )
+                continue
             compared += 1
+        missing = {t.key for t in tasks} - {r.key for r in baseline.results}
+        strict_problems.extend(
+            f"{key}: missing from the sequential sweep" for key in sorted(missing)
+        )
         print(
             f"parity OK over {compared} of {len(tasks)} rows: "
             f"jobs=1 {baseline.wall_s:.2f}s vs jobs={args.jobs} "
             f"{parallel_report.wall_s:.2f}s"
         )
     for label, report in sweeps.items():
+        resumed = f", {report.rows_resumed} resumed" if report.rows_resumed else ""
         print(
             f"{label}: wall {report.wall_s:.2f}s, busy {report.busy_s:.2f}s, "
             f"overhead {report.scheduling_overhead_s:.2f}s, "
             f"{len(report.workers)} worker(s), {len(report.failures)} "
-            f"quarantined, {report.retries} retr(y/ies)"
+            f"quarantined, {report.retries} retr(y/ies){resumed}"
         )
         for failure in report.failures:
             print(
@@ -319,6 +375,22 @@ def _cmd_sweep(args) -> int:
             args.bench_json, sweeps, meta={"source": "cli sweep"}
         )
         print(f"sweep report written to {path}")
+    if args.strict and not args.compare:
+        # Without a baseline to diff against, strict still refuses to
+        # exit 0 when any requested row is missing from the output.
+        for label, report in sweeps.items():
+            strict_problems.extend(
+                f"{failure.key}: quarantined in {label} ({failure.status})"
+                for failure in report.failures
+            )
+    if args.strict and strict_problems:
+        for problem in strict_problems:
+            print(f"strict: {problem}", file=sys.stderr)
+        print(
+            f"strict: {len(strict_problems)} missing/mismatched row(s)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

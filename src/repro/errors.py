@@ -59,11 +59,62 @@ class DeadlineError(BudgetError):
     """A wall-clock deadline passed during a governed operation."""
 
 
+class IntegrityError(BDDError):
+    """A BDD manager or serialized payload violates structural invariants.
+
+    Raised by the self-check layer (:mod:`repro.bdd.check`) when a
+    manager, a loaded forest payload, or a characteristic function
+    fails the ordered/reduced/unique-table invariants the paper's
+    algorithms assume.  ``violations`` carries the structured
+    :class:`~repro.bdd.check.InvariantViolation` records that triggered
+    the error, so callers (and CI logs) see *which* invariant broke and
+    where, not just that one did.
+    """
+
+    def __init__(self, message: str, *, violations: tuple = ()) -> None:
+        super().__init__(message)
+        self.violations = tuple(violations)
+
+
 class SpecificationError(ReproError):
     """An incompletely specified function violates its invariants.
 
     The sets ``f_0``, ``f_1`` and ``f_d`` must partition the input space
     (Definition 2.1): pairwise disjoint, jointly exhaustive.
+    """
+
+
+class ParseError(SpecificationError):
+    """An input file (e.g. PLA) could not be parsed.
+
+    Subclasses :class:`SpecificationError` so existing callers catching
+    the broader class keep working; carries ``path`` and ``line``
+    (1-based) context so a malformed file is reported as
+    ``file:line: message`` instead of an IndexError deep in the parser.
+    """
+
+    def __init__(
+        self, message: str, *, path: str | None = None, line: int | None = None
+    ) -> None:
+        where = ""
+        if path is not None and line is not None:
+            where = f"{path}:{line}: "
+        elif path is not None:
+            where = f"{path}: "
+        elif line is not None:
+            where = f"line {line}: "
+        super().__init__(where + message)
+        self.path = path
+        self.line = line
+
+
+class JournalError(ReproError):
+    """A sweep journal could not be read, validated, or appended to.
+
+    Torn tails (a partial last record from a killed process) are *not*
+    errors — they are recovered by truncation on open; this is raised
+    for unusable journals: wrong format marker, an unwritable path, or
+    a resume against a journal whose header does not match the sweep.
     """
 
 

@@ -61,6 +61,13 @@ def _sift_or_degrade(cf: CharFunction, what: str) -> None:
         if not governor.active():
             raise  # not ours to absorb (no budget means a plain bug)
         governor.note_degraded(f"sift aborted for {what}: {exc}")
+        # The aborted SiftSession claims to leave the manager consistent
+        # under a partially improved order; under REPRO_SELFCHECK=1,
+        # prove it — a degraded row must still be a *correct* row.
+        from repro.bdd import check
+
+        if check.selfcheck_enabled():
+            check.verify_charfunction(cf, what=f"{what} after aborted sift")
 
 
 def build_sifted_cf(part: MultiOutputISF, *, sift: bool = True) -> CharFunction:

@@ -141,6 +141,8 @@ def run_table4(
     timeout: float | None = None,
     retries: int = 2,
     node_limit: int | None = None,
+    journal=None,
+    resume: bool = False,
 ) -> list[Table4Row]:
     """Run the pipeline over the configured benchmark list.
 
@@ -153,18 +155,27 @@ def run_table4(
     ``timeout``/``retries`` bound each row attempt (failing rows are
     quarantined by the executor and simply absent from the returned
     list); ``node_limit`` runs every row under a node budget, dropping
-    rows that exceed it.
+    rows that exceed it.  ``journal``/``resume`` make the sweep
+    crash-safe (see :mod:`repro.parallel.journal`).
     """
     from repro.parallel import run_tasks, table4_task, verify_shipped
 
     names = list(names) if names is not None else table4_names()
+    # Fail fast on misconfiguration: an unknown benchmark name is the
+    # caller's bug, not a row-level fault for the executor to retry and
+    # quarantine — raise BenchmarkError before any row runs.
+    for name in names:
+        get_benchmark(name)
     tasks = [
         table4_task(
             name, sift=sift, verify=verify, ship_cfs=jobs > 1, node_limit=node_limit
         )
         for name in names
     ]
-    report = run_tasks(tasks, jobs=jobs, timeout=timeout, retries=retries)
+    report = run_tasks(
+        tasks, jobs=jobs, timeout=timeout, retries=retries,
+        journal=journal, resume=resume,
+    )
     for result in report.results:
         verify_shipped(result)
     return report.rows

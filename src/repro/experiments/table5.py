@@ -167,19 +167,28 @@ def run_table5(
     timeout: float | None = None,
     retries: int = 2,
     node_limit: int | None = None,
+    journal=None,
+    resume: bool = False,
 ) -> list[Table5Row]:
     """Run the reconstructed Table 5 over the arithmetic functions.
 
     ``jobs`` fans the rows out over the process-pool executor
     (:func:`repro.parallel.run_tasks`); results are bit-identical at
     any jobs value.  ``timeout``/``retries``/``node_limit`` bound each
-    row (see :func:`repro.experiments.table4.run_table4`).
+    row, ``journal``/``resume`` make the sweep crash-safe (see
+    :func:`repro.experiments.table4.run_table4`).
     """
     from repro.parallel import run_tasks, table5_task
 
     names = list(names) if names is not None else arithmetic_names()
+    # Fail fast on unknown names (caller misconfiguration, not a row fault).
+    for name in names:
+        get_benchmark(name)
     tasks = [table5_task(name, verify=verify, node_limit=node_limit) for name in names]
-    return run_tasks(tasks, jobs=jobs, timeout=timeout, retries=retries).rows
+    return run_tasks(
+        tasks, jobs=jobs, timeout=timeout, retries=retries,
+        journal=journal, resume=resume,
+    ).rows
 
 
 def format_table5(rows: list[Table5Row]) -> str:

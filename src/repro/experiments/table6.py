@@ -175,15 +175,18 @@ def run_table6(
     timeout: float | None = None,
     retries: int = 2,
     node_limit: int | None = None,
+    journal=None,
+    resume: bool = False,
 ) -> list[Table6Design]:
     """Both designs for every configured word list size.
 
     With ``jobs > 1`` each word-list size becomes one row task on the
     process-pool executor (:func:`repro.parallel.run_tasks`);
-    ``timeout``/``retries``/``node_limit`` bound each row (see
+    ``timeout``/``retries``/``node_limit`` bound each row and
+    ``journal``/``resume`` make the sweep crash-safe (see
     :func:`repro.experiments.table4.run_table4`).
     """
-    if jobs > 1 or timeout is not None or node_limit is not None:
+    if jobs > 1 or timeout is not None or node_limit is not None or journal is not None:
         # Row bounds are enforced by the executor, so a bounded run
         # goes through it even at jobs=1 (in-process, no pool).
         from repro.parallel import run_tasks, table6_task
@@ -193,7 +196,10 @@ def run_table6(
             table6_task(count, sift=sift, verify=verify, node_limit=node_limit)
             for count in sizes
         ]
-        report = run_tasks(tasks, jobs=jobs, timeout=timeout, retries=retries)
+        report = run_tasks(
+            tasks, jobs=jobs, timeout=timeout, retries=retries,
+            journal=journal, resume=resume,
+        )
         return [row for rows in report.rows for row in rows]
     rows: list[Table6Design] = []
     for count in sizes if sizes is not None else list(word_list_sizes()):

@@ -22,20 +22,54 @@ from collections.abc import Iterable
 
 from repro.bdd.manager import BDD, FALSE
 from repro.bdd.builder import from_cube
-from repro.errors import SpecificationError
+from repro.errors import ParseError, SpecificationError
 from repro.isf.function import ISF, MultiOutputISF
 from repro.isf.ternary import MultiOutputSpec
 
 
-def loads_pla(text: str, *, name: str = "pla") -> MultiOutputISF:
-    """Parse PLA text into a :class:`MultiOutputISF` (fresh manager)."""
+def _directive_int(parts: list[str], *, path: str | None, line: int) -> int:
+    """The single non-negative integer argument of ``.i`` / ``.o``."""
+    if len(parts) != 2:
+        raise ParseError(
+            f"directive {parts[0]!r} takes exactly one argument, got "
+            f"{len(parts) - 1}",
+            path=path, line=line,
+        )
+    try:
+        value = int(parts[1])
+    except ValueError:
+        raise ParseError(
+            f"directive {parts[0]!r} argument {parts[1]!r} is not an integer",
+            path=path, line=line,
+        ) from None
+    if value <= 0:
+        raise ParseError(
+            f"directive {parts[0]!r} argument must be positive, got {value}",
+            path=path, line=line,
+        )
+    return value
+
+
+def loads_pla(
+    text: str, *, name: str = "pla", path: str | None = None
+) -> MultiOutputISF:
+    """Parse PLA text into a :class:`MultiOutputISF` (fresh manager).
+
+    Malformed input — wrong-arity lines, duplicate ``.i``/``.o``,
+    non-``{0,1,-}`` literals, cube widths disagreeing with the
+    declarations — raises :class:`~repro.errors.ParseError` with
+    ``path:line:`` context instead of an ``IndexError``/``ValueError``
+    deep inside the parser.  ``path`` only labels errors; use
+    :func:`load_pla` to read from disk.
+    """
     n_inputs = n_outputs = None
     input_names: list[str] | None = None
     output_names: list[str] | None = None
-    cubes: list[tuple[str, str]] = []
+    cubes: list[tuple[int, str, str]] = []
     pla_type = "fr"
+    type_line = 0
 
-    for raw in text.splitlines():
+    for lineno, raw in enumerate(text.splitlines(), 1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
@@ -43,45 +77,76 @@ def loads_pla(text: str, *, name: str = "pla") -> MultiOutputISF:
             parts = line.split()
             directive = parts[0]
             if directive == ".i":
-                n_inputs = int(parts[1])
+                if n_inputs is not None:
+                    raise ParseError(
+                        "duplicate .i directive", path=path, line=lineno
+                    )
+                n_inputs = _directive_int(parts, path=path, line=lineno)
             elif directive == ".o":
-                n_outputs = int(parts[1])
+                if n_outputs is not None:
+                    raise ParseError(
+                        "duplicate .o directive", path=path, line=lineno
+                    )
+                n_outputs = _directive_int(parts, path=path, line=lineno)
             elif directive == ".ilb":
                 input_names = parts[1:]
             elif directive == ".ob":
                 output_names = parts[1:]
             elif directive == ".type":
+                if len(parts) != 2:
+                    raise ParseError(
+                        ".type takes exactly one argument",
+                        path=path, line=lineno,
+                    )
                 pla_type = parts[1]
+                type_line = lineno
             elif directive in (".p", ".e", ".end"):
                 continue
             else:
-                raise SpecificationError(f"unsupported PLA directive {directive!r}")
+                raise ParseError(
+                    f"unsupported PLA directive {directive!r}",
+                    path=path, line=lineno,
+                )
             continue
         fields = line.split()
         if len(fields) != 2:
-            raise SpecificationError(f"malformed PLA cube line: {raw!r}")
-        cubes.append((fields[0], fields[1]))
+            raise ParseError(
+                f"cube line must be '<inputs> <outputs>' (two fields), "
+                f"got {len(fields)}: {raw.strip()!r}",
+                path=path, line=lineno,
+            )
+        cubes.append((lineno, fields[0], fields[1]))
 
     if n_inputs is None or n_outputs is None:
-        raise SpecificationError("PLA must declare .i and .o before cubes")
+        raise ParseError("PLA must declare .i and .o", path=path)
     if pla_type not in ("fr", "f", "fd", "fdr"):
-        raise SpecificationError(f"unsupported PLA type {pla_type!r}")
+        raise ParseError(
+            f"unsupported PLA type {pla_type!r}",
+            path=path, line=type_line or None,
+        )
     if input_names is None:
         input_names = [f"x{i + 1}" for i in range(n_inputs)]
     if output_names is None:
         output_names = [f"f{i + 1}" for i in range(n_outputs)]
     if len(input_names) != n_inputs or len(output_names) != n_outputs:
-        raise SpecificationError("PLA label count disagrees with .i/.o")
+        raise ParseError(
+            f".ilb/.ob label count ({len(input_names)}/{len(output_names)}) "
+            f"disagrees with .i/.o ({n_inputs}/{n_outputs})",
+            path=path,
+        )
 
     bdd = BDD()
     input_vids = bdd.add_vars(input_names, kind="input")
     onsets = [FALSE] * n_outputs
     offsets = [FALSE] * n_outputs
 
-    for in_part, out_part in cubes:
+    for lineno, in_part, out_part in cubes:
         if len(in_part) != n_inputs or len(out_part) != n_outputs:
-            raise SpecificationError(
-                f"cube width mismatch: {in_part} {out_part}"
+            raise ParseError(
+                f"cube width mismatch: {len(in_part)} input / "
+                f"{len(out_part)} output literal(s) against .i {n_inputs} "
+                f".o {n_outputs}",
+                path=path, line=lineno,
             )
         cube: dict[int, int] = {}
         for vid, ch in zip(input_vids, in_part):
@@ -90,7 +155,10 @@ def loads_pla(text: str, *, name: str = "pla") -> MultiOutputISF:
             elif ch == "0":
                 cube[vid] = 0
             elif ch not in "-2":
-                raise SpecificationError(f"bad input literal {ch!r}")
+                raise ParseError(
+                    f"bad input literal {ch!r} (expected 0, 1, or -)",
+                    path=path, line=lineno,
+                )
         cube_fn = from_cube(bdd, cube)
         for i, ch in enumerate(out_part):
             if ch == "1":
@@ -98,11 +166,16 @@ def loads_pla(text: str, *, name: str = "pla") -> MultiOutputISF:
             elif ch == "0":
                 offsets[i] = bdd.apply_or(offsets[i], cube_fn)
             elif ch not in "-~234":
-                raise SpecificationError(f"bad output literal {ch!r}")
+                raise ParseError(
+                    f"bad output literal {ch!r} (expected 0, 1, -, or ~)",
+                    path=path, line=lineno,
+                )
 
     outputs = []
     for i in range(n_outputs):
         if bdd.apply_and(onsets[i], offsets[i]) != FALSE:
+            # Semantically inconsistent, not syntactically malformed —
+            # the plain SpecificationError is the right class here.
             raise SpecificationError(
                 f"output {output_names[i]} has overlapping on/off sets"
             )
@@ -113,10 +186,10 @@ def loads_pla(text: str, *, name: str = "pla") -> MultiOutputISF:
 
 
 def load_pla(path: str, *, name: str | None = None) -> MultiOutputISF:
-    """Read a PLA file from disk."""
+    """Read a PLA file from disk; parse errors carry ``path:line:``."""
     with open(path) as handle:
         text = handle.read()
-    return loads_pla(text, name=name if name is not None else path)
+    return loads_pla(text, name=name if name is not None else path, path=path)
 
 
 def dumps_pla(spec: MultiOutputSpec) -> str:

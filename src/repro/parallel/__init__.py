@@ -10,6 +10,9 @@ this package fans them out over a shared-nothing process pool:
 * :mod:`repro.parallel.executor` — :func:`run_tasks` /
   :class:`SweepReport`, including cross-process engine-stats
   aggregation.
+* :mod:`repro.parallel.journal` — :class:`Journal`, the fsync'd
+  write-ahead record of sweep progress behind ``--journal``/``--resume``
+  (crash-safe resume of interrupted sweeps).
 * :mod:`repro.parallel.report` — the BENCH_PR3.json artifact.
 
 ``run_tasks(tasks, jobs=1)`` is the sequential in-process path used by
@@ -30,6 +33,7 @@ from repro.parallel.executor import (
     WorkerUsage,
     run_tasks,
 )
+from repro.parallel.journal import Journal, config_hash
 from repro.parallel.report import write_parallel_bench
 from repro.parallel.tasks import (
     RowTask,
@@ -44,11 +48,13 @@ from repro.parallel.tasks import (
 
 __all__ = [
     "CostModel",
+    "Journal",
     "RowTask",
     "SweepReport",
     "TaskFailure",
     "TaskResult",
     "WorkerUsage",
+    "config_hash",
     "execute_task",
     "row_fingerprint",
     "run_tasks",

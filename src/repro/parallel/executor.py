@@ -108,6 +108,8 @@ class SweepReport:
     scheduling_overhead_s: float = 0.0
     failures: list[TaskFailure] = field(default_factory=list)
     retries: int = 0
+    rows_resumed: int = 0
+    journal_path: str | None = None
 
     @property
     def rows(self) -> list:
@@ -163,6 +165,8 @@ class SweepReport:
                 for f in self.failures
             ],
             "retries": self.retries,
+            "rows_resumed": self.rows_resumed,
+            "journal_path": self.journal_path,
             "stats_totals": dict(self.stats_totals),
         }
 
@@ -240,6 +244,8 @@ def run_tasks(
     timeout: float | None = None,
     retries: int = 2,
     backoff_s: float = 0.25,
+    journal: "str | os.PathLike | Journal | None" = None,
+    resume: bool = False,
 ) -> SweepReport:
     """Execute row tasks on ``jobs`` worker processes; see module doc.
 
@@ -249,6 +255,14 @@ def run_tasks(
     allowed attempt running in the parent process.  Failed rows are
     quarantined on ``SweepReport.failures``, never raised.
 
+    ``journal`` (a path or an open :class:`~repro.parallel.journal.Journal`)
+    makes the sweep crash-safe: every attempt/result/failure is appended
+    durably before the sweep proceeds.  With ``resume=True`` rows whose
+    results are already journaled (matching config hash) are *not*
+    re-executed — their :class:`TaskResult`s replay into the report,
+    the stats totals, and the cost model exactly as if computed fresh,
+    counted by ``SweepReport.rows_resumed``.
+
     The returned report lists results in the submission order of
     ``tasks`` regardless of the schedule.  Observed wall times of
     completed rows are fed back into ``cost_model`` (and persisted when
@@ -256,9 +270,16 @@ def run_tasks(
     first — failures feed nothing, so a flaky row's estimate is not
     poisoned by its crashes.
     """
+    from repro.parallel.journal import Journal
+
     tasks = list(tasks)
     if cost_model is None:
         cost_model = CostModel()
+    if resume and journal is None:
+        raise ReproError("resume=True requires a journal path")
+    own_journal = journal is not None and not isinstance(journal, Journal)
+    if own_journal:
+        journal = Journal(journal, resume=resume)
     order = cost_model.schedule(tasks)
     t0 = time.perf_counter()
     results: list[TaskResult | None] = [None] * len(tasks)
@@ -267,6 +288,12 @@ def run_tasks(
     elapsed = [0.0] * len(tasks)
     total_retries = 0
     worker_failures: dict[str, int] = {}
+
+    rows_resumed = 0
+    if journal is not None and journal.resume:
+        for i, replayed in journal.resumable(tasks).items():
+            results[i] = replayed
+            rows_resumed += 1
 
     # Mark this process as the sweep parent for the fault-injection
     # hooks (restored on exit; parent-vs-worker changes fault behavior).
@@ -292,10 +319,23 @@ def run_tasks(
             elapsed_s=elapsed[i],
             pid=pid,
         )
+        if journal is not None:
+            journal.record_failure(tasks[i], failures[i])
         return False
+
+    def note_attempt(i: int) -> None:
+        """Journal (durably) that an attempt of row ``i`` is starting."""
+        if journal is not None:
+            journal.record_attempt(tasks[i], attempts[i] + 1)
+
+    def note_result(i: int) -> None:
+        """Journal (durably) row ``i``'s completed result."""
+        if journal is not None and results[i] is not None:
+            journal.record_result(tasks[i], results[i])
 
     def run_final_inline(i: int) -> None:
         """Last allowed attempt, in the parent process."""
+        note_attempt(i)
         t_start = time.perf_counter()
         try:
             results[i] = _attempt_inline(tasks[i], timeout)
@@ -309,6 +349,7 @@ def run_tasks(
             note_failure(i, exc, status="failed")
         else:
             elapsed[i] += time.perf_counter() - t_start
+            note_result(i)
 
     try:
         if jobs <= 1:
@@ -317,6 +358,7 @@ def run_tasks(
             # quarantine semantics as the pool path.
             for i, task in enumerate(tasks):
                 while results[i] is None and i not in failures:
+                    note_attempt(i)
                     t_start = time.perf_counter()
                     try:
                         results[i] = _attempt_inline(task, timeout)
@@ -332,6 +374,7 @@ def run_tasks(
                             time.sleep(backoff_s * (2 ** (attempts[i] - 1)))
                     else:
                         elapsed[i] += time.perf_counter() - t_start
+                        note_result(i)
         else:
             _run_pool(
                 tasks,
@@ -346,14 +389,21 @@ def run_tasks(
                 elapsed,
                 note_failure,
                 run_final_inline,
+                note_attempt,
+                note_result,
             )
     finally:
         if prev_parent is None:
             os.environ.pop("REPRO_FAULT_PARENT", None)
         else:
             os.environ["REPRO_FAULT_PARENT"] = prev_parent
+        if own_journal:
+            journal.close()
     wall = time.perf_counter() - t0
 
+    # The schedule lists the *planned* order over all tasks — resumed
+    # rows keep their slot, so a resumed run's schedule (and the rest of
+    # its BENCH record) matches an uninterrupted run's.
     executed = order if jobs > 1 else range(len(tasks))
     report = SweepReport(
         jobs=jobs,
@@ -362,6 +412,8 @@ def run_tasks(
         schedule=[tasks[i].key for i in executed],
         failures=[failures[i] for i in sorted(failures)],
         retries=total_retries,
+        rows_resumed=rows_resumed,
+        journal_path=str(journal.path) if journal is not None else None,
     )
     if len(report.results) + len(report.failures) != len(tasks):
         raise ReproError(
@@ -393,6 +445,8 @@ def _run_pool(
     elapsed: list[float],
     note_failure,
     run_final_inline,
+    note_attempt=lambda i: None,
+    note_result=lambda i: None,
 ) -> None:
     """The pool scheduling loop of :func:`run_tasks` (jobs > 1).
 
@@ -400,11 +454,15 @@ def _run_pool(
     (modulo worker startup) running — which makes a per-attempt deadline
     measured from submission honest, and keeps a pool teardown cheap.
     """
-    ready: deque[tuple[int, float]] = deque((i, 0.0) for i in order)
+    # Rows pre-filled by a journal resume never dispatch.
+    ready: deque[tuple[int, float]] = deque(
+        (i, 0.0) for i in order if results[i] is None
+    )
     pool = ProcessPoolExecutor(max_workers=jobs)
     pending: dict[Future, tuple[int, float | None, float]] = {}
 
     def submit(i: int) -> None:
+        note_attempt(i)
         fut = pool.submit(execute_task, tasks[i])
         now = time.monotonic()
         pending[fut] = (i, now + timeout if timeout is not None else None, now)
@@ -474,6 +532,7 @@ def _run_pool(
                 elapsed[i] += now - t_sub
                 try:
                     results[i] = fut.result()
+                    note_result(i)
                 except BrokenProcessPool as exc:
                     broken = exc
                     requeue(i, charged=True, exc=exc, status="crashed")
@@ -527,15 +586,18 @@ def _run_pool(
 def _aggregate(report: SweepReport) -> dict:
     """Sum the additive counters over all task deltas; max the peak.
 
-    Also folds in the sweep-outcome counters of the v3 schema
-    (:data:`repro.bdd.stats.SWEEP_KEYS`) so BENCH_*.json consumers see
-    row failures next to the engine counters they affect.
+    Also folds in the sweep-outcome counters
+    (:data:`repro.bdd.stats.SWEEP_KEYS`) and the ``REPRO_SELFCHECK``
+    audit counters (:data:`repro.bdd.stats.SELFCHECK_KEYS`, schema v4)
+    so BENCH_*.json consumers see row failures and invariant checks
+    next to the engine counters they affect.  Resumed rows contribute
+    their journaled deltas exactly as if computed fresh.
     """
-    totals = {key: 0 for key in stats.ADDITIVE_KEYS}
+    totals = {key: 0 for key in (*stats.ADDITIVE_KEYS, *stats.SELFCHECK_KEYS)}
     peak = 0
     for result in report.results:
         delta = result.stats_delta
-        for key in stats.ADDITIVE_KEYS:
+        for key in (*stats.ADDITIVE_KEYS, *stats.SELFCHECK_KEYS):
             totals[key] += int(delta.get(key, 0))
         peak = max(peak, int(delta.get("peak_nodes", 0)))
     totals["peak_nodes"] = peak
@@ -543,6 +605,7 @@ def _aggregate(report: SweepReport) -> dict:
     totals["rows_failed"] = report.rows_failed
     totals["rows_degraded"] = report.rows_degraded
     totals["retries"] = report.retries
+    totals["rows_resumed"] = report.rows_resumed
     return totals
 
 

@@ -61,5 +61,7 @@ def write_parallel_bench(
         }
     if meta:
         payload["meta"] = meta
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    # Atomic: a sweep killed while writing its report must not leave a
+    # torn half-JSON for a later schema-validating reader to trip over.
+    stats.atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

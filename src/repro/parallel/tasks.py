@@ -33,6 +33,11 @@ matching fault deterministically.  Modes:
 * ``pickle`` — poisons the result with an unpicklable object so the
   worker fails while shipping it back (a no-op in the parent, where
   nothing is pickled).
+* ``abort``  — ``os._exit`` even in the parent process, simulating a
+  whole-sweep kill (OOM, Ctrl-C, preempted runner).  Unlike ``crash``
+  it never degrades to an exception, so it is the mode the
+  journal-resume tests and the CI resume-smoke job use to kill a
+  ``jobs=1`` sweep mid-run.
 
 ``@count`` limits how many times an entry fires; cross-process
 counting needs ``REPRO_FAULT_STATE`` to name a shared directory (one
@@ -239,6 +244,8 @@ def _maybe_inject(task: RowTask) -> Any | None:
         entry = f"{mode}={key}"
         if count is not None and not _claim_fault(entry, count):
             continue
+        if mode == "abort":
+            os._exit(32)  # kill the whole process, parent or worker
         if mode == "crash":
             if in_parent:
                 raise FaultInjected(f"injected crash for {task.key} (in parent)")
@@ -350,6 +357,14 @@ def execute_task(task: RowTask) -> TaskResult:
         error = str(exc)
         result = None
         shipped = {}
+    # Row-boundary self-check (REPRO_SELFCHECK=1): every manager still
+    # alive after the row — including one a governor aborted out of a
+    # sift — must satisfy the structural invariants.  Runs inside the
+    # delta window so the audit counters travel home with the row.
+    from repro.bdd import check
+
+    if check.selfcheck_enabled():
+        check.selfcheck_live_managers(what=f"after row {task.key}")
     wall = time.perf_counter() - t0
     delta = stats.counter_delta(before, stats.snapshot())
     if poison is not None:

@@ -1,0 +1,119 @@
+"""Rejection matrix for the hardened PLA parser.
+
+Every malformed-input class must raise :class:`repro.errors.ParseError`
+(a :class:`SpecificationError` subclass) carrying the offending line
+number — never an ``IndexError``/``ValueError``/``KeyError`` from deep
+inside the parser.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError, SpecificationError
+from repro.isf.pla import load_pla, loads_pla
+
+VALID = ".i 2\n.o 1\n01 1\n10 0\n.e\n"
+
+
+def test_valid_pla_still_parses():
+    isf = loads_pla(VALID)
+    assert (isf.n_inputs, isf.n_outputs) == (2, 1)
+
+
+def test_parse_error_is_specification_error():
+    # Existing callers catch SpecificationError; the subclass keeps them working.
+    assert issubclass(ParseError, SpecificationError)
+
+
+# (pla text, expected line number, message fragment) — one row per
+# malformed-input class the parser must reject with context.
+REJECTS = [
+    pytest.param(".i\n.o 1\n0 1\n", 1, "exactly one argument",
+                 id="i-missing-arg"),
+    pytest.param(".i two\n.o 1\n", 1, "not an integer",
+                 id="i-non-integer"),
+    pytest.param(".i 0\n.o 1\n", 1, "must be positive",
+                 id="i-zero"),
+    pytest.param(".i -3\n.o 1\n", 1, "must be positive",
+                 id="i-negative"),
+    pytest.param(".i 2\n.i 2\n.o 1\n01 1\n", 2, "duplicate .i",
+                 id="duplicate-i"),
+    pytest.param(".i 2\n.o 1\n.o 1\n01 1\n", 3, "duplicate .o",
+                 id="duplicate-o"),
+    pytest.param(".i 2\n.o 1\n.frobnicate\n01 1\n", 3,
+                 "unsupported PLA directive", id="unknown-directive"),
+    pytest.param(".i 2\n.o 1\n.type\n01 1\n", 3, ".type takes exactly one",
+                 id="type-missing-arg"),
+    pytest.param(".i 2\n.o 1\n.type nonsense\n01 1\n", 3,
+                 "unsupported PLA type", id="bad-type"),
+    pytest.param(".i 2\n.o 1\n01 1 junk\n", 3, "two fields",
+                 id="cube-three-fields"),
+    pytest.param(".i 2\n.o 1\n01\n", 3, "two fields",
+                 id="cube-one-field"),
+    pytest.param(".i 2\n.o 1\n011 1\n", 3, "cube width mismatch",
+                 id="cube-too-wide"),
+    pytest.param(".i 2\n.o 1\n01 11\n", 3, "cube width mismatch",
+                 id="cube-output-too-wide"),
+    pytest.param(".i 2\n.o 1\n0x 1\n", 3, "bad input literal 'x'",
+                 id="bad-input-literal"),
+    pytest.param(".i 2\n.o 1\n01 z\n", 3, "bad output literal 'z'",
+                 id="bad-output-literal"),
+]
+
+
+@pytest.mark.parametrize("text, line, fragment", REJECTS)
+def test_rejected_with_line_context(text, line, fragment):
+    with pytest.raises(ParseError) as excinfo:
+        loads_pla(text, path="bad.pla")
+    err = excinfo.value
+    assert err.line == line
+    assert err.path == "bad.pla"
+    assert fragment in str(err)
+    assert str(err).startswith(f"bad.pla:{line}:")
+
+
+# File-level (no single offending line) problems.
+FILE_LEVEL = [
+    pytest.param("01 1\n", "must declare .i and .o", id="missing-i-o"),
+    pytest.param(".i 2\n01 1\n", "must declare .i and .o", id="missing-o"),
+    pytest.param(".i 2\n.o 1\n.ilb a b c\n01 1\n", "label count",
+                 id="ilb-count-mismatch"),
+    pytest.param(".i 2\n.o 1\n.ob f g\n01 1\n", "label count",
+                 id="ob-count-mismatch"),
+]
+
+
+@pytest.mark.parametrize("text, fragment", FILE_LEVEL)
+def test_file_level_rejects(text, fragment):
+    with pytest.raises(ParseError) as excinfo:
+        loads_pla(text, path="bad.pla")
+    assert fragment in str(excinfo.value)
+    assert excinfo.value.path == "bad.pla"
+
+
+def test_load_pla_reports_path_and_line(tmp_path):
+    pla = tmp_path / "broken.pla"
+    pla.write_text(".i 2\n.o 1\n0x 1\n.e\n")
+    with pytest.raises(ParseError) as excinfo:
+        load_pla(str(pla))
+    err = excinfo.value
+    assert err.path == str(pla)
+    assert err.line == 3
+    assert str(err).startswith(f"{pla}:3:")
+
+
+def test_comments_do_not_shift_line_numbers():
+    text = "# header comment\n.i 2\n\n.o 1\n# another\n0x 1\n"
+    with pytest.raises(ParseError) as excinfo:
+        loads_pla(text)
+    assert excinfo.value.line == 6
+
+
+def test_overlap_is_semantic_not_parse_error():
+    # On/off overlap is a specification inconsistency, not a syntax error.
+    text = ".i 2\n.o 1\n01 1\n01 0\n.e\n"
+    with pytest.raises(SpecificationError) as excinfo:
+        loads_pla(text)
+    assert not isinstance(excinfo.value, ParseError)
+    assert "overlapping" in str(excinfo.value)
