@@ -60,7 +60,7 @@ def test_engine_speedup_vs_seed():
     Times the full Table 5 pipeline (build, sift, Algorithm 3.3,
     cascade synthesis, verification) on ``SPEEDUP_ROWS`` under both
     engines, checks result parity, and records the speedup for
-    ``BENCH_PR1.json``.
+    ``BENCH_PR6.json``.
     """
     benches = [get_benchmark(name) for name in SPEEDUP_ROWS]
 

@@ -35,7 +35,7 @@ from repro.bdd import stats
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 REPO_ROOT = pathlib.Path(__file__).parent.parent
-BENCH_JSON = REPO_ROOT / "BENCH_PR1.json"
+BENCH_JSON = REPO_ROOT / "BENCH_PR6.json"
 
 
 def bench_full() -> bool:
@@ -99,9 +99,9 @@ def bench_journal():
 def read_bench_json(path) -> dict:
     """Load a BENCH_*.json, validating its schema version.
 
-    Raises a clear error for stale v1/v2/v3 files (or foreign JSON)
-    instead of letting a consumer silently miss the v4 journal/selfcheck
-    fields it expects.
+    Raises a clear error for stale v1..v4 files (or foreign JSON)
+    instead of letting a consumer silently miss the v5 truth-table
+    fast-path counters and host ``meta`` block it expects.
     """
     path = pathlib.Path(path)
     data = json.loads(path.read_text())
@@ -162,7 +162,7 @@ def run_once(benchmark, fn, record_name: str | None = None, **extra):
     The region is also captured by :func:`repro.bdd.stats.record` (wall
     time, ops/sec, kernel steps, cache hit rates, peak nodes), keyed by
     ``record_name`` — defaulting to the pytest-benchmark name — so the
-    session hook below can emit ``BENCH_PR1.json``.
+    session hook below can emit ``BENCH_PR6.json``.
     """
     name = record_name or getattr(benchmark, "name", None) or "anonymous"
     with stats.record(name, **extra):

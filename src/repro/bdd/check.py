@@ -202,7 +202,7 @@ def check_manager(bdd, roots: Iterable[int] = ()) -> list[InvariantViolation]:
         validator = tier.validator
         if validator is None:
             continue
-        for key, value in tier.data.items():
+        for key, value in tier.entries():
             try:
                 live = validator(key, value, gen, epoch)
             except Exception:

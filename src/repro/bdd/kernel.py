@@ -17,19 +17,25 @@ in the style of mature BDD packages (CUDD/ABC):
   ``ite(f,g,0)=f∧g``, ``ite(f,g,f)=f∧g``, ``ite(f,f,h)=f∨h``,
   ``ite(f,0,1)=¬f`` — delegations land in the AND/OR/NOT tiers where
   they share entries with direct calls).
-* **Tiered computed tables.**  Each operator owns an :class:`OpCache`:
-  a bounded insertion-ordered dict with hit/miss/insert/eviction
-  counters (surfaced by ``BDD.cache_stats()``) and FIFO batch
-  eviction.
+* **Packed computed tables.**  Each operator owns a
+  :class:`~repro.bdd.hashtable.PackedCache`: operand ids packed into
+  one integer key, entries in flat parallel lists, two-slot probing
+  with overwrite eviction (a computed table may forget, never lie).
+  No tuple is allocated on the probe path.  Named analysis tiers
+  (tot/compat/gcf) keep the dict-backed :class:`OpCache`.
 * **Selective invalidation.**  Cache entries are *generation-stamped*:
   every value records, for each node id it references, the node's
   generation counter at insert time.  Reordering swaps and garbage
   collection never clear the tables wholesale — freeing a node bumps
   its generation, which lazily invalidates exactly the entries
-  touching it (an adjacent-level swap therefore only kills entries
-  whose nodes died at the two swapped levels, plus any cascaded
-  deaths), while every surviving entry keeps serving hits because
+  touching it, while every surviving entry keeps serving hits because
   in-place reordering preserves the function denoted by a node id.
+* **Word-parallel fast path.**  When a frame's operands all live in
+  the bottom window of the order (:mod:`repro.bdd.tt`), the subproblem
+  is evaluated as bitwise operations on truth-table words and rebuilt
+  through the unique table instead of recursing node by node.  The
+  words charge kernel steps proportionally (one step per 64-bit word),
+  so governor budgets keep bounding real work.
 
 The kernel reads the manager's parallel arrays directly; it lives in
 its own module so the manager file stays the API surface.
@@ -40,12 +46,29 @@ from __future__ import annotations
 from itertools import islice
 
 from repro.bdd import governor as _governor
+from repro.bdd import tt as _tt
+from repro.bdd.hashtable import (
+    KIND_BINARY,
+    KIND_COFACTOR,
+    KIND_COMPOSE,
+    KIND_ITE,
+    KIND_NOT,
+    KIND_QUANT,
+    PackedCache,
+)
 
 _GOVERNED = _governor._ACTIVE  # the live budget stack (empty = ungoverned)
 _CHECK_MASK = _governor.CHECK_INTERVAL - 1
 
+#: Knuth multiplicative-hash constant (kept in sync with hashtable.py;
+#: the probe sequences are inlined here on the hot path).
+_MULT = 2654435761
+
 #: Level assigned to terminal nodes: below every variable.
 TERMINAL_LEVEL = 1 << 30
+
+#: Sentinel window base that disables the fast path (above any level).
+_NO_WINDOW = 1 << 31
 
 FALSE = 0
 TRUE = 1
@@ -65,11 +88,15 @@ N_OPS = 9
 
 
 class OpCache:
-    """One computed table (cache tier): a bounded dict plus counters.
+    """One dict-backed computed table: a bounded dict plus counters.
 
-    Values are tuples ``(result, gen(node_1), ..., gen(node_k),
-    gen(result))`` where ``node_1..k`` are the node-valued operands of
-    the key; ``validator`` re-checks those generations (and, for
+    The kernel opcodes use :class:`~repro.bdd.hashtable.PackedCache`
+    instead; this class remains the container for the *named* analysis
+    tiers (``tot``/``compat``/``gcf``), whose keys are small and whose
+    probe volume is far below the kernel's.  Values are tuples
+    ``(result, gen(node_1), ..., gen(node_k), gen(result))`` where
+    ``node_1..k`` are the node-valued operands of the key;
+    ``validator`` re-checks those generations (and, for
     order-sensitive tiers, the manager's reorder epoch) so stale
     entries read as misses.  Eviction is FIFO in batches of a quarter
     of the capacity — cheap, and old entries are exactly the ones
@@ -129,6 +156,10 @@ class OpCache:
             dropped = len(dead)
         self.invalidations += dropped
         return dropped
+
+    def entries(self):
+        """Yield ``(key, value)`` pairs (audit-layer protocol)."""
+        yield from self.data.items()
 
     def clear(self) -> None:
         self.invalidations += len(self.data)
@@ -240,7 +271,9 @@ def _term_quant(bdd, f, _gid, _c):
     return None
 
 
-# Generation validators (see OpCache docstring for the value layout).
+# Generation validators: the audit layer (repro.bdd.check) re-checks
+# entries yielded by ``tier.entries()`` against these, in the legacy
+# unpacked form (see PackedCache.entries).
 
 
 def _v_binary(key, v, gen, _epoch):
@@ -294,12 +327,40 @@ def validator_epoch_bool(key_nodes: int):
     return validate
 
 
+def validator_epoch_bool_packed(key_nodes: int):
+    """Like :func:`validator_epoch_bool` for packed-int keys.
+
+    The ``tot``/``compat`` tiers pack their node operands with
+    :func:`repro.bdd.hashtable.pack2` to skip tuple allocation on the
+    pairwise sweeps; this validator unpacks the 32-bit fields inline.
+    """
+
+    if key_nodes == 1:
+        return validator_epoch_bool(1)
+
+    def validate(key, v, gen, epoch):
+        if v[1] != epoch:
+            return False
+        return gen[key >> 32] == v[2] and gen[key & 0xFFFFFFFF] == v[3]
+
+    return validate
+
+
 class OpSpec:
     """One operator-table row: metadata driving the evaluator."""
 
-    __slots__ = ("code", "name", "symbol", "arity", "commutative", "terminal", "validator")
+    __slots__ = (
+        "code",
+        "name",
+        "symbol",
+        "arity",
+        "commutative",
+        "terminal",
+        "validator",
+        "kind",
+    )
 
-    def __init__(self, code, name, symbol, arity, commutative, terminal, validator):
+    def __init__(self, code, name, symbol, arity, commutative, terminal, validator, kind):
         self.code = code
         self.name = name
         self.symbol = symbol
@@ -307,36 +368,39 @@ class OpSpec:
         self.commutative = commutative
         self.terminal = terminal
         self.validator = validator
+        self.kind = kind
 
 
 #: The operator table, indexed by opcode.
 OPS: tuple[OpSpec, ...] = (
-    OpSpec(OP_AND, "and", "&", 2, True, _term_and, _v_binary),
-    OpSpec(OP_OR, "or", "|", 2, True, _term_or, _v_binary),
-    OpSpec(OP_XOR, "xor", "^", 2, True, _term_xor, _v_binary),
-    OpSpec(OP_NOT, "not", "~", 1, False, _term_not, _v_unary),
-    OpSpec(OP_ITE, "ite", "?", 3, False, _term_ite, _v_ite),
-    OpSpec(OP_COFACTOR, "cofactor", "co", 3, False, _term_cofactor, _v_cofactor),
-    OpSpec(OP_COMPOSE, "compose", "cmp", 3, False, _term_compose, _v_compose),
-    OpSpec(OP_EXISTS, "exists", "ex", 2, False, _term_quant, _v_quant),
-    OpSpec(OP_FORALL, "forall", "fa", 2, False, _term_quant, _v_quant),
+    OpSpec(OP_AND, "and", "&", 2, True, _term_and, _v_binary, KIND_BINARY),
+    OpSpec(OP_OR, "or", "|", 2, True, _term_or, _v_binary, KIND_BINARY),
+    OpSpec(OP_XOR, "xor", "^", 2, True, _term_xor, _v_binary, KIND_BINARY),
+    OpSpec(OP_NOT, "not", "~", 1, False, _term_not, _v_unary, KIND_NOT),
+    OpSpec(OP_ITE, "ite", "?", 3, False, _term_ite, _v_ite, KIND_ITE),
+    OpSpec(OP_COFACTOR, "cofactor", "co", 3, False, _term_cofactor, _v_cofactor, KIND_COFACTOR),
+    OpSpec(OP_COMPOSE, "compose", "cmp", 3, False, _term_compose, _v_compose, KIND_COMPOSE),
+    OpSpec(OP_EXISTS, "exists", "ex", 2, False, _term_quant, _v_quant, KIND_QUANT),
+    OpSpec(OP_FORALL, "forall", "fa", 2, False, _term_quant, _v_quant, KIND_QUANT),
 )
 
 _TERMINAL = tuple(spec.terminal for spec in OPS)
 _COMMUTATIVE = tuple(spec.commutative for spec in OPS)
 
 
-def make_kernel_tiers(capacity: int) -> tuple[OpCache, ...]:
+def make_kernel_tiers(capacity: int) -> tuple[PackedCache, ...]:
     """Fresh per-operator computed tables, indexed by opcode."""
-    return tuple(OpCache(spec.name, capacity, spec.validator) for spec in OPS)
+    return tuple(
+        PackedCache(spec.name, capacity, spec.kind, spec.validator) for spec in OPS
+    )
 
 
 # Frame tags for the explicit evaluation stack.
-_VISIT = 0  # (0, op, a, b, c)               evaluate, push result
-_COMBINE = 1  # (1, op, key, vid, nodes)     pop hi/lo, mk, cache, push
-_STORE = 2  # (2, op, key, nodes)            cache the result on top
-_QUANT = 3  # (3, op, key, nodes, vid, q)    pop hi/lo; OR/AND or mk
-_SUBST = 4  # (4, key, nodes, var_node)      pop hi/lo; ITE(var, hi, lo)
+_VISIT = 0  # (0, op, a, b, c)                 evaluate, push result
+_COMBINE = 1  # (1, op, key, vid, a, b, c)     pop hi/lo, mk, cache, push
+_STORE = 2  # (2, op, key, n1, n2)             cache the result on top
+_QUANT = 3  # (3, op, key, a, vid, quantified) pop hi/lo; OR/AND or mk
+_SUBST = 4  # (4, key, a, g, var_node)         pop hi/lo; ITE(var, hi, lo)
 
 
 def run(bdd, op: int, a: int, b: int = -1, c: int = -1) -> int:
@@ -344,19 +408,22 @@ def run(bdd, op: int, a: int, b: int = -1, c: int = -1) -> int:
 
     The work stack holds frames (tagged tuples); ``out`` is the result
     stack.  A visit frame either resolves via the operator table's
-    terminal rule, hits its tier, or pushes a combine frame plus the
-    two cofactor visits.  Quantification and composition combine
-    through delegated OR/AND/ITE visits followed by a store frame, so
-    the whole evaluation — including the nested products — stays on
-    this one stack.
+    terminal rule, hits its tier, resolves through the word-parallel
+    truth-table window (operands entirely inside the bottom window of
+    the order), or pushes a combine frame plus the two cofactor
+    visits.  Quantification and composition combine through delegated
+    OR/AND/ITE visits followed by a store frame, so the whole
+    evaluation — including the nested products — stays on this one
+    stack.
 
     When a :mod:`repro.bdd.governor` budget is active, the loop runs a
     checkpoint every :data:`~repro.bdd.governor.CHECK_INTERVAL` steps
     (once on entry, and the sub-interval remainder is charged on exit
-    so budgets accumulate across many short runs).  A budget violation
-    raises between iterations:
-    the partial frames are discarded, every node and cache entry
-    created so far is valid, and the charged steps still land in
+    so budgets accumulate across many short runs); fast-path word
+    operations charge their own proportional steps inside
+    :mod:`repro.bdd.tt`.  A budget violation raises between
+    iterations: the partial frames are discarded, every node and cache
+    entry created so far is valid, and the charged steps still land in
     ``_kernel_steps`` — the manager stays consistent and usable.
     """
     vid_arr = bdd._vid
@@ -370,6 +437,17 @@ def run(bdd, op: int, a: int, b: int = -1, c: int = -1) -> int:
     mk = bdd.mk
     terminal_rules = _TERMINAL
     commutative = _COMMUTATIVE
+
+    # Truth-table window: frames whose operands all sit at or below
+    # ``fbase`` resolve by word-parallel evaluation.
+    if _tt.ENABLED:
+        st = _tt.state(bdd)
+        fbase = st.base if st is not None else _NO_WINDOW
+    else:
+        st = None
+        fbase = _NO_WINDOW
+    word_of = _tt.word_of
+    node_of_word = _tt.node_of_word
 
     out: list[int] = []
     work: list[tuple] = [(_VISIT, op, a, b, c)]
@@ -403,23 +481,42 @@ def run(bdd, op: int, a: int, b: int = -1, c: int = -1) -> int:
                 if commutative[op] and a > b:
                     a, b = b, a
                 cache = tiers[op]
-                data = cache.data
 
                 if op <= OP_XOR:
-                    key = (a, b)
-                    v = data.get(key)
-                    if (
-                        v is not None
-                        and gen[a] == v[1]
-                        and gen[b] == v[2]
-                        and gen[v[0]] == v[3]
-                    ):
-                        cache.hits += 1
-                        out.append(v[0])
-                        continue
+                    key = (a << 32) | b
+                    i = ((key ^ (key >> 30) ^ (key >> 59)) * _MULT) & cache.mask
+                    ck = cache.keys
+                    if ck[i] != key:
+                        i ^= 1
+                    if ck[i] == key:
+                        r = cache.res[i]
+                        if (
+                            gen[a] == cache.s1[i]
+                            and gen[b] == cache.s2[i]
+                            and gen[r] == cache.s3[i]
+                        ):
+                            cache.hits += 1
+                            out.append(r)
+                            continue
                     cache.misses += 1
                     la = level_of[vid_arr[a]]
                     lb = level_of[vid_arr[b]]
+                    if la >= fbase and lb >= fbase:
+                        wa = word_of(bdd, st, a)
+                        wb = word_of(bdd, st, b)
+                        if op == OP_AND:
+                            w = wa & wb
+                        elif op == OP_OR:
+                            w = wa | wb
+                        else:
+                            w = wa ^ wb
+                        r = node_of_word(bdd, st, w)
+                        cache.put_n2(key, a, b, r, gen)
+                        bdd._tt_fast_hits += 1
+                        out.append(r)
+                        continue
+                    if st is not None:
+                        bdd._tt_fast_misses += 1
                     if la <= lb:
                         vid = vid_arr[a]
                         a0 = lo_arr[a]
@@ -432,38 +529,57 @@ def run(bdd, op: int, a: int, b: int = -1, c: int = -1) -> int:
                         b1 = hi_arr[b]
                     else:
                         b0 = b1 = b
-                    push((_COMBINE, op, key, vid, (a, b)))
+                    push((_COMBINE, op, key, vid, a, b, -1))
                     push((_VISIT, op, a1, b1, -1))
                     push((_VISIT, op, a0, b0, -1))
 
                 elif op == OP_NOT:
-                    v = data.get(a)
-                    if v is not None and gen[a] == v[1] and gen[v[0]] == v[2]:
-                        cache.hits += 1
-                        out.append(v[0])
-                        continue
+                    i = ((a ^ (a >> 30) ^ (a >> 59)) * _MULT) & cache.mask
+                    ck = cache.keys
+                    if ck[i] != a:
+                        i ^= 1
+                    if ck[i] == a:
+                        r = cache.res[i]
+                        if gen[a] == cache.s1[i] and gen[r] == cache.s2[i]:
+                            cache.hits += 1
+                            out.append(r)
+                            continue
                     cache.misses += 1
-                    push((_COMBINE, op, a, vid_arr[a], (a,)))
+                    if level_of[vid_arr[a]] >= fbase:
+                        w = st.full ^ word_of(bdd, st, a)
+                        r = node_of_word(bdd, st, w)
+                        cache.put_n1(a, a, r, gen)
+                        cache.put_n1(r, r, a, gen)
+                        bdd._tt_fast_hits += 1
+                        out.append(r)
+                        continue
+                    if st is not None:
+                        bdd._tt_fast_misses += 1
+                    push((_COMBINE, op, a, vid_arr[a], a, -1, -1))
                     push((_VISIT, op, hi_arr[a], -1, -1))
                     push((_VISIT, op, lo_arr[a], -1, -1))
 
                 elif op == OP_ITE:
-                    key = (a, b, c)
-                    v = data.get(key)
-                    if (
-                        v is not None
-                        and gen[a] == v[1]
-                        and gen[b] == v[2]
-                        and gen[c] == v[3]
-                        and gen[v[0]] == v[4]
-                    ):
-                        cache.hits += 1
-                        out.append(v[0])
+                    key = (a << 64) | (b << 32) | c
+                    v = cache.get_n3(key, a, b, c, gen)
+                    if v >= 0:
+                        out.append(v)
                         continue
-                    cache.misses += 1
                     la = level_of[vid_arr[a]]  # f is internal past the terminal rule
                     lb = TERMINAL_LEVEL if b <= 1 else level_of[vid_arr[b]]
                     lc = TERMINAL_LEVEL if c <= 1 else level_of[vid_arr[c]]
+                    if la >= fbase and lb >= fbase and lc >= fbase:
+                        wa = word_of(bdd, st, a)
+                        w = (wa & word_of(bdd, st, b)) | (
+                            (st.full ^ wa) & word_of(bdd, st, c)
+                        )
+                        r = node_of_word(bdd, st, w)
+                        cache.put_n3(key, a, b, c, r, gen)
+                        bdd._tt_fast_hits += 1
+                        out.append(r)
+                        continue
+                    if st is not None:
+                        bdd._tt_fast_misses += 1
                     top = la if la <= lb else lb
                     if lc < top:
                         top = lc
@@ -480,59 +596,60 @@ def run(bdd, op: int, a: int, b: int = -1, c: int = -1) -> int:
                         c0, c1 = lo_arr[c], hi_arr[c]
                     else:
                         c0 = c1 = c
-                    push((_COMBINE, op, key, vid, (a, b, c)))
+                    push((_COMBINE, op, key, vid, a, b, c))
                     push((_VISIT, op, a1, b1, c1))
                     push((_VISIT, op, a0, b0, c0))
 
                 elif op == OP_COFACTOR:
-                    key = (a, b, c)
-                    v = data.get(key)
-                    if v is not None and gen[a] == v[1] and gen[v[0]] == v[2]:
-                        cache.hits += 1
-                        out.append(v[0])
+                    key = (a << 64) | (b << 32) | c
+                    v = cache.get_n1(key, a, gen)
+                    if v >= 0:
+                        out.append(v)
                         continue
-                    cache.misses += 1
                     if level_of[vid_arr[a]] == level_of[b]:
                         r = hi_arr[a] if c else lo_arr[a]
-                        cache.insert(key, (r, gen[a], gen[r]))
+                        cache.put_n1(key, a, r, gen)
                         out.append(r)
                     else:
-                        push((_COMBINE, op, key, vid_arr[a], (a,)))
+                        push((_COMBINE, op, key, vid_arr[a], a, -1, -1))
                         push((_VISIT, op, hi_arr[a], b, c))
                         push((_VISIT, op, lo_arr[a], b, c))
 
                 elif op == OP_COMPOSE:
-                    key = (a, b, c)
-                    v = data.get(key)
-                    if (
-                        v is not None
-                        and gen[a] == v[1]
-                        and gen[c] == v[2]
-                        and gen[v[0]] == v[3]
-                    ):
-                        cache.hits += 1
-                        out.append(v[0])
+                    key = (a << 64) | (b << 32) | c
+                    v = cache.get_n2(key, a, c, gen)
+                    if v >= 0:
+                        out.append(v)
                         continue
-                    cache.misses += 1
                     if level_of[vid_arr[a]] == level_of[b]:
-                        push((_STORE, op, key, (a, c)))
+                        push((_STORE, op, key, a, c))
                         push((_VISIT, OP_ITE, c, hi_arr[a], lo_arr[a]))
                     else:
                         var_node = mk(vid_arr[a], FALSE, TRUE)
-                        push((_SUBST, key, (a, c), var_node))
+                        push((_SUBST, key, a, c, var_node))
                         push((_VISIT, op, hi_arr[a], b, c))
                         push((_VISIT, op, lo_arr[a], b, c))
 
                 else:  # OP_EXISTS / OP_FORALL
-                    key = (a, b)
-                    v = data.get(key)
-                    if v is not None and gen[a] == v[1] and gen[v[0]] == v[2]:
-                        cache.hits += 1
-                        out.append(v[0])
+                    key = (a << 32) | b
+                    v = cache.get_n1(key, a, gen)
+                    if v >= 0:
+                        out.append(v)
                         continue
-                    cache.misses += 1
+                    if level_of[vid_arr[a]] >= fbase:
+                        ps = _tt.group_positions(bdd, st, b)
+                        w = _tt.quantify(
+                            bdd, st, word_of(bdd, st, a), ps, op == OP_FORALL
+                        )
+                        r = node_of_word(bdd, st, w)
+                        cache.put_n1(key, a, r, gen)
+                        bdd._tt_fast_hits += 1
+                        out.append(r)
+                        continue
+                    if st is not None:
+                        bdd._tt_fast_misses += 1
                     vid = vid_arr[a]
-                    push((_QUANT, op, key, (a,), vid, vid in groups[b]))
+                    push((_QUANT, op, key, a, vid, vid in groups[b]))
                     push((_VISIT, op, hi_arr[a], b, -1))
                     push((_VISIT, op, lo_arr[a], b, -1))
 
@@ -543,37 +660,32 @@ def run(bdd, op: int, a: int, b: int = -1, c: int = -1) -> int:
                 r = mk(frame[3], lo_r, hi_r)
                 cache = tiers[op]
                 key = frame[2]
-                nodes = frame[4]
-                if op == OP_NOT:
-                    cache.insert(key, (r, gen[key], gen[r]))
+                if op <= OP_XOR:
+                    cache.put_n2(key, frame[4], frame[5], r, gen)
+                elif op == OP_NOT:
+                    cache.put_n1(key, key, r, gen)
                     # Complement is an involution; prime the reverse entry.
-                    cache.insert(r, (key, gen[r], gen[key]))
-                elif len(nodes) == 2:
-                    cache.insert(key, (r, gen[nodes[0]], gen[nodes[1]], gen[r]))
-                elif len(nodes) == 1:
-                    cache.insert(key, (r, gen[nodes[0]], gen[r]))
-                else:
-                    cache.insert(
-                        key, (r, gen[nodes[0]], gen[nodes[1]], gen[nodes[2]], gen[r])
-                    )
+                    cache.put_n1(r, r, key, gen)
+                elif op == OP_ITE:
+                    cache.put_n3(key, frame[4], frame[5], frame[6], r, gen)
+                else:  # OP_COFACTOR
+                    cache.put_n1(key, frame[4], r, gen)
                 out.append(r)
 
             elif tag == _STORE:
                 op = frame[1]
                 r = out[-1]
-                nodes = frame[3]
-                if len(nodes) == 1:
-                    value = (r, gen[nodes[0]], gen[r])
-                else:
-                    value = (r, gen[nodes[0]], gen[nodes[1]], gen[r])
-                tiers[op].insert(frame[2], value)
+                if frame[4] < 0:  # quantifier result: stamp the operand
+                    tiers[op].put_n1(frame[2], frame[3], r, gen)
+                else:  # compose result: stamp f and g
+                    tiers[op].put_n2(frame[2], frame[3], frame[4], r, gen)
 
             elif tag == _QUANT:
                 op = frame[1]
                 hi_r = out.pop()
                 lo_r = out.pop()
                 if frame[5]:  # quantified level: OR/AND the cofactor results
-                    push((_STORE, op, frame[2], frame[3]))
+                    push((_STORE, op, frame[2], frame[3], -1))
                     push(
                         (
                             _VISIT,
@@ -585,15 +697,14 @@ def run(bdd, op: int, a: int, b: int = -1, c: int = -1) -> int:
                     )
                 else:
                     r = mk(frame[4], lo_r, hi_r)
-                    nodes = frame[3]
-                    tiers[op].insert(frame[2], (r, gen[nodes[0]], gen[r]))
+                    tiers[op].put_n1(frame[2], frame[3], r, gen)
                     out.append(r)
 
             else:  # _SUBST: compose's upper-level rebuild through ITE
                 hi_r = out.pop()
                 lo_r = out.pop()
-                push((_STORE, OP_COMPOSE, frame[1], frame[2]))
-                push((_VISIT, OP_ITE, frame[3], hi_r, lo_r))
+                push((_STORE, OP_COMPOSE, frame[1], frame[2], frame[3]))
+                push((_VISIT, OP_ITE, frame[4], hi_r, lo_r))
 
         # Charge the sub-interval remainder so short runs still count:
         # step budgets must accumulate across many small applies, not

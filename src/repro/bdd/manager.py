@@ -33,6 +33,8 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 from repro.bdd import stats
+from repro.bdd import tt as _tt
+from repro.bdd.hashtable import _MULT, UniqueTable
 from repro.bdd.kernel import (
     FALSE,
     TRUE,
@@ -73,8 +75,9 @@ class BDD:
         # cache entries referencing a recycled id read as stale.
         self._gen: list[int] = [0, 0]
         self._free: list[int] = []
-        # Per-variable unique tables: vid -> {(lo, hi): node}
-        self._unique: list[dict[tuple[int, int], int]] = []
+        # Per-variable unique tables: vid -> packed (lo, hi) -> node
+        # (dict over packed int keys; see repro.bdd.hashtable).
+        self._unique: list[UniqueTable] = []
         # Variable metadata.
         self._names: list[str] = []
         self._kinds: list[str] = []
@@ -101,6 +104,12 @@ class BDD:
         self._kernel_steps = 0
         self._n_alive = 0
         self._peak_alive = 0
+        # Word-parallel truth-table window (see repro.bdd.tt): lazily
+        # built state plus fast-path counters (schema v5).
+        self._tt = None
+        self._tt_fast_hits = 0
+        self._tt_fast_misses = 0
+        self._tt_words = 0
         stats.register(self)
 
     def __del__(self) -> None:
@@ -125,7 +134,7 @@ class BDD:
         self._name2vid[name] = vid
         self._level_of.append(len(self._var_at_level))
         self._var_at_level.append(vid)
-        self._unique.append({})
+        self._unique.append(UniqueTable())
         return vid
 
     def add_vars(self, names: Iterable[str], kind: str = "input") -> list[int]:
@@ -208,8 +217,11 @@ class BDD:
         """
         if lo == hi:
             return lo
-        table = self._unique[vid]
-        u = table.get((lo, hi))
+        # Packed key + direct dict probe: the hottest path in the
+        # engine, so no tuple allocation and no wrapper method call.
+        data = self._unique[vid].data
+        key = (lo << 32) | hi
+        u = data.get(key)
         if u is not None:
             return u
         if self._free:
@@ -223,7 +235,7 @@ class BDD:
             self._lo.append(lo)
             self._hi.append(hi)
             self._gen.append(0)
-        table[(lo, hi)] = u
+        data[key] = u
         n = self._n_alive + 1
         self._n_alive = n
         if n > self._peak_alive:
@@ -236,7 +248,7 @@ class BDD:
         Bumps the node's generation so cache entries referencing the id
         lazily read as stale; the id goes back on the free list.
         """
-        del self._unique[self._vid[u]][(self._lo[u], self._hi[u])]
+        self._unique[self._vid[u]].data.pop((self._lo[u] << 32) | self._hi[u], None)
         self._vid[u] = -1
         self._lo[u] = -1
         self._hi[u] = -1
@@ -260,7 +272,9 @@ class BDD:
 
     # Each wrapper probes its tier inline before entering the kernel:
     # a top-level cache hit (the common case in the pairwise analyses)
-    # then costs one dict lookup instead of a full evaluator setup.
+    # then costs one packed-slot read instead of a full evaluator
+    # setup.  The probe counts only hits — the kernel re-probes on the
+    # way in and owns the miss/insert accounting.
 
     def apply_and(self, f: int, g: int) -> int:
         """Conjunction of two functions."""
@@ -274,12 +288,17 @@ class BDD:
         if f > g:
             f, g = g, f
         tier = self._kernel_tiers[OP_AND]
-        v = tier.data.get((f, g))
-        if v is not None:
+        key = (f << 32) | g
+        i = ((key ^ (key >> 30) ^ (key >> 59)) * _MULT) & tier.mask
+        keys = tier.keys
+        if keys[i] != key:
+            i ^= 1
+        if keys[i] == key:
+            r = tier.res[i]
             gen = self._gen
-            if gen[f] == v[1] and gen[g] == v[2] and gen[v[0]] == v[3]:
+            if gen[f] == tier.s1[i] and gen[g] == tier.s2[i] and gen[r] == tier.s3[i]:
                 tier.hits += 1
-                return v[0]
+                return r
         return run(self, OP_AND, f, g)
 
     def apply_or(self, f: int, g: int) -> int:
@@ -294,12 +313,17 @@ class BDD:
         if f > g:
             f, g = g, f
         tier = self._kernel_tiers[OP_OR]
-        v = tier.data.get((f, g))
-        if v is not None:
+        key = (f << 32) | g
+        i = ((key ^ (key >> 30) ^ (key >> 59)) * _MULT) & tier.mask
+        keys = tier.keys
+        if keys[i] != key:
+            i ^= 1
+        if keys[i] == key:
+            r = tier.res[i]
             gen = self._gen
-            if gen[f] == v[1] and gen[g] == v[2] and gen[v[0]] == v[3]:
+            if gen[f] == tier.s1[i] and gen[g] == tier.s2[i] and gen[r] == tier.s3[i]:
                 tier.hits += 1
-                return v[0]
+                return r
         return run(self, OP_OR, f, g)
 
     def apply_xor(self, f: int, g: int) -> int:
@@ -311,12 +335,21 @@ class BDD:
             f, g = g, f
         if f > 1:  # both internal: probe; else let the kernel normalize
             tier = self._kernel_tiers[OP_XOR]
-            v = tier.data.get((f, g))
-            if v is not None:
+            key = (f << 32) | g
+            i = ((key ^ (key >> 30) ^ (key >> 59)) * _MULT) & tier.mask
+            keys = tier.keys
+            if keys[i] != key:
+                i ^= 1
+            if keys[i] == key:
+                r = tier.res[i]
                 gen = self._gen
-                if gen[f] == v[1] and gen[g] == v[2] and gen[v[0]] == v[3]:
+                if (
+                    gen[f] == tier.s1[i]
+                    and gen[g] == tier.s2[i]
+                    and gen[r] == tier.s3[i]
+                ):
                     tier.hits += 1
-                    return v[0]
+                    return r
         return run(self, OP_XOR, f, g)
 
     def apply_not(self, f: int) -> int:
@@ -325,12 +358,16 @@ class BDD:
         if f <= 1:
             return 1 - f
         tier = self._kernel_tiers[OP_NOT]
-        v = tier.data.get(f)
-        if v is not None:
+        i = ((f ^ (f >> 30) ^ (f >> 59)) * _MULT) & tier.mask
+        keys = tier.keys
+        if keys[i] != f:
+            i ^= 1
+        if keys[i] == f:
+            r = tier.res[i]
             gen = self._gen
-            if gen[f] == v[1] and gen[v[0]] == v[2]:
+            if gen[f] == tier.s1[i] and gen[r] == tier.s2[i]:
                 tier.hits += 1
-                return v[0]
+                return r
         return run(self, OP_NOT, f)
 
     def apply_and_many(self, fs: Iterable[int]) -> int:
@@ -371,17 +408,22 @@ class BDD:
         if g == h:
             return g
         tier = self._kernel_tiers[OP_ITE]
-        v = tier.data.get((f, g, h))
-        if v is not None:
+        key = (f << 64) | (g << 32) | h
+        i = ((key ^ (key >> 30) ^ (key >> 59)) * _MULT) & tier.mask
+        keys = tier.keys
+        if keys[i] != key:
+            i ^= 1
+        if keys[i] == key:
+            r = tier.res[i]
             gen = self._gen
             if (
-                gen[f] == v[1]
-                and gen[g] == v[2]
-                and gen[h] == v[3]
-                and gen[v[0]] == v[4]
+                gen[f] == tier.s1[i]
+                and gen[g] == tier.s2[i]
+                and gen[h] == tier.s3[i]
+                and gen[r] == tier.s4[i]
             ):
                 tier.hits += 1
-                return v[0]
+                return r
         return run(self, OP_ITE, f, g, h)
 
     def xnor(self, f: int, g: int) -> int:
@@ -598,8 +640,9 @@ class BDD:
 
         Returns a dict with ``tiers`` (name -> size/hits/misses/
         inserts/evictions/invalidations/hit_rate), aggregate ``totals``,
-        the reorder ``epoch``, ``op_calls``/``kernel_steps``, and the
-        current/peak alive node counts.
+        the reorder ``epoch``, ``op_calls``/``kernel_steps``, the
+        word-parallel fast-path block ``tt``, and the current/peak
+        alive node counts.
         """
         tiers = {tier.name: tier.stats() for tier in self.iter_cache_tiers()}
         totals = {
@@ -612,12 +655,21 @@ class BDD:
         }
         lookups = totals["hits"] + totals["misses"]
         totals["hit_rate"] = (totals["hits"] / lookups) if lookups else 0.0
+        fast = self._tt_fast_hits + self._tt_fast_misses
         return {
             "tiers": tiers,
             "totals": totals,
             "epoch": self._epoch,
             "op_calls": self._op_calls,
             "kernel_steps": self._kernel_steps,
+            "tt": {
+                "enabled": _tt.ENABLED,
+                "window": _tt.MAX_WINDOW,
+                "fast_hits": self._tt_fast_hits,
+                "fast_misses": self._tt_fast_misses,
+                "words": self._tt_words,
+                "fast_hit_rate": (self._tt_fast_hits / fast) if fast else 0.0,
+            },
             "alive_nodes": self.num_alive_nodes(),
             "peak_nodes": self._peak_alive,
         }
@@ -651,9 +703,9 @@ class BDD:
         alive = self.reachable(roots)
         freed = 0
         for table in self._unique:
-            dead = [key for key, u in table.items() if u not in alive]
+            dead = [key for key, u in table.iter_packed() if u not in alive]
             for key in dead:
-                u = table.pop(key)
+                u = table.discard(key)
                 self._vid[u] = -1
                 self._lo[u] = -1
                 self._hi[u] = -1
@@ -667,6 +719,11 @@ class BDD:
             for tier in self.iter_cache_tiers():
                 tier.purge(gen, epoch)
             self._sections_memo.clear()
+            # The truth-table memos validate by generation stamp, but a
+            # sweep is the natural point to drop the dead weight too.
+            if self._tt is not None:
+                self._tt.words.clear()
+                self._tt.builds.clear()
         return freed
 
     def num_alive_nodes(self) -> int:

@@ -100,8 +100,7 @@ class SiftSession:
         if lo == hi:
             return lo
         bdd = self.bdd
-        table = bdd._unique[vid]
-        u = table.get((lo, hi))
+        u = bdd._unique[vid].data.get((lo << 32) | hi)
         if u is not None:
             return u
         u = bdd.mk(vid, lo, hi)
@@ -121,17 +120,17 @@ class SiftSession:
         x = bdd._var_at_level[level]
         y = bdd._var_at_level[level + 1]
         vid_arr, lo_arr, hi_arr = bdd._vid, bdd._lo, bdd._hi
-        unique_x = bdd._unique[x]
-        unique_y = bdd._unique[y]
+        x_data = bdd._unique[x].data
+        y_data = bdd._unique[y].data
 
         movers = [
             u
-            for u in unique_x.values()
+            for u in x_data.values()
             if (lo_arr[u] > 1 and vid_arr[lo_arr[u]] == y)
             or (hi_arr[u] > 1 and vid_arr[hi_arr[u]] == y)
         ]
         for u in movers:
-            del unique_x[(lo_arr[u], hi_arr[u])]
+            del x_data[(lo_arr[u] << 32) | hi_arr[u]]
         for u in movers:
             f0, f1 = lo_arr[u], hi_arr[u]
             if f0 > 1 and vid_arr[f0] == y:
@@ -144,15 +143,15 @@ class SiftSession:
                 f10 = f11 = f1
             new_lo = self._mk(x, f00, f10)
             new_hi = self._mk(x, f01, f11)
-            key = (new_lo, new_hi)
-            if key in unique_y:  # pragma: no cover - impossible by construction
+            key = (new_lo << 32) | new_hi
+            if key in y_data:  # pragma: no cover - impossible by construction
                 raise OrderingError("swap produced a duplicate node")
             self._incref(new_lo)
             self._incref(new_hi)
             vid_arr[u] = y
             lo_arr[u] = new_lo
             hi_arr[u] = new_hi
-            unique_y[key] = u
+            y_data[key] = u
             self._decref(f0)
             self._decref(f1)
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import datetime
 import json
 import os
+import platform
 import tempfile
 import time
 import weakref
@@ -36,9 +37,14 @@ from pathlib import Path
 #: ``row_status`` records to the BENCH_PR3-style payload.  v4 adds the
 #: journal/resume fields (``rows_resumed`` in :data:`SWEEP_KEYS`,
 #: per-sweep ``journal_path``) and the :data:`SELFCHECK_KEYS` counters
-#: of the ``REPRO_SELFCHECK`` invariant-verification layer.
-SCHEMA = "repro-bench-v4"
-SCHEMA_VERSION = 4
+#: of the ``REPRO_SELFCHECK`` invariant-verification layer.  v5 adds
+#: the truth-table fast-path counters (``tt_fast_hits`` /
+#: ``tt_fast_misses`` / ``tt_words``, see :mod:`repro.bdd.tt`) to the
+#: additive engine counters and per-record deltas, and a host block
+#: (``python_version`` / ``platform`` / ``cpu_count``) to the payload
+#: ``meta``.
+SCHEMA = "repro-bench-v5"
+SCHEMA_VERSION = 5
 
 #: Counters that add across managers and processes.  ``peak_nodes``
 #: aggregates with ``max`` instead and is handled separately.
@@ -50,6 +56,9 @@ ADDITIVE_KEYS = (
     "cache_inserts",
     "cache_evictions",
     "cache_invalidations",
+    "tt_fast_hits",
+    "tt_fast_misses",
+    "tt_words",
 )
 
 #: Sweep-outcome counters the parallel executor folds into its
@@ -91,6 +100,9 @@ DEAD_TOTALS = {
     "cache_inserts": 0,
     "cache_evictions": 0,
     "cache_invalidations": 0,
+    "tt_fast_hits": 0,
+    "tt_fast_misses": 0,
+    "tt_words": 0,
 }
 
 #: Counter totals merged from worker processes (see
@@ -112,6 +124,9 @@ def fold_dead(bdd) -> None:
         DEAD_TOTALS["op_calls"] += bdd._op_calls
         DEAD_TOTALS["kernel_steps"] += bdd._kernel_steps
         DEAD_TOTALS["peak_nodes"] = max(DEAD_TOTALS["peak_nodes"], bdd._peak_alive)
+        DEAD_TOTALS["tt_fast_hits"] += bdd._tt_fast_hits
+        DEAD_TOTALS["tt_fast_misses"] += bdd._tt_fast_misses
+        DEAD_TOTALS["tt_words"] += bdd._tt_words
         for tier in bdd.iter_cache_tiers():
             DEAD_TOTALS["cache_hits"] += tier.hits
             DEAD_TOTALS["cache_misses"] += tier.misses
@@ -134,6 +149,9 @@ def snapshot() -> dict:
     for bdd in list(REGISTRY):
         totals["op_calls"] += bdd._op_calls
         totals["kernel_steps"] += bdd._kernel_steps
+        totals["tt_fast_hits"] += bdd._tt_fast_hits
+        totals["tt_fast_misses"] += bdd._tt_fast_misses
+        totals["tt_words"] += bdd._tt_words
         live_peak = max(live_peak, bdd._peak_alive)
         alive += bdd.num_alive_nodes()
         for tier in bdd.iter_cache_tiers():
@@ -205,6 +223,9 @@ def record(name: str, **extra):
         hits = after["cache_hits"] - before["cache_hits"]
         misses = after["cache_misses"] - before["cache_misses"]
         lookups = hits + misses
+        tt_hits = after["tt_fast_hits"] - before["tt_fast_hits"]
+        tt_misses = after["tt_fast_misses"] - before["tt_fast_misses"]
+        tt_lookups = tt_hits + tt_misses
         RECORDS[name] = {
             "wall_s": wall,
             "op_calls": ops,
@@ -214,6 +235,10 @@ def record(name: str, **extra):
             "cache_hits": hits,
             "cache_misses": misses,
             "cache_hit_rate": (hits / lookups) if lookups else 0.0,
+            "tt_fast_hits": tt_hits,
+            "tt_fast_misses": tt_misses,
+            "tt_fast_hit_rate": (tt_hits / tt_lookups) if tt_lookups else 0.0,
+            "tt_words": after["tt_words"] - before["tt_words"],
             "peak_nodes": after["peak_nodes"],
             **extra,
         }
@@ -227,6 +252,12 @@ def write_bench_json(
     ``jobs`` records how many worker processes produced the counters
     (1 for a purely sequential run).  The payload carries both the
     legacy ``generated_unix`` stamp and an ISO-8601 UTC timestamp.
+
+    Since schema v5 the ``meta`` block is always present and carries
+    host identification (interpreter version, platform string, CPU
+    count) so throughput numbers in a BENCH_*.json can be attributed to
+    the machine that produced them; caller-supplied ``meta`` keys are
+    merged on top and win on collision.
     """
     path = Path(path)
     now = time.time()
@@ -240,11 +271,19 @@ def write_bench_json(
         "jobs": jobs if jobs is not None else 1,
         "engine": snapshot(),
         "records": RECORDS,
+        "meta": {**host_meta(), **(meta or {})},
     }
-    if meta:
-        payload["meta"] = meta
     atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def host_meta() -> dict:
+    """Host identification stamped into every BENCH payload (schema v5)."""
+    return {
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+    }
 
 
 def atomic_write_text(path: str | Path, text: str) -> Path:

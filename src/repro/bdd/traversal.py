@@ -55,6 +55,9 @@ def crossing_targets(
     """
     t = bdd.num_vars
     sections: list[set[int]] = [set() for _ in range(t + 1)]
+    level_fn = bdd.level
+    lo_of = bdd.lo
+    hi_of = bdd.hi
 
     def record(target: int, from_level: int) -> None:
         # The edge crosses every section between from_level (exclusive)
@@ -63,25 +66,31 @@ def crossing_targets(
             return
         if target == TRUE and not count_true:
             return
-        to_level = min(bdd.level(target), t)
+        to_level = min(level_fn(target), t)
         for section in range(from_level + 1, to_level + 1):
             sections[section].add(target)
 
     seen: set[int] = set()
+    seen_add = seen.add
     root_list = [r for r in roots]
     for r in root_list:
         record(r, -1)
     stack = [r for r in root_list if r > 1]
+    push = stack.append
     while stack:
         u = stack.pop()
         if u in seen:
             continue
-        seen.add(u)
-        level = bdd.level(u)
-        for child in (bdd.lo(u), bdd.hi(u)):
-            record(child, level)
-            if child > 1 and child not in seen:
-                stack.append(child)
+        seen_add(u)
+        level = level_fn(u)
+        child = lo_of(u)
+        record(child, level)
+        if child > 1 and child not in seen:
+            push(child)
+        child = hi_of(u)
+        record(child, level)
+        if child > 1 and child not in seen:
+            push(child)
     return sections
 
 

@@ -1,0 +1,363 @@
+"""Word-parallel truth-table fast path for the bottom of the recursion.
+
+Mature BDD packages (CUDD, ABC, ttopt) stop recursing near the
+terminals and switch representation: a function whose support lies in
+the bottom ``w`` levels of the order is a ``2**w``-bit truth table, on
+which AND/OR/XOR/ITE and quantification are single bitwise operations
+instead of ``O(pairs)`` cache-probing recursions.  This module is that
+fast path for the pure-Python engine:
+
+* :func:`state` — per-manager window descriptor: the bottom
+  ``min(num_vars, MAX_WINDOW)`` levels of the current order, with the
+  replicated bit masks for every window variable.  Rebuilt whenever
+  the reorder epoch or the variable count moves.
+* :func:`word_of` — node → truth-table word (iterative, memoized per
+  node with generation stamps).
+* :func:`node_of_word` — word → canonical node, rebuilt through the
+  unique table (memoized per word).
+* :func:`fold_total` — the ordered-totality quantifier sweep
+  (∃ for output variables, ∀ for inputs) evaluated as ``width`` shift/
+  mask operations on the word; this is what turns the pairwise
+  compatibility walk of :mod:`repro.isf.compat` into a handful of
+  bignum operations per pair.
+* :func:`quantify` — group quantification (exists/forall) on a word.
+
+Words are Python ints, so the window is not limited to 6 variables /
+one 64-bit machine word: a ``w``-variable window is a ``2**w``-bit int
+and CPython's bignum kernels process it at C speed, 64 bits per limb.
+``REPRO_TT_WINDOW`` sets the window (clamped to 1..16).  The default
+is 8 — 256-bit words, four bignum limbs.  Wider windows swallow more
+of the pair-walk tails but pay per fold, and the measured end-to-end
+optimum is flat-bottomed: on the Table 5 rows windows 6..8 are within
+noise of the best, window 10+ clearly regresses (every in-window
+probe then folds kilobyte bignums), and on the raw kernel
+microbenchmarks (`benchmarks/bench_kernel_micro.py`) window 8 is the
+fastest measured — the apply/exists/ite fast path scales with
+coverage, while the compat pair walk is roughly window-neutral.
+``REPRO_TT_FASTPATH=0`` disables the fast path entirely (the
+differential tests pin parity of both settings against
+:mod:`repro.bdd.reference`).
+
+**Accounting.**  Every memoized node evaluation, rebuild step, and
+quantifier fold charges ``max(1, 2**w / 64)`` kernel steps — one step
+per 64-bit word processed — to the owning manager and to any active
+:mod:`repro.bdd.governor` budget, so step budgets keep bounding real
+work when the fast path replaces recursion frames.  Fast-path
+hit/miss/word counters are surfaced through ``BDD.cache_stats()`` and
+the stats schema (v5).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bdd import governor as _governor
+
+__all__ = [
+    "MAX_WINDOW",
+    "enabled",
+    "state",
+    "word_of",
+    "node_of_word",
+    "fold_total",
+    "quantify",
+]
+
+FALSE = 0
+TRUE = 1
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    return raw not in ("0", "false", "no", "off")
+
+
+def _env_window() -> int:
+    raw = os.environ.get("REPRO_TT_WINDOW", "").strip()
+    try:
+        value = int(raw) if raw else 8
+    except ValueError:
+        value = 8
+    return max(1, min(value, 16))
+
+
+#: Master switch (``REPRO_TT_FASTPATH``); tests monkeypatch this.
+ENABLED = _env_flag("REPRO_TT_FASTPATH", True)
+
+#: Window size in variables (``REPRO_TT_WINDOW``, clamped to 1..16).
+MAX_WINDOW = _env_window()
+
+
+def enabled() -> bool:
+    """True when the truth-table fast path is active."""
+    return ENABLED
+
+
+class TTState:
+    """Window descriptor + memos for one manager at one reorder epoch.
+
+    ``base`` is the first level inside the window: a node whose level is
+    ``>= base`` (or a terminal) has its entire cone inside the window
+    and therefore denotes a ``2**width``-bit truth table.  Window
+    variables are indexed by *bit position* ``p`` (0 = bottom of the
+    order): the variable at level ``base + width - 1 - p`` controls bit
+    ``p`` of the minterm index, so ``masks[p]`` selects the minterms
+    where it is 1.
+    """
+
+    __slots__ = (
+        "epoch",
+        "nvars",
+        "base",
+        "width",
+        "nbits",
+        "full",
+        "unit",
+        "masks",
+        "notmasks",
+        "is_out",
+        "words",
+        "builds",
+        "group_ps",
+        "sub",
+    )
+
+    def __init__(self, bdd):
+        nvars = bdd.num_vars
+        width = min(nvars, MAX_WINDOW)
+        self.epoch = bdd._epoch
+        self.nvars = nvars
+        self.base = nvars - width
+        self.width = width
+        nbits = 1 << width
+        self.nbits = nbits
+        self.full = (1 << nbits) - 1
+        # Steps charged per word-parallel operation: one per 64-bit
+        # machine word processed (minimum 1).
+        self.unit = max(1, nbits >> 6)
+        masks = []
+        for p in range(width):
+            s = 1 << p
+            period = s << 1
+            rep = ((1 << nbits) - 1) // ((1 << period) - 1)
+            masks.append((((1 << s) - 1) << s) * rep)
+        self.masks = masks
+        self.notmasks = [self.full ^ m for m in masks]
+        kinds = bdd._kinds
+        var_at_level = bdd._var_at_level
+        self.is_out = [
+            kinds[var_at_level[self.base + width - 1 - p]] == "output"
+            for p in range(width)
+        ]
+        self.words: dict[int, tuple[int, int]] = {}
+        self.builds: dict[int, tuple[int, int]] = {}
+        self.group_ps: dict[int, list[int]] = {}
+        self.sub: dict[int, tuple[int, list[int], int]] = {}
+
+    def sub_masks(self, k: int) -> tuple[int, list[int], int]:
+        """Truncated fold tables for the bottom-``k`` sub-window.
+
+        The full-window masks are periodic in ``2**(p+1)`` bits, so
+        their low ``2**k`` bits *are* the width-``k`` masks; truncating
+        lets a fold over a shallow cone run on ``2**k``-bit ints
+        instead of full ``2**width``-bit words.  Returns
+        ``(limit, notmasks, unit)`` where ``limit`` is the low-bits
+        mask and ``unit`` the per-op step charge at this width.
+        """
+        entry = self.sub.get(k)
+        if entry is None:
+            limit = (1 << (1 << k)) - 1
+            entry = (
+                limit,
+                [m & limit for m in self.notmasks[:k]],
+                max(1, (1 << k) >> 6),
+            )
+            self.sub[k] = entry
+        return entry
+
+
+def state(bdd) -> TTState | None:
+    """The manager's current-window state (rebuilt on epoch/var change)."""
+    st = bdd._tt
+    if st is not None and st.epoch == bdd._epoch and st.nvars == bdd.num_vars:
+        return st
+    if bdd.num_vars == 0:
+        bdd._tt = None
+        return None
+    st = TTState(bdd)
+    bdd._tt = st
+    return st
+
+
+def _charge(bdd, steps: int) -> None:
+    """Charge word-parallel work as kernel steps (budgets included)."""
+    bdd._kernel_steps += steps
+    bdd._tt_words += steps
+    if _governor._ACTIVE:
+        _governor.checkpoint(bdd, steps)
+
+
+def word_of(bdd, st: TTState, u: int) -> int:
+    """Truth-table word of node ``u`` (level >= ``st.base`` required)."""
+    if u < 2:
+        return st.full if u else 0
+    gen = bdd._gen
+    words = st.words
+    entry = words.get(u)
+    if entry is not None and entry[1] == gen[u]:
+        return entry[0]
+    base = st.base
+    width = st.width
+    masks = st.masks
+    notmasks = st.notmasks
+    level_of = bdd._level_of
+    vid_arr, lo_arr, hi_arr = bdd._vid, bdd._lo, bdd._hi
+    full = st.full
+    charged = 0
+    unit = st.unit
+    # Iterative post-order: state 0 visits, state 1 combines.
+    out: list[int] = []
+    stack: list[tuple[int, int]] = [(u, 0)]
+    push = stack.append
+    while stack:
+        v, phase = stack.pop()
+        if phase == 0:
+            if v < 2:
+                out.append(full if v else 0)
+                continue
+            entry = words.get(v)
+            if entry is not None and entry[1] == gen[v]:
+                out.append(entry[0])
+                continue
+            push((v, 1))
+            push((hi_arr[v], 0))
+            push((lo_arr[v], 0))
+        else:
+            w_hi = out.pop()
+            w_lo = out.pop()
+            p = width - 1 - (level_of[vid_arr[v]] - base)
+            w = (w_hi & masks[p]) | (w_lo & notmasks[p])
+            words[v] = (w, gen[v])
+            charged += unit
+            out.append(w)
+    if charged:
+        _charge(bdd, charged)
+    return out[-1]
+
+
+def node_of_word(bdd, st: TTState, w: int) -> int:
+    """Canonical node of truth-table word ``w``, built through ``mk``.
+
+    Words passed in (and produced by the cofactor splits) are kept in
+    *replicated* form — a function independent of a window variable
+    holds identical values on both halves of that variable's split —
+    so the per-word memo is canonical across subproblems.
+    """
+    if w == 0:
+        return FALSE
+    if w == st.full:
+        return TRUE
+    gen = bdd._gen
+    builds = st.builds
+    entry = builds.get(w)
+    if entry is not None and gen[entry[0]] == entry[1]:
+        return entry[0]
+    charged = _build(bdd, st, w, st.width - 1, gen, builds)
+    _charge(bdd, charged[1])
+    return charged[0]
+
+
+def _build(bdd, st, w, p, gen, builds):
+    """Recursive rebuild (depth <= window width <= 16); returns (node, steps)."""
+    if w == 0:
+        return FALSE, 0
+    if w == st.full:
+        return TRUE, 0
+    entry = builds.get(w)
+    if entry is not None and gen[entry[0]] == entry[1]:
+        return entry[0], 0
+    s = 1 << p
+    hi_half = w & st.masks[p]
+    lo_half = w & st.notmasks[p]
+    hi_w = hi_half | (hi_half >> s)
+    lo_w = lo_half | (lo_half << s)
+    if hi_w == lo_w:
+        r, steps = _build(bdd, st, w, p - 1, gen, builds)
+        return r, steps + st.unit
+    r0, steps0 = _build(bdd, st, lo_w, p - 1, gen, builds)
+    r1, steps1 = _build(bdd, st, hi_w, p - 1, gen, builds)
+    vid = bdd._var_at_level[st.base + st.width - 1 - p]
+    r = bdd.mk(vid, r0, r1)
+    builds[w] = (r, gen[r])
+    return r, steps0 + steps1 + st.unit
+
+
+def fold_total(bdd, st: TTState, w: int, top_level: int | None = None) -> bool:
+    """Ordered totality of ``w``: quantify the window variables bottom-up.
+
+    Output variables are folded with OR (∃), inputs with AND (∀), in
+    bottom-to-top order — the same sweep
+    :func:`repro.isf.compat.ordered_total` performs on the graph.
+
+    ``top_level`` is the level of the shallowest node the word came
+    from: the function cannot depend on window variables above it, and
+    quantifying an unsupported variable is the identity, so the fold
+    covers only the ``width - (top_level - base)`` bottom positions —
+    on the truncated low bits, because the replicated word's low
+    ``2**k`` bits are exactly the ``k``-variable truth table.  A deep
+    cone (3 live variables, say) folds three 8-bit ints instead of
+    ``width`` full-window bignums, which is what keeps the fast path
+    profitable across Algorithm 3.3's quadratic pair loop.
+    """
+    k = st.width
+    if top_level is not None and top_level > st.base:
+        k -= top_level - st.base
+        limit, notmasks, unit = st.sub_masks(k)
+        w &= limit
+    else:
+        notmasks = st.notmasks
+        unit = st.unit
+    is_out = st.is_out
+    for p in range(k):
+        c1 = (w >> (1 << p)) & notmasks[p]
+        c0 = w & notmasks[p]
+        w = (c0 | c1) if is_out[p] else (c0 & c1)
+    _charge(bdd, max(1, k * unit))
+    return bool(w & 1)
+
+
+def group_positions(bdd, st: TTState, gid: int) -> list[int]:
+    """Bit positions of the window variables in quantifier group ``gid``."""
+    ps = st.group_ps.get(gid)
+    if ps is None:
+        group = bdd._groups[gid]
+        var_at_level = bdd._var_at_level
+        ps = [
+            p
+            for p in range(st.width)
+            if var_at_level[st.base + st.width - 1 - p] in group
+        ]
+        st.group_ps[gid] = ps
+    return ps
+
+
+def quantify(bdd, st: TTState, w: int, ps: list[int], conj: bool) -> int:
+    """Quantify the variables at bit positions ``ps`` out of word ``w``.
+
+    ``conj`` selects ∀ (AND of the cofactors) over ∃ (OR).  The result
+    stays in replicated form, ready for :func:`node_of_word`.
+    """
+    masks = st.masks
+    notmasks = st.notmasks
+    for p in ps:
+        s = 1 << p
+        r1 = w & masks[p]
+        r1 |= r1 >> s
+        r0 = w & notmasks[p]
+        r0 |= r0 << s
+        w = (r0 & r1) if conj else (r0 | r1)
+    if ps:
+        _charge(bdd, len(ps) * st.unit)
+    return w

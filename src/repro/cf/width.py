@@ -90,12 +90,19 @@ def substitute_columns(
     t = bdd.num_vars
     boundary_level = t - height  # nodes at level >= boundary_level are below
     memo: dict[int, int] = {}
+    level = bdd.level
+    lo_of = bdd.lo
+    hi_of = bdd.hi
+    var_of = bdd.var_of
+    mk = bdd.mk
+    memo_get = memo.get
+    sub_get = substitution.get
 
     def resolve(u: int) -> int | None:
         """Rewritten form of ``u`` if already known, else None."""
-        if bdd.level(u) >= boundary_level:
-            return substitution.get(u, u)
-        return memo.get(u)
+        if level(u) >= boundary_level:
+            return sub_get(u, u)
+        return memo_get(u)
 
     top = resolve(root)
     if top is not None:
@@ -106,14 +113,27 @@ def substitute_columns(
         if u in memo:
             stack.pop()
             continue
-        lo = resolve(bdd.lo(u))
-        hi = resolve(bdd.hi(u))
+        lo_child = lo_of(u)
+        hi_child = hi_of(u)
+        lo = resolve(lo_child)
+        hi = resolve(hi_child)
         if lo is None:
-            stack.append(bdd.lo(u))
+            stack.append(lo_child)
         if hi is None:
-            stack.append(bdd.hi(u))
+            stack.append(hi_child)
         if lo is None or hi is None:
             continue
         stack.pop()
-        memo[u] = bdd.mk(bdd.var_of(u), lo, hi)
+        memo[u] = mk(var_of(u), lo, hi)
     return memo[root]
+
+
+# NOTE: an incrementally maintained sum-of-widths cost — patching only
+# counts[l+1] after a swap of levels l/l+1 (the one section a swap can
+# change), by rescanning the unique tables above the section — was
+# prototyped here and measured *slower* than calling crossing_counts()
+# after every swap: the full pass is a single tight scratch-array loop
+# over live nodes, while the per-swap rescan pays Python-level set
+# insertion on a comparable node count.  Keep the closure-over-
+# crossing_counts form unless the full pass itself shows up in a
+# profile again.

@@ -15,22 +15,31 @@ Compatibility of two columns (Definition 3.7 lifted to CFs, as used by
 Lemma 3.1 and Algorithms 3.1/3.3) is then ``total(χ_a · χ_b)``.
 
 Both predicates memoize through the manager's cache tiers: totality
-per node in the ``tot`` tier, compatibility per (canonicalized) node
-pair in the ``compat`` tier — the pair memo is what lets Algorithm
-3.3's quadratic clique loop re-query pairs across heights for free.
-Entries are epoch-tagged (the walk direction depends on the variable
-order) and generation-stamped, so reorders and GC invalidate them
-lazily without a cache scan.
+per node in the ``tot`` tier, compatibility per (canonicalized,
+packed) node pair in the ``compat`` tier — the pair memo is what lets
+Algorithm 3.3's quadratic clique loop re-query pairs across heights
+for free.  Entries are epoch-tagged (the walk direction depends on the
+variable order) and generation-stamped, so reorders and GC invalidate
+them lazily without a cache scan.
+
+Both walks short-circuit through the word-parallel truth-table window
+(:mod:`repro.bdd.tt`): a node (or pair) living entirely in the bottom
+window resolves by a quantifier fold over its truth-table word instead
+of continuing the node-pair DFS — on the dense decomposition
+benchmarks this replaces the long tail of every pairwise walk.
 """
 
 from __future__ import annotations
 
 from repro.bdd import reference
-from repro.bdd.kernel import validator_epoch_bool
+from repro.bdd import tt as _tt
+from repro.bdd.kernel import validator_epoch_bool, validator_epoch_bool_packed
 from repro.bdd.manager import FALSE, TRUE, BDD
 
+_NO_WINDOW = 1 << 31
+
 _TOT_VALIDATOR = validator_epoch_bool(1)
-_COMPAT_VALIDATOR = validator_epoch_bool(2)
+_COMPAT_VALIDATOR = validator_epoch_bool_packed(2)
 
 
 def ordered_total(bdd: BDD, u: int) -> bool:
@@ -52,7 +61,14 @@ def ordered_total(bdd: BDD, u: int) -> bool:
     gen = bdd._gen
     epoch = bdd._epoch
     kinds = bdd._kinds
+    level_of = bdd._level_of
     lo_arr, hi_arr, vid_arr = bdd._lo, bdd._hi, bdd._vid
+    if _tt.ENABLED:
+        st = _tt.state(bdd)
+        fbase = st.base if st is not None else _NO_WINDOW
+    else:
+        st = None
+        fbase = _NO_WINDOW
 
     # Explicit stack with the same short-circuit as the recursion: an
     # output node whose lo-branch is total (or an input node whose
@@ -75,6 +91,16 @@ def ordered_total(bdd: BDD, u: int) -> bool:
                 result = entry[0]
                 continue
             tier.misses += 1
+            lv = level_of[vid_arr[v]]
+            if lv >= fbase:
+                # In-window node: one quantifier fold over its word
+                # decides totality without walking the cone.
+                result = _tt.fold_total(bdd, st, _tt.word_of(bdd, st, v), lv)
+                tier.insert(v, (result, epoch, gen[v]))
+                bdd._tt_fast_hits += 1
+                continue
+            if st is not None:
+                bdd._tt_fast_misses += 1
             push((v, 1))
             push((lo_arr[v], 0))
         elif state == 1:
@@ -112,17 +138,38 @@ def compatible_columns(bdd: BDD, a: int, b: int) -> bool:
         return False
     if a == b or a == TRUE or b == TRUE:
         return ordered_total(bdd, bdd.apply_and(a, b))
+    if a > b:
+        a, b = b, a
     tier = bdd.op_cache("compat", _COMPAT_VALIDATOR)
     data = tier.data
     gen = bdd._gen
     epoch = bdd._epoch
+    # Top-level probe before any further setup: the clique sweep
+    # re-queries pairs across heights, so most calls resolve right
+    # here and should not pay for the walk's local bindings.
+    entry = data.get((a << 32) | b)
+    if (
+        entry is not None
+        and entry[1] == epoch
+        and gen[a] == entry[2]
+        and gen[b] == entry[3]
+    ):
+        tier.hits += 1
+        return entry[0]
     kinds = bdd._kinds
     level_of = bdd._level_of
     lo_arr, hi_arr, vid_arr = bdd._lo, bdd._hi, bdd._vid
+    if _tt.ENABLED:
+        st = _tt.state(bdd)
+        fbase = st.base if st is not None else _NO_WINDOW
+    else:
+        st = None
+        fbase = _NO_WINDOW
 
     # Pair walk over the conceptual product, same short-circuit shape
     # as ordered_total: state 0 visits a pair, state 1 sees the lo-pair
-    # verdict, state 2 sees the hi-pair verdict.
+    # verdict, state 2 sees the hi-pair verdict.  Pair keys are packed
+    # into one int — no tuple allocation on the sweep's hot path.
     result = False
     stack: list[tuple[int, int, int]] = [(a, b, 0)]
     push = stack.append
@@ -140,7 +187,8 @@ def compatible_columns(bdd: BDD, a: int, b: int) -> bool:
                 continue
             if x > y:
                 x, y = y, x
-            entry = data.get((x, y))
+            key = (x << 32) | y
+            entry = data.get(key)
             if (
                 entry is not None
                 and entry[1] == epoch
@@ -151,9 +199,24 @@ def compatible_columns(bdd: BDD, a: int, b: int) -> bool:
                 result = entry[0]
                 continue
             tier.misses += 1
-            push((x, y, 1))
             lx = level_of[vid_arr[x]]
             ly = level_of[vid_arr[y]]
+            if lx >= fbase and ly >= fbase:
+                # In-window pair: the conceptual product is one bitwise
+                # AND of the two words, and the totality sweep is a
+                # quantifier fold — the whole sub-walk collapses.
+                result = _tt.fold_total(
+                    bdd,
+                    st,
+                    _tt.word_of(bdd, st, x) & _tt.word_of(bdd, st, y),
+                    lx if lx < ly else ly,
+                )
+                tier.insert(key, (result, epoch, gen[x], gen[y]))
+                bdd._tt_fast_hits += 1
+                continue
+            if st is not None:
+                bdd._tt_fast_misses += 1
+            push((x, y, 1))
             push((lo_arr[x] if lx <= ly else x, lo_arr[y] if ly <= lx else y, 0))
         elif state == 1:
             # ``result`` holds the lo-pair verdict.
@@ -162,10 +225,10 @@ def compatible_columns(bdd: BDD, a: int, b: int) -> bool:
             top_vid = vid_arr[x] if lx <= ly else vid_arr[y]
             if result == (kinds[top_vid] == "output"):
                 # ∃ with a true branch, or ∀ with a false branch: decided.
-                tier.insert((x, y), (result, epoch, gen[x], gen[y]))
+                tier.insert((x << 32) | y, (result, epoch, gen[x], gen[y]))
             else:
                 push((x, y, 2))
                 push((hi_arr[x] if lx <= ly else x, hi_arr[y] if ly <= lx else y, 0))
         else:
-            tier.insert((x, y), (result, epoch, gen[x], gen[y]))
+            tier.insert((x << 32) | y, (result, epoch, gen[x], gen[y]))
     return result

@@ -59,8 +59,7 @@ def write_parallel_bench(
                 sequential.wall_s / best.wall_s if best.wall_s > 0 else 0.0
             ),
         }
-    if meta:
-        payload["meta"] = meta
+    payload["meta"] = {**stats.host_meta(), **(meta or {})}
     # Atomic: a sweep killed while writing its report must not leave a
     # torn half-JSON for a later schema-validating reader to trip over.
     stats.atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -25,9 +25,13 @@ def heuristic_clique_cover(
     """
     remaining = set(nodes)
     cover: list[list[Hashable]] = []
+    adjacency_get = adjacency.get
 
     def degree_in(v: Hashable, pool: set) -> int:
-        return sum(1 for w in adjacency.get(v, ()) if w in pool)
+        # Set intersection runs the membership loop in C; the greedy
+        # min-degree selection calls this once per (candidate, step).
+        s = adjacency_get(v)
+        return len(s & pool) if s else 0
 
     # Isolated nodes go straight into the cover.
     isolated = sorted(
@@ -40,7 +44,8 @@ def heuristic_clique_cover(
     while remaining:
         seed = min(remaining, key=lambda v: (degree_in(v, remaining), _sort_key(v)))
         clique = [seed]
-        candidates = {w for w in adjacency.get(seed, ()) if w in remaining}
+        neighbours = adjacency_get(seed)
+        candidates = (neighbours & remaining) if neighbours else set()
         candidates.discard(seed)
         while candidates:
             nxt = min(
@@ -48,7 +53,7 @@ def heuristic_clique_cover(
             )
             clique.append(nxt)
             candidates.discard(nxt)
-            candidates &= adjacency.get(nxt, set())
+            candidates &= adjacency_get(nxt, set())
         cover.append(sorted(clique, key=_sort_key))
         remaining -= set(clique)
     return cover

@@ -1,0 +1,188 @@
+"""Differential tests for the word-parallel truth-table fast path.
+
+Every property is checked with the fast path ON and OFF against the
+recursive reference engine (:mod:`repro.bdd.reference`) — within one
+manager, canonicity turns semantic agreement into id equality.  The
+suite also pins parity across the events that rebuild or invalidate
+the window state: sifting (epoch moves), garbage collection (memos
+dropped, generations bumped), and governor aborts mid-operation.
+"""
+
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD, from_truth_table, reference, sift
+from repro.bdd import tt as _tt
+from repro.bdd.governor import Budget
+from repro.errors import ResourceLimitError
+from repro.isf.compat import compatible_columns, ordered_total
+
+from tests.conftest import brute_force_truth
+
+N_VARS = 5  # window (default 6) covers the whole order
+N_DEEP = 9  # strictly wider than the window: partial-window paths
+TABLE = st.lists(st.integers(0, 1), min_size=1 << N_VARS, max_size=1 << N_VARS)
+DEEP_TABLE = st.lists(st.integers(0, 1), min_size=1 << N_DEEP, max_size=1 << N_DEEP)
+
+
+@contextmanager
+def fastpath(on: bool):
+    saved = _tt.ENABLED
+    _tt.ENABLED = on
+    try:
+        yield
+    finally:
+        _tt.ENABLED = saved
+
+
+def build(table, n_vars, n_outputs=2):
+    """Manager with a mixed input/output order and one function."""
+    bdd = BDD()
+    vids = bdd.add_vars([f"x{i}" for i in range(n_vars - n_outputs)])
+    vids += bdd.add_vars([f"y{i}" for i in range(n_outputs)], kind="output")
+    return bdd, vids, from_truth_table(bdd, vids, table)
+
+
+class TestKernelParity:
+    @settings(max_examples=40, deadline=None)
+    @given(TABLE, TABLE)
+    def test_ops_same_node_on_and_off(self, ta, tb):
+        bdd, vids, f = build(ta, N_VARS)
+        g = from_truth_table(bdd, vids, tb)
+        gid = bdd.var_group(vids[:2])
+        for op, ref in (
+            (lambda: bdd.apply_and(f, g), lambda: reference.ref_apply_and(bdd, f, g)),
+            (lambda: bdd.apply_xor(f, g), lambda: reference.ref_apply_xor(bdd, f, g)),
+            (lambda: bdd.exists(f, gid), lambda: reference.ref_exists(bdd, f, gid)),
+            (lambda: bdd.forall(g, gid), lambda: reference.ref_forall(bdd, g, gid)),
+        ):
+            with fastpath(True):
+                fast = op()
+            with fastpath(False):
+                slow = op()
+            assert fast == slow == ref()
+
+    @settings(max_examples=15, deadline=None)
+    @given(DEEP_TABLE)
+    def test_partial_window_ops(self, table):
+        # Nodes above the window take the node path, nodes inside it
+        # the word path — parity must hold across the seam.
+        bdd, vids, f = build(table, N_DEEP)
+        g = bdd.apply_not(bdd.cofactor(f, vids[0], 1))
+        gid = bdd.var_group(vids[-3:])
+        with fastpath(True):
+            fast = (bdd.apply_and(f, g), bdd.exists(f, gid))
+        with fastpath(False):
+            slow = (bdd.apply_and(f, g), bdd.exists(f, gid))
+        assert fast == slow
+        assert fast[0] == reference.ref_apply_and(bdd, f, g)
+        assert fast[1] == reference.ref_exists(bdd, f, gid)
+
+
+class TestCompatParity:
+    @settings(max_examples=40, deadline=None)
+    @given(TABLE, TABLE)
+    def test_total_and_compat_on_off_vs_seed(self, ta, tb):
+        bdd, vids, a = build(ta, N_VARS)
+        b = from_truth_table(bdd, vids, tb)
+        expect_tot = reference.seed_ordered_total(bdd, a)
+        expect_cc = reference.seed_compatible_columns(bdd, a, b)
+        for on in (True, False):
+            with fastpath(on):
+                bdd.clear_cache()
+                assert ordered_total(bdd, a) is expect_tot
+                assert compatible_columns(bdd, a, b) is expect_cc
+
+    @settings(max_examples=10, deadline=None)
+    @given(DEEP_TABLE, DEEP_TABLE)
+    def test_compat_partial_window(self, ta, tb):
+        bdd, vids, a = build(ta, N_DEEP)
+        b = from_truth_table(bdd, vids, tb)
+        verdicts = []
+        for on in (True, False):
+            with fastpath(on):
+                bdd.clear_cache()
+                verdicts.append(compatible_columns(bdd, a, b))
+        assert verdicts[0] is verdicts[1]
+        assert verdicts[0] is reference.seed_compatible_columns(bdd, a, b)
+
+    @settings(max_examples=15, deadline=None)
+    @given(TABLE, TABLE)
+    def test_parity_survives_sifting(self, ta, tb):
+        # Sifting moves the reorder epoch: the window descriptor and
+        # the word memos must rebuild, not serve stale answers.  The
+        # verdict itself may legitimately flip — ordered totality
+        # quantifies along the variable order, and sifting arbitrary
+        # functions can lift an output variable above an input — so
+        # the pin is agreement with a *fresh* reference walk on the
+        # new order, not invariance of the pre-sift answer.
+        bdd, vids, a = build(ta, N_VARS)
+        b = from_truth_table(bdd, vids, tb)
+        with fastpath(True):
+            compatible_columns(bdd, a, b)  # warm the pre-sift memos
+            sift(bdd, [a, b])
+            after = compatible_columns(bdd, a, b)
+        bdd._ref_cache = {}  # the reference memo is not epoch-aware
+        assert after is reference.seed_compatible_columns(bdd, a, b)
+        with fastpath(False):
+            bdd.clear_cache()
+            assert compatible_columns(bdd, a, b) is after
+
+    @settings(max_examples=15, deadline=None)
+    @given(TABLE, TABLE)
+    def test_parity_survives_collect(self, ta, tb):
+        bdd, vids, a = build(ta, N_VARS)
+        b = from_truth_table(bdd, vids, tb)
+        with fastpath(True):
+            table_before = brute_force_truth(bdd, a, vids)
+            _ = compatible_columns(bdd, a, b)  # warm word memos
+            garbage = bdd.apply_xor(a, b)
+            del garbage
+            bdd.collect([a, b])
+            assert brute_force_truth(bdd, a, vids) == table_before
+            assert compatible_columns(bdd, a, b) is (
+                reference.seed_compatible_columns(bdd, a, b)
+            )
+            bdd.check_invariants([a, b])
+
+
+class TestGovernorAborts:
+    def test_abort_leaves_manager_consistent(self):
+        # A tiny step budget must abort mid-operation on either code
+        # path, and the manager must stay fully usable afterwards.
+        rng_table = [(i * 2654435761) >> 7 & 1 for i in range(1 << N_DEEP)]
+        alt_table = [(i * 40503) >> 3 & 1 for i in range(1 << N_DEEP)]
+        for on in (True, False):
+            with fastpath(on):
+                bdd, vids, f = build(rng_table, N_DEEP)
+                g = from_truth_table(bdd, vids, alt_table)
+                bdd.clear_cache()
+                with pytest.raises(ResourceLimitError):
+                    with Budget(max_steps=10):
+                        for _ in range(200):
+                            bdd.apply_xor(f, g)
+                            compatible_columns(bdd, f, g)
+                            bdd.clear_cache()
+                # No budget: the same queries now run to completion and
+                # agree with the reference engine.
+                assert bdd.apply_xor(f, g) == reference.ref_apply_xor(bdd, f, g)
+                assert compatible_columns(bdd, f, g) is (
+                    reference.seed_compatible_columns(bdd, f, g)
+                )
+                bdd.check_invariants([f, g])
+
+    def test_fast_path_charges_are_budgeted(self):
+        # The word path must charge enough steps that max_steps still
+        # bounds it: an unbounded-looking budget of a few steps aborts.
+        table = [(i * 2654435761) >> 5 & 1 for i in range(1 << N_DEEP)]
+        with fastpath(True):
+            bdd, vids, f = build(table, N_DEEP)
+            g = from_truth_table(bdd, vids, table[::-1])
+            bdd.clear_cache()
+            with pytest.raises(ResourceLimitError):
+                with Budget(max_steps=5):
+                    for _ in range(50):
+                        compatible_columns(bdd, f, g)
+                        bdd.clear_cache()
