@@ -1,0 +1,122 @@
+"""Warm-daemon vs cold-process query serving (BENCH_SERVICE.json).
+
+Measures what the always-on service exists for: the second identical
+query against a warm shard must be substantially faster than the first
+(cold) one, because the shard's computed tables and truth-table memos
+survive between requests.  The cold/warm wall times, speedup, and the
+per-shard v6 counter deltas are written to ``BENCH_SERVICE.json`` at
+the repo root.
+
+The daemon is driven in-process (no sockets) through
+:class:`repro.service.server.Service` so the benchmark times engine
+work, not transport.
+
+Environment:
+
+* ``REPRO_BENCH_FULL=1`` — add the heavier ``5-7-11 RNS`` row.
+* ``REPRO_REQUIRE_WARM_SPEEDUP=X`` — fail unless warm speedup >= X
+  (off by default: shared CI runners are too noisy for a wall-clock
+  gate; the hit-rate assertion always applies).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+from repro.service.protocol import Request
+from repro.service.server import Service
+
+from conftest import REPO_ROOT, bench_full
+
+BENCH_SERVICE = REPO_ROOT / "BENCH_SERVICE.json"
+
+BENCHMARKS = ["3-5 RNS", "3-5-7 RNS"] + (["5-7-11 RNS"] if bench_full() else [])
+
+
+def _serve_twice(benchmark: str) -> dict:
+    """One daemon, two identical width_reduce queries; returns timings
+    and the rns shard's counter deltas."""
+
+    async def main() -> dict:
+        service = Service()
+        pump = asyncio.ensure_future(service._pump())
+        try:
+            t0 = time.perf_counter()
+            first = await service.handle_request(
+                Request(id="cold", op="width_reduce",
+                        params={"benchmark": benchmark})
+            )
+            cold_s = time.perf_counter() - t0
+            shard = service.pool.get("rns")
+            counters_cold = dict(shard.counters)
+            t0 = time.perf_counter()
+            second = await service.handle_request(
+                Request(id="warm", op="width_reduce",
+                        params={"benchmark": benchmark})
+            )
+            warm_s = time.perf_counter() - t0
+            assert first["ok"] and second["ok"]
+            assert (
+                first["result"]["fingerprint"]
+                == second["result"]["fingerprint"]
+            )
+            hits = shard.counters["cache_hits"] - counters_cold["cache_hits"]
+            misses = (
+                shard.counters["cache_misses"] - counters_cold["cache_misses"]
+            )
+            cold_lookups = (
+                counters_cold["cache_hits"] + counters_cold["cache_misses"]
+            )
+            return {
+                "benchmark": benchmark,
+                "cold_wall_s": round(cold_s, 6),
+                "warm_wall_s": round(warm_s, 6),
+                "warm_speedup": round(cold_s / warm_s, 3) if warm_s else None,
+                "cold_hit_rate": round(
+                    counters_cold["cache_hits"] / cold_lookups, 4
+                )
+                if cold_lookups
+                else None,
+                "warm_hit_rate": round(hits / (hits + misses), 4)
+                if hits + misses
+                else None,
+            }
+        finally:
+            service._stopping = True
+            service._work.set()
+            await pump
+            service.close()
+
+    return asyncio.run(main())
+
+
+def test_warm_shard_speedup():
+    rows = [_serve_twice(b) for b in BENCHMARKS]
+    for row in rows:
+        # The structural claim: the warm pass reuses computed tables.
+        if row["warm_hit_rate"] is not None and row["cold_hit_rate"] is not None:
+            assert row["warm_hit_rate"] > row["cold_hit_rate"], row
+    floor = float(os.environ.get("REPRO_REQUIRE_WARM_SPEEDUP", "0") or 0)
+    if floor:
+        for row in rows:
+            assert row["warm_speedup"] >= floor, row
+    BENCH_SERVICE.write_text(
+        json.dumps(
+            {
+                "schema": "repro-bench-v6",
+                "schema_version": 6,
+                "rows": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    for row in rows:
+        print(
+            f"{row['benchmark']}: cold {row['cold_wall_s']:.3f}s "
+            f"(hit rate {row['cold_hit_rate']}), warm {row['warm_wall_s']:.3f}s "
+            f"(hit rate {row['warm_hit_rate']}, {row['warm_speedup']}x)"
+        )

@@ -40,7 +40,9 @@ BENCH_JSON = REPO_ROOT / "BENCH_PR6.json"
 
 def bench_full() -> bool:
     """True when the full benchmark suite was requested."""
-    return os.environ.get("REPRO_BENCH_FULL", "").strip() not in ("", "0", "false")
+    from repro._config import env_flag
+
+    return env_flag("REPRO_BENCH_FULL", False)
 
 
 def bench_jobs() -> int:
@@ -89,9 +91,9 @@ def bench_journal():
     if _BENCH_JOURNAL is None:
         from repro.parallel import Journal
 
-        resume = os.environ.get("REPRO_BENCH_RESUME", "").strip() not in (
-            "", "0", "false",
-        )
+        from repro._config import env_flag
+
+        resume = env_flag("REPRO_BENCH_RESUME", False)
         _BENCH_JOURNAL = Journal(path, resume=resume)
     return _BENCH_JOURNAL
 

@@ -44,13 +44,48 @@ class Limits:
 
 LIMITS = Limits()
 
+#: Spellings read as "off" by :func:`env_flag`, case-insensitively.
+_FALSY = ("0", "false", "no", "off")
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Boolean environment read, case- and whitespace-insensitive.
+
+    An unset or empty variable yields ``default``; any of ``0``,
+    ``false``, ``no``, ``off`` (in any letter case) reads as False and
+    everything else as True.  Every boolean environment knob in the
+    repo goes through this helper so ``REPRO_TT_FASTPATH=False`` and
+    ``REPRO_SELFCHECK=OFF`` mean what they say instead of silently
+    enabling the feature.
+    """
+    raw = os.environ.get(name, "")
+    raw = raw.strip().lower()
+    if not raw:
+        return default
+    return raw not in _FALSY
+
+
+def env_int(name: str, default: int, *, lo: int | None = None, hi: int | None = None) -> int:
+    """Integer environment read with clamping; malformed values yield
+    ``default`` rather than crashing a long-lived process on a typo."""
+    raw = os.environ.get(name, "").strip()
+    try:
+        value = int(raw) if raw else default
+    except ValueError:
+        value = default
+    if lo is not None:
+        value = max(lo, value)
+    if hi is not None:
+        value = min(hi, value)
+    return value
+
 
 def full_scale() -> bool:
     """Return True when the paper's full-size word lists are requested.
 
     Controlled by the ``REPRO_FULL_SCALE`` environment variable.
     """
-    return os.environ.get("REPRO_FULL_SCALE", "").strip() not in ("", "0", "false")
+    return env_flag("REPRO_FULL_SCALE", False)
 
 
 def word_list_sizes() -> tuple[int, ...]:

@@ -63,7 +63,9 @@ COUNTERS = {"manager_checks": 0, "payload_checks": 0, "violations": 0}
 
 def selfcheck_enabled() -> bool:
     """True when ``REPRO_SELFCHECK`` arms the opt-in self-check hooks."""
-    return os.environ.get("REPRO_SELFCHECK", "").strip() not in ("", "0", "false")
+    from repro._config import env_flag
+
+    return env_flag("REPRO_SELFCHECK", False)
 
 
 @dataclass(frozen=True)

@@ -48,7 +48,24 @@ see the same counters and invariants as with the dict-backed tables.
 
 from __future__ import annotations
 
-__all__ = ["UniqueTable", "PackedCache", "pack2", "pack3", "unpack2", "unpack3"]
+from repro.errors import CapacityError
+
+__all__ = [
+    "MAX_NODE_ID",
+    "UniqueTable",
+    "PackedCache",
+    "check_capacity",
+    "pack2",
+    "pack3",
+    "unpack2",
+    "unpack3",
+]
+
+#: Largest node id a packed 32-bit key field can carry.  Ids 0/1 are
+#: the constants and ``2**32 - 1`` is reserved (it would alias the
+#: ``_EMPTY`` slot marker after masking), so allocation must stop at
+#: ``2**32 - 2``.
+MAX_NODE_ID = (1 << 32) - 2
 
 #: Knuth's multiplicative-hash constant (2**32 / golden ratio): spreads
 #: the structured low bits of packed keys across the table.
@@ -67,8 +84,30 @@ _MULT = 2654435761
 _EMPTY = -1
 
 
+def check_capacity(next_id: int) -> None:
+    """Refuse to allocate a node id the packed keys cannot represent.
+
+    Called by ``BDD.mk`` before growing the node arrays; one integer
+    compare on the (rare) fresh-allocation branch.  Raising here — at
+    the 2³² boundary — replaces the former behaviour of silently
+    packing a 33-bit id into a 32-bit field and colliding with an
+    unrelated node.
+    """
+    if next_id > MAX_NODE_ID:
+        raise CapacityError(
+            f"node-id space exhausted: cannot allocate id {next_id} "
+            f"(packed 32-bit keys bound ids at {MAX_NODE_ID})",
+            limit=MAX_NODE_ID,
+        )
+
+
 def pack2(a: int, b: int) -> int:
-    """Pack two 32-bit fields into one integer key."""
+    """Pack two 32-bit fields into one integer key.
+
+    Fields must already be in range (node ids are guarded at
+    allocation by :func:`check_capacity`); packing itself stays a
+    two-op expression so the hot paths can afford it.
+    """
     return (a << 32) | b
 
 

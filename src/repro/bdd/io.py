@@ -18,6 +18,7 @@ topological order, so loading is a single pass of ``mk`` calls.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections.abc import Mapping
 
@@ -162,6 +163,19 @@ def load_charfunction_payload(data: dict) -> CharFunction:
     if check.selfcheck_enabled():
         check.verify_charfunction(cf, what=f"loaded CF {cf.name!r}")
     return cf
+
+
+def payload_fingerprint(payload: dict) -> str:
+    """Stable content digest of a forest/CharFunction payload.
+
+    BLAKE2b over the canonical (sorted-key, no-whitespace) JSON of the
+    document.  Two payloads share a fingerprint iff they serialize the
+    same graph over the same variable order — the equality the service
+    parity tests assert between a daemon-served CF and the equivalent
+    in-process CLI computation, without diffing node lists by hand.
+    """
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canon.encode("utf-8"), digest_size=16).hexdigest()
 
 
 def dump_charfunction(cf: CharFunction) -> str:

@@ -440,7 +440,7 @@ def run(bdd, op: int, a: int, b: int = -1, c: int = -1) -> int:
 
     # Truth-table window: frames whose operands all sit at or below
     # ``fbase`` resolve by word-parallel evaluation.
-    if _tt.ENABLED:
+    if _tt.enabled():
         st = _tt.state(bdd)
         fbase = st.base if st is not None else _NO_WINDOW
     else:

@@ -34,7 +34,7 @@ from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 from repro.bdd import stats
 from repro.bdd import tt as _tt
-from repro.bdd.hashtable import _MULT, UniqueTable
+from repro.bdd.hashtable import _MULT, UniqueTable, check_capacity, pack2
 from repro.bdd.kernel import (
     FALSE,
     TRUE,
@@ -220,7 +220,7 @@ class BDD:
         # Packed key + direct dict probe: the hottest path in the
         # engine, so no tuple allocation and no wrapper method call.
         data = self._unique[vid].data
-        key = (lo << 32) | hi
+        key = pack2(lo, hi)
         u = data.get(key)
         if u is not None:
             return u
@@ -231,6 +231,7 @@ class BDD:
             self._hi[u] = hi
         else:
             u = len(self._vid)
+            check_capacity(u)
             self._vid.append(vid)
             self._lo.append(lo)
             self._hi.append(hi)
@@ -248,7 +249,7 @@ class BDD:
         Bumps the node's generation so cache entries referencing the id
         lazily read as stale; the id goes back on the free list.
         """
-        self._unique[self._vid[u]].data.pop((self._lo[u] << 32) | self._hi[u], None)
+        self._unique[self._vid[u]].data.pop(pack2(self._lo[u], self._hi[u]), None)
         self._vid[u] = -1
         self._lo[u] = -1
         self._hi[u] = -1
@@ -663,8 +664,8 @@ class BDD:
             "op_calls": self._op_calls,
             "kernel_steps": self._kernel_steps,
             "tt": {
-                "enabled": _tt.ENABLED,
-                "window": _tt.MAX_WINDOW,
+                "enabled": _tt.enabled(),
+                "window": _tt.max_window(),
                 "fast_hits": self._tt_fast_hits,
                 "fast_misses": self._tt_fast_misses,
                 "words": self._tt_words,

@@ -42,9 +42,13 @@ from pathlib import Path
 #: ``tt_fast_misses`` / ``tt_words``, see :mod:`repro.bdd.tt`) to the
 #: additive engine counters and per-record deltas, and a host block
 #: (``python_version`` / ``platform`` / ``cpu_count``) to the payload
-#: ``meta``.
-SCHEMA = "repro-bench-v5"
-SCHEMA_VERSION = 5
+#: ``meta``.  v6 adds the query service's per-shard counter blocks
+#: (:mod:`repro.service`): a ``shards`` map of per-family additive
+#: counters (accumulated with :func:`merge_additive`) plus query /
+#: batching / warm-hit tallies, carried in service ``stats`` responses
+#: and service-emitted BENCH payloads.
+SCHEMA = "repro-bench-v6"
+SCHEMA_VERSION = 6
 
 #: Counters that add across managers and processes.  ``peak_nodes``
 #: aggregates with ``max`` instead and is handled separately.
@@ -187,6 +191,23 @@ def counter_delta(before: dict, after: dict) -> dict:
     for key in SELFCHECK_KEYS:
         delta[key] = after.get(key, 0) - before.get(key, 0)
     return delta
+
+
+def merge_additive(totals: dict, delta: dict) -> dict:
+    """Fold one counter delta into a running totals dict, in place.
+
+    Additive keys sum; ``peak_nodes`` aggregates with ``max``.  This is
+    the per-shard accumulation primitive of the query service (schema
+    v6): each executed query's :func:`counter_delta` merges into its
+    shard's counters, so warm-vs-cold cache behaviour is attributable
+    per benchmark family.  Returns ``totals`` for chaining.
+    """
+    for key in ADDITIVE_KEYS:
+        totals[key] = totals.get(key, 0) + int(delta.get(key, 0))
+    totals["peak_nodes"] = max(
+        int(totals.get("peak_nodes", 0)), int(delta.get("peak_nodes", 0))
+    )
+    return totals
 
 
 def merge_worker_totals(delta: dict) -> None:

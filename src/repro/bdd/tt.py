@@ -49,13 +49,16 @@ the stats schema (v5).
 
 from __future__ import annotations
 
-import os
+from contextlib import contextmanager
 
+from repro._config import env_flag, env_int
 from repro.bdd import governor as _governor
 
 __all__ = [
     "MAX_WINDOW",
     "enabled",
+    "max_window",
+    "overrides",
     "state",
     "word_of",
     "node_of_word",
@@ -67,32 +70,60 @@ FALSE = 0
 TRUE = 1
 
 
-def _env_flag(name: str, default: bool) -> bool:
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return default
-    return raw not in ("0", "false", "no", "off")
-
-
 def _env_window() -> int:
-    raw = os.environ.get("REPRO_TT_WINDOW", "").strip()
-    try:
-        value = int(raw) if raw else 8
-    except ValueError:
-        value = 8
-    return max(1, min(value, 16))
+    return env_int("REPRO_TT_WINDOW", 8, lo=1, hi=16)
 
 
-#: Master switch (``REPRO_TT_FASTPATH``); tests monkeypatch this.
-ENABLED = _env_flag("REPRO_TT_FASTPATH", True)
+#: Master-switch override.  ``None`` (the default) means "re-read
+#: ``REPRO_TT_FASTPATH`` on every :func:`enabled` call", so a long-lived
+#: daemon honors environment changes made after import.  Tests (and the
+#: service's per-request :func:`overrides`) assign a bool here to pin
+#: the setting regardless of the environment.
+ENABLED: bool | None = None
 
-#: Window size in variables (``REPRO_TT_WINDOW``, clamped to 1..16).
-MAX_WINDOW = _env_window()
+#: Window-size override; ``None`` re-reads ``REPRO_TT_WINDOW`` (clamped
+#: to 1..16) on every :func:`max_window` call.
+MAX_WINDOW: int | None = None
 
 
 def enabled() -> bool:
-    """True when the truth-table fast path is active."""
-    return ENABLED
+    """True when the truth-table fast path is active.
+
+    Re-evaluated lazily: the :data:`ENABLED` override wins when set,
+    otherwise the environment is consulted at call time (not frozen at
+    import, so embedders and the query service can flip it per request).
+    """
+    if ENABLED is not None:
+        return ENABLED
+    return env_flag("REPRO_TT_FASTPATH", True)
+
+
+def max_window() -> int:
+    """Current window size in variables (override, else environment)."""
+    if MAX_WINDOW is not None:
+        return max(1, min(int(MAX_WINDOW), 16))
+    return _env_window()
+
+
+@contextmanager
+def overrides(fastpath: bool | None = None, window: int | None = None):
+    """Pin the fast-path switch and/or window for one dynamic extent.
+
+    ``None`` leaves a knob untouched.  The previous override values are
+    restored on exit, so nested extents compose.  Used by the query
+    service to honor per-request ``tt`` settings without mutating the
+    process environment.
+    """
+    global ENABLED, MAX_WINDOW
+    saved = (ENABLED, MAX_WINDOW)
+    if fastpath is not None:
+        ENABLED = bool(fastpath)
+    if window is not None:
+        MAX_WINDOW = int(window)
+    try:
+        yield
+    finally:
+        ENABLED, MAX_WINDOW = saved
 
 
 class TTState:
@@ -126,7 +157,7 @@ class TTState:
 
     def __init__(self, bdd):
         nvars = bdd.num_vars
-        width = min(nvars, MAX_WINDOW)
+        width = min(nvars, max_window())
         self.epoch = bdd._epoch
         self.nvars = nvars
         self.base = nvars - width
@@ -179,9 +210,21 @@ class TTState:
 
 
 def state(bdd) -> TTState | None:
-    """The manager's current-window state (rebuilt on epoch/var change)."""
+    """The manager's current-window state.
+
+    Rebuilt whenever the reorder epoch, the variable count, or the
+    configured window size moves — the last so a post-import
+    ``REPRO_TT_WINDOW`` change (or a per-request :func:`overrides`
+    extent) takes effect on live managers instead of being frozen into
+    a stale descriptor.
+    """
     st = bdd._tt
-    if st is not None and st.epoch == bdd._epoch and st.nvars == bdd.num_vars:
+    if (
+        st is not None
+        and st.epoch == bdd._epoch
+        and st.nvars == bdd.num_vars
+        and st.width == min(bdd.num_vars, max_window())
+    ):
         return st
     if bdd.num_vars == 0:
         bdd._tt = None

@@ -12,6 +12,10 @@ Commands:
 * ``demo`` — the Table 1 worked example, end to end.
 * ``pla FILE`` — run support reduction + Algorithm 3.3 on a PLA file
   and report the width profile before/after.
+* ``serve`` — run the always-on query daemon (warm sharded managers,
+  unix socket + optional local HTTP; see ``repro.service``).
+* ``query OP`` — send one query to a running daemon and print the
+  JSON response.
 
 The table commands accept ``--jobs N`` to fan the independent rows out
 over N worker processes (``repro.parallel``); results are bit-identical
@@ -21,6 +25,7 @@ to ``--jobs 1``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -139,6 +144,118 @@ def main(argv: Sequence[str] | None = None) -> int:
     ppla.add_argument("file")
     ppla.add_argument("--dump-dot", metavar="PATH", help="write the reduced CF as DOT")
 
+    pserve = sub.add_parser("serve", help="run the always-on query daemon")
+    pserve.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="unix-domain socket to listen on (NDJSON protocol)",
+    )
+    pserve.add_argument(
+        "--http",
+        metavar="HOST:PORT",
+        default=None,
+        help="also listen for local HTTP (POST /query, GET /stats, "
+        "GET /healthz); PORT 0 picks a free port",
+    )
+    pserve.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="write-ahead journal of query attempts/results; makes "
+        "in-flight work survive a daemon kill",
+    )
+    pserve.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the journal on start: re-queue journaled queries "
+        "that never finished; requires --journal",
+    )
+    pserve.add_argument(
+        "--drain-exit",
+        action="store_true",
+        help="with --resume: execute the replayed queue, then exit "
+        "without opening any listener",
+    )
+    pserve.add_argument(
+        "--cost-file",
+        metavar="PATH",
+        default=None,
+        help="persist/reuse per-query cost estimates (admission order)",
+    )
+    pserve.add_argument(
+        "--tenant-max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cumulative kernel-step budget per tenant; exhausted "
+        "tenants are refused at admission (default: unlimited)",
+    )
+    pserve.add_argument(
+        "--housekeep-nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-shard alive-node ceiling before query scratch is "
+        "collected (default: 2,000,000)",
+    )
+    pserve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="default wall-clock deadline per query (a request's own "
+        "budget.deadline_s overrides it)",
+    )
+
+    pquery = sub.add_parser("query", help="send one query to a running daemon")
+    pquery.add_argument(
+        "op",
+        choices=["ping", "stats", "width_reduce", "decompose", "cascade",
+                 "pla_reduce", "shutdown"],
+    )
+    pquery.add_argument("--socket", metavar="PATH", required=True)
+    pquery.add_argument("--benchmark", metavar="NAME", default=None)
+    pquery.add_argument(
+        "--params",
+        metavar="JSON",
+        default=None,
+        help='extra op parameters as a JSON object, e.g. \'{"cut_height": 3}\'',
+    )
+    pquery.add_argument(
+        "--pla-file",
+        metavar="PATH",
+        default=None,
+        help="for pla_reduce: read the PLA text from this file",
+    )
+    pquery.add_argument("--tenant", default="default")
+    pquery.add_argument(
+        "--no-tt-fastpath",
+        action="store_true",
+        help="disable the truth-table fast path for this query",
+    )
+    pquery.add_argument(
+        "--tt-window",
+        type=int,
+        default=None,
+        metavar="K",
+        help="truth-table fast-path window for this query",
+    )
+    pquery.add_argument(
+        "--budget-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="kernel-step budget for this query",
+    )
+    pquery.add_argument(
+        "--budget-deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock deadline for this query",
+    )
+
     args = parser.parse_args(argv)
     if getattr(args, "resume", False) and not getattr(args, "journal", None):
         parser.error("--resume requires --journal PATH")
@@ -159,6 +276,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_demo()
     if command == "pla":
         return _cmd_pla(args)
+    if command == "serve":
+        if args.drain_exit and not (args.journal and args.resume):
+            parser.error("--drain-exit requires --journal PATH and --resume")
+        if not args.drain_exit and not args.socket and not args.http:
+            parser.error("serve needs --socket PATH and/or --http HOST:PORT")
+        return _cmd_serve(args)
+    if command == "query":
+        return _cmd_query(args)
     parser.error(f"unknown command {command}")
     return 2
 
@@ -455,6 +580,112 @@ def _cmd_pla(args) -> int:
             handle.write(to_dot(reduced.bdd, {"chi": reduced.root}))
         print("DOT written to", args.dump_dot)
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.server import Service
+    from repro.service.shards import DEFAULT_MAX_ALIVE
+
+    http_host, http_port = None, 0
+    if args.http:
+        host, _, port = args.http.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"--http expects HOST:PORT, got {args.http!r}", file=sys.stderr)
+            return 2
+        http_host, http_port = host, int(port)
+    service = Service(
+        socket_path=args.socket,
+        http_host=http_host,
+        http_port=http_port,
+        journal_path=args.journal,
+        resume=args.resume,
+        cost_path=args.cost_file,
+        tenant_max_steps=args.tenant_max_steps,
+        max_alive=(
+            args.housekeep_nodes
+            if args.housekeep_nodes is not None
+            else DEFAULT_MAX_ALIVE
+        ),
+        request_timeout=args.request_timeout,
+    )
+    if args.drain_exit:
+        executed = asyncio.run(service.drain())
+        print(f"drained {executed} journal-replayed quer(y/ies)")
+        return 0
+
+    def announce() -> None:
+        # Runs after the listeners are bound, so an ephemeral --http
+        # HOST:0 reports the port the kernel actually assigned.
+        where = " and ".join(
+            s
+            for s in (
+                f"socket {args.socket}" if args.socket else "",
+                f"http {http_host}:{service.http_port}" if http_host else "",
+            )
+            if s
+        )
+        print(f"serving on {where} (pid {os.getpid()})", flush=True)
+
+    try:
+        asyncio.run(service.serve(ready=announce))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.errors import ServiceError
+    from repro.service.client import SocketClient
+
+    params: dict = {}
+    if args.params:
+        try:
+            loaded = json.loads(args.params)
+        except json.JSONDecodeError as exc:
+            print(f"--params is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(loaded, dict):
+            print("--params must be a JSON object", file=sys.stderr)
+            return 2
+        params.update(loaded)
+    if args.benchmark:
+        params["benchmark"] = args.benchmark
+    if args.pla_file:
+        with open(args.pla_file) as handle:
+            params["pla"] = handle.read()
+    tt = {}
+    if args.no_tt_fastpath:
+        tt["fastpath"] = False
+    if args.tt_window is not None:
+        tt["window"] = args.tt_window
+    budget = {}
+    if args.budget_steps is not None:
+        budget["max_steps"] = args.budget_steps
+    if args.budget_deadline is not None:
+        budget["deadline_s"] = args.budget_deadline
+    try:
+        with SocketClient(args.socket) as client:
+            reply = client.call(
+                args.op,
+                params,
+                tenant=args.tenant,
+                tt=tt or None,
+                budget=budget or None,
+            )
+    except ServiceError as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 1
+    try:
+        print(json.dumps(reply, indent=2, sort_keys=True))
+    except BrokenPipeError:
+        # Downstream closed the pipe (| head, a pager quitting) — not
+        # an error; swallow the late flush too.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0 if reply.get("ok") else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -33,6 +33,22 @@ class ForeignNodeError(BDDError):
     """A node id from a different manager (or a stale id) was used."""
 
 
+class CapacityError(BDDError):
+    """The engine's 32-bit node-id space is exhausted.
+
+    Packed cache and unique-table keys hold node ids in 32-bit fields
+    (:mod:`repro.bdd.hashtable`), so a manager can hold at most
+    ``2**32 - 2`` nodes.  Allocating past that boundary would silently
+    corrupt packed keys (two distinct nodes colliding on one key), so
+    :meth:`repro.bdd.manager.BDD.mk` raises this instead.  ``limit``
+    carries the boundary that was hit.
+    """
+
+    def __init__(self, message: str, *, limit: int | None = None) -> None:
+        super().__init__(message)
+        self.limit = limit
+
+
 class BudgetError(BDDError):
     """Base class for cooperative resource-governor violations.
 
@@ -137,6 +153,27 @@ class CascadeError(ReproError):
 
 class BenchmarkError(ReproError):
     """A benchmark function generator received invalid parameters."""
+
+
+class ServiceError(ReproError):
+    """The query service could not admit or execute a request.
+
+    Raised (and mapped onto error responses) by :mod:`repro.service`
+    for service-level conditions: an exhausted tenant budget, a
+    shutting-down server, an unusable socket.  Engine errors raised
+    *inside* a query propagate as themselves and are serialized with
+    their own type names.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A service request line could not be parsed or validated.
+
+    Carries enough context for the client to repair the request; the
+    server answers with an ``error`` response and keeps the connection
+    open (a malformed line must not poison the queries pipelined
+    behind it).
+    """
 
 
 class FaultInjected(ReproError):

@@ -63,7 +63,7 @@ def ordered_total(bdd: BDD, u: int) -> bool:
     kinds = bdd._kinds
     level_of = bdd._level_of
     lo_arr, hi_arr, vid_arr = bdd._lo, bdd._hi, bdd._vid
-    if _tt.ENABLED:
+    if _tt.enabled():
         st = _tt.state(bdd)
         fbase = st.base if st is not None else _NO_WINDOW
     else:
@@ -159,7 +159,7 @@ def compatible_columns(bdd: BDD, a: int, b: int) -> bool:
     kinds = bdd._kinds
     level_of = bdd._level_of
     lo_arr, hi_arr, vid_arr = bdd._lo, bdd._hi, bdd._vid
-    if _tt.ENABLED:
+    if _tt.enabled():
         st = _tt.state(bdd)
         fbase = st.base if st is not None else _NO_WINDOW
     else:

@@ -30,8 +30,10 @@ from pathlib import Path
 
 from repro.parallel.tasks import RowTask
 
-#: Fallback estimates (seconds) by task kind.
-KIND_DEFAULTS = {"table4": 1.0, "table5": 2.0, "table6": 4.0}
+#: Fallback estimates (seconds) by task kind.  ``query`` rows are the
+#: service's interactive queries — biased low so an unknown query is
+#: admitted ahead of unknown batch rows rather than behind them.
+KIND_DEFAULTS = {"table4": 1.0, "table5": 2.0, "table6": 4.0, "query": 0.5}
 
 #: Persisted cost file format marker.
 COST_FORMAT = "repro-cost-model"
@@ -149,6 +151,16 @@ class CostModel:
             return value
         kind = key.split(":", 1)[0]
         return KIND_DEFAULTS.get(kind, 1.0)
+
+    def seed(self, key: str, estimate: float) -> None:
+        """Set an initial estimate unless one is already known.
+
+        Observations (EWMA) always win over seeds; the service seeds
+        unseen query keys from a structural size heuristic so its
+        shortest-job-first admission order is sensible before the first
+        observation lands.
+        """
+        self.estimates.setdefault(key, float(estimate))
 
     def observe(self, key: str, wall_s: float) -> None:
         """Fold a measured wall time into the estimate (EWMA)."""

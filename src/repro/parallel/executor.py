@@ -51,7 +51,7 @@ import traceback
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from collections.abc import Sequence
 
 from repro.bdd import stats
@@ -272,7 +272,14 @@ def run_tasks(
     """
     from repro.parallel.journal import Journal
 
-    tasks = list(tasks)
+    # Stamp every task with this (parent) pid for the fault-injection
+    # hooks: the marker rides the task description itself, so two
+    # concurrent run_tasks calls in one process — the query service
+    # serving sweeps — cannot clobber each other the way a process-
+    # global ``os.environ`` marker would.  The stamp is excluded from
+    # journal config hashes (see ``RowTask.fault_parent``).
+    parent_pid = os.getpid()
+    tasks = [replace(t, fault_parent=parent_pid) for t in tasks]
     if cost_model is None:
         cost_model = CostModel()
     if resume and journal is None:
@@ -294,11 +301,6 @@ def run_tasks(
         for i, replayed in journal.resumable(tasks).items():
             results[i] = replayed
             rows_resumed += 1
-
-    # Mark this process as the sweep parent for the fault-injection
-    # hooks (restored on exit; parent-vs-worker changes fault behavior).
-    prev_parent = os.environ.get("REPRO_FAULT_PARENT")
-    os.environ["REPRO_FAULT_PARENT"] = str(os.getpid())
 
     def note_failure(i: int, exc: BaseException, *, status: str, pid: int = 0) -> bool:
         """Charge one failed attempt; True if the row may retry."""
@@ -393,10 +395,6 @@ def run_tasks(
                 note_result,
             )
     finally:
-        if prev_parent is None:
-            os.environ.pop("REPRO_FAULT_PARENT", None)
-        else:
-            os.environ["REPRO_FAULT_PARENT"] = prev_parent
         if own_journal:
             journal.close()
     wall = time.perf_counter() - t0

@@ -123,6 +123,8 @@ class Journal:
         self.resume = bool(resume)
         #: key -> latest valid *result* record (decoded lazily).
         self._results: dict[str, dict] = {}
+        #: key -> latest valid *attempt* record (for :meth:`pending`).
+        self._attempts: dict[str, dict] = {}
         self.records_recovered = 0
         self.tail_truncated = False
         if self.resume and self.path.exists():
@@ -197,6 +199,9 @@ class Journal:
             elif record.get("type") == "result":
                 self._results[record["key"]] = record
                 self.records_recovered += 1
+            elif record.get("type") == "attempt":
+                self._attempts[record["key"]] = record
+                self.records_recovered += 1
             else:
                 self.records_recovered += 1
             offset = good_end = end
@@ -262,14 +267,25 @@ class Journal:
                 f"cannot append to journal {self.path}: {exc}"
             ) from exc
 
-    def record_attempt(self, task: RowTask, attempt: int) -> None:
-        """Journal that an attempt of ``task`` is starting."""
-        self._append({
+    def record_attempt(self, task: RowTask, attempt: int, doc: dict | None = None) -> None:
+        """Journal that an attempt of ``task`` is starting.
+
+        ``doc`` optionally embeds a JSON description of the work itself
+        (the query service stores the request's op/params there), so a
+        restarted process can *re-execute* in-flight work from the
+        journal alone — sweeps don't need this (the task list is
+        re-derived from the CLI arguments), but a daemon's queue exists
+        nowhere else.
+        """
+        record = {
             "type": "attempt",
             "key": task.key,
             "config": config_hash(task),
             "attempt": int(attempt),
-        })
+        }
+        if doc is not None:
+            record["doc"] = doc
+        self._append(record)
 
     def record_result(self, task: RowTask, result: TaskResult) -> None:
         """Journal a completed row; durable before the caller sees it."""
@@ -293,6 +309,38 @@ class Journal:
         })
 
     # -- resume --------------------------------------------------------
+
+    def pending(self) -> list[dict]:
+        """Attempt records with no completed result — in-flight work.
+
+        Returns the latest recovered attempt record (including any
+        embedded ``doc``) for every key that was journaled as started
+        but never journaled as finished.  A killed daemon replays these
+        on restart; a key with a *failure* record is also pending (the
+        requester never saw the outcome, and re-running a deterministic
+        failure simply re-journals it).  Order follows journal order of
+        the attempts, so a drained queue re-executes in admission order.
+        """
+        return [
+            record
+            for key, record in self._attempts.items()
+            if key not in self._results
+        ]
+
+    def results(self) -> dict[str, TaskResult]:
+        """Decoded recovered results by key (undecodable payloads skipped).
+
+        The service's drain/equivalence tooling reads completed work
+        through this instead of re-deriving a task list for
+        :meth:`resumable`.
+        """
+        out: dict[str, TaskResult] = {}
+        for key, record in self._results.items():
+            try:
+                out[key] = _decode_result(record["payload"])
+            except Exception:
+                continue
+        return out
 
     def resumable(self, tasks: list[RowTask]) -> dict[int, TaskResult]:
         """Map task index -> replayed :class:`TaskResult` for done rows.

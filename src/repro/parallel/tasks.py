@@ -41,8 +41,11 @@ matching fault deterministically.  Modes:
 
 ``@count`` limits how many times an entry fires; cross-process
 counting needs ``REPRO_FAULT_STATE`` to name a shared directory (one
-counter file per entry).  The executor exports ``REPRO_FAULT_PARENT``
-(its pid) so a fault can tell parent from worker.
+counter file per entry).  The executor stamps each task with its own
+pid (``RowTask.fault_parent``) so a fault can tell parent from worker;
+the marker travels *in the task description*, never through
+``os.environ``, so concurrent sweeps inside one process (the query
+service) cannot clobber each other's parent marker.
 """
 
 from __future__ import annotations
@@ -69,11 +72,20 @@ class RowTask:
     ``table6``), ``name`` the benchmark (a registry row label, or the
     word count for Table 6).  ``options`` is a sorted tuple of
     ``(key, value)`` pairs forwarded to the pipeline.
+
+    ``fault_parent`` is executor-internal state for the deterministic
+    fault-injection hooks: the pid of the sweep parent, stamped by
+    :func:`~repro.parallel.executor.run_tasks` via
+    ``dataclasses.replace`` so parent-vs-worker fault behaviour needs
+    no process-global environment mutation.  It is deliberately *not*
+    part of :func:`~repro.parallel.journal.config_hash` (which hashes
+    kind/name/options only), so journal resume identity is unaffected.
     """
 
     kind: str
     name: str
     options: tuple[tuple[str, Any], ...] = ()
+    fault_parent: int | None = None
 
     @property
     def key(self) -> str:
@@ -236,8 +248,8 @@ def _maybe_inject(task: RowTask) -> Any | None:
     spec = os.environ.get("REPRO_FAULT_INJECT")
     if not spec:
         return None
-    parent = os.environ.get("REPRO_FAULT_PARENT")
-    in_parent = parent is not None and parent == str(os.getpid())
+    parent = task.fault_parent
+    in_parent = parent is not None and parent == os.getpid()
     for mode, key, count in _parse_fault_spec(spec):
         if key != task.key:
             continue

@@ -1,0 +1,58 @@
+"""Always-on BDD query service (daemon, protocol, client).
+
+The batch experiment runner cold-starts a manager per invocation and
+throws every computed-table entry away at exit.  This package is the
+serving half of the ROADMAP north star: a long-lived daemon holding a
+pool of warm :class:`~repro.bdd.manager.BDD` managers sharded by
+benchmark family, answering width-reduction / decomposition /
+cascade-synthesis / PLA-reduce queries over a newline-delimited JSON
+protocol (unix socket, optional local HTTP) without rebuilding state
+per request.
+
+Modules:
+
+* :mod:`repro.service.protocol` — request/response schema, parsing,
+  content-addressed query keys.
+* :mod:`repro.service.shards` — the warm shard pool: per-family base-CF
+  caches, per-shard counters (stats schema v6), query execution.
+* :mod:`repro.service.admission` — cost-model-ordered admission queue
+  (shortest-job-first) and per-tenant cumulative budgets.
+* :mod:`repro.service.server` — the asyncio daemon: batching,
+  journal-backed durability, drain/resume.
+* :mod:`repro.service.client` — small blocking client used by
+  ``repro query`` and the tests.
+"""
+
+from repro.service.admission import Admission, QueuedQuery
+from repro.service.client import SocketClient, http_query
+from repro.service.protocol import (
+    PROTOCOL,
+    PROTOCOL_VERSION,
+    Request,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+    query_key,
+)
+from repro.service.server import Service
+from repro.service.shards import Shard, ShardPool, family_of
+
+__all__ = [
+    "Admission",
+    "PROTOCOL",
+    "PROTOCOL_VERSION",
+    "QueuedQuery",
+    "Request",
+    "Service",
+    "Shard",
+    "ShardPool",
+    "SocketClient",
+    "encode",
+    "error_response",
+    "family_of",
+    "http_query",
+    "ok_response",
+    "parse_request",
+    "query_key",
+]

@@ -1,0 +1,172 @@
+"""Admission control: cost-ordered queueing and per-tenant budgets.
+
+The daemon serves one worker thread (the governor's budget stack is
+process-global), so queue *order* is the whole scheduling policy.  The
+batch executor schedules longest-first — right for throughput when
+every row must run anyway — but a query service wants the opposite:
+shortest-job-first, so a 4-digit decimal-adder reduction queued behind
+a word-list cascade does not wait minutes for an answer that takes
+milliseconds.  The queue orders by the PR 3 EWMA
+:class:`~repro.parallel.costs.CostModel` estimate; unseen query keys
+are seeded from a structural size heuristic (:func:`estimate_size`)
+derived from the benchmark name, so the order is sensible before the
+first observation lands.  Expensive rows *wait*; they are never
+starved — an arrival can only jump ahead of a job that has not
+started, and observed costs are finite, so every queued job's rank
+eventually comes up.
+
+Per-tenant fairness is a *cumulative* governor budget: all of one
+tenant's queries execute inside its :class:`~repro.bdd.governor.Budget`
+(``cumulative=True``, so kernel steps persist across requests), and an
+exhausted tenant is refused at admission time — a structured denial,
+not a crash mid-query.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bdd.governor import Budget
+from repro.errors import ServiceError
+from repro.parallel.costs import CostModel
+
+__all__ = ["Admission", "QueuedQuery", "estimate_size"]
+
+#: Relative op weights on top of the structural size heuristic: a
+#: cascade synthesis builds and sifts every output partition, a
+#: decomposition is one cut of an already-built CF.
+_OP_FACTOR = {
+    "width_reduce": 1.0,
+    "decompose": 0.5,
+    "cascade": 3.0,
+    "pla_reduce": 0.3,
+}
+
+
+def estimate_size(op: str, params: dict) -> float:
+    """Structural cost guess (seconds-ish) for an unseen query key.
+
+    Parses the benchmark name the same way the registry does and uses
+    the care-set size as the driver: an RNS converter's cost scales
+    with the product of its moduli, a p-nary converter with ``p**k``, a
+    decimal adder/multiplier with ``10**2k``, a word list with its word
+    count.  The absolute scale only matters relative to the ``query``
+    kind default (0.5 s) — this is an ordering heuristic, not a clock.
+    """
+    name = params.get("benchmark", "")
+    care = 1000.0
+    try:
+        if name.endswith(" RNS"):
+            care = float(math.prod(int(p) for p in name[: -len(" RNS")].split("-")))
+        elif (match := re.fullmatch(r"(\d+)-digit (\d+)-nary to binary", name)):
+            care = float(int(match.group(2)) ** int(match.group(1)))
+        elif (match := re.fullmatch(r"(\d+)-digit decimal (adder|multiplier)", name)):
+            care = float(10 ** (2 * int(match.group(1))))
+        elif name.endswith(" words"):
+            care = float(int(name.split()[0])) * 100.0
+        elif op == "pla_reduce":
+            care = float(len(params.get("pla", "")) or 1000.0)
+    except (ValueError, OverflowError):
+        care = 1000.0
+    return _OP_FACTOR.get(op, 1.0) * care / 20_000.0
+
+
+@dataclass(order=True)
+class QueuedQuery:
+    """One admitted query waiting for the worker thread.
+
+    Orders by ``(estimate, seq)``: shortest-job-first, with the
+    monotonic admission sequence breaking ties so equal-cost queries
+    are served in arrival order (no starvation among peers).
+    """
+
+    estimate: float
+    seq: int
+    key: str = field(compare=False)
+    request: Any = field(compare=False)
+
+
+class Admission:
+    """The daemon's admission queue plus per-tenant budget ledger."""
+
+    def __init__(
+        self,
+        costs: CostModel | None = None,
+        *,
+        tenant_max_steps: int | None = None,
+    ) -> None:
+        self.costs = costs if costs is not None else CostModel()
+        self.tenant_max_steps = tenant_max_steps
+        self.tenants: dict[str, Budget] = {}
+        self._heap: list[QueuedQuery] = []
+        self._seq = itertools.count()
+
+    # -- tenant budgets -----------------------------------------------
+
+    def tenant_budget(self, tenant: str) -> Budget:
+        """The tenant's cumulative budget (created on first use)."""
+        budget = self.tenants.get(tenant)
+        if budget is None:
+            budget = self.tenants[tenant] = Budget(
+                max_steps=self.tenant_max_steps, cumulative=True
+            )
+        return budget
+
+    # -- queue --------------------------------------------------------
+
+    def submit(self, request) -> QueuedQuery:
+        """Admit a request; raises :class:`ServiceError` when refused.
+
+        Refusal happens up front (exhausted cumulative tenant budget)
+        so a denied query costs nothing and carries a structured error
+        instead of failing at the first governor checkpoint.
+        """
+        budget = self.tenant_budget(request.tenant)
+        if budget.exhausted():
+            raise ServiceError(
+                f"tenant {request.tenant!r} has exhausted its step budget "
+                f"({budget.steps} of {budget.max_steps} steps spent); "
+                "admission refused"
+            )
+        key = request.key()
+        self.costs.seed(key, estimate_size(request.op, request.params))
+        item = QueuedQuery(
+            estimate=self.costs.estimate(key),
+            seq=next(self._seq),
+            key=key,
+            request=request,
+        )
+        heapq.heappush(self._heap, item)
+        return item
+
+    def pop(self) -> QueuedQuery | None:
+        """The cheapest queued query, or None when idle."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def observe(self, key: str, wall_s: float) -> None:
+        """Feed a measured wall time back into the cost model (EWMA)."""
+        self.costs.observe(key, wall_s)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def stats(self) -> dict:
+        """Queue depth and per-tenant spend, for stats responses."""
+        return {
+            "queued": len(self._heap),
+            "tenants": {
+                name: {
+                    "steps": budget.steps,
+                    "max_steps": budget.max_steps,
+                    "exhausted": budget.exhausted(),
+                }
+                for name, budget in sorted(self.tenants.items())
+            },
+        }

@@ -1,0 +1,125 @@
+"""Small blocking clients for the query daemon.
+
+:class:`SocketClient` speaks the NDJSON protocol over the unix socket;
+:func:`http_query` posts request lines to the local HTTP listener.
+Both are deliberately dependency-free (``socket`` / ``http.client``
+from the standard library) — they exist for ``repro query``, the
+service tests, and the CI smoke job, not as a public SDK.
+"""
+
+from __future__ import annotations
+
+import http.client
+import itertools
+import json
+import socket
+from pathlib import Path
+
+from repro.errors import ProtocolError, ServiceError
+from repro.service.protocol import encode
+
+__all__ = ["SocketClient", "http_query"]
+
+
+class SocketClient:
+    """A blocking unix-socket connection to a running daemon.
+
+    >>> with SocketClient("/tmp/repro.sock") as client:   # doctest: +SKIP
+    ...     client.call("ping")
+    """
+
+    def __init__(self, path: str | Path, *, timeout: float | None = 60.0) -> None:
+        self.path = str(path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(self.path)
+        except OSError as exc:
+            self._sock.close()
+            raise ServiceError(
+                f"cannot connect to service socket {self.path}: {exc}"
+            ) from exc
+        self._rfile = self._sock.makefile("rb")
+        self._ids = itertools.count(1)
+
+    def __enter__(self) -> "SocketClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def send(self, doc: dict) -> None:
+        """Ship one raw request document (no waiting)."""
+        try:
+            self._sock.sendall(encode(doc))
+        except OSError as exc:
+            raise ServiceError(f"cannot write to service: {exc}") from exc
+
+    def recv(self) -> dict:
+        """Read one response line (blocking)."""
+        line = self._rfile.readline()
+        if not line:
+            raise ServiceError("service closed the connection")
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"service sent invalid JSON: {exc}") from exc
+        return doc
+
+    def call(
+        self,
+        op: str,
+        params: dict | None = None,
+        *,
+        tenant: str = "default",
+        tt: dict | None = None,
+        budget: dict | None = None,
+    ) -> dict:
+        """One request, one (matching) response.
+
+        Responses can arrive out of order (shortest-job-first), so the
+        reply is matched by id; other responses read while waiting are
+        an error here — :meth:`call` is for one-at-a-time use, tests
+        that pipeline use :meth:`send`/:meth:`recv` directly.
+        """
+        rid = f"c{next(self._ids)}"
+        doc: dict = {"id": rid, "op": op, "params": params or {}, "tenant": tenant}
+        if tt is not None:
+            doc["tt"] = tt
+        if budget is not None:
+            doc["budget"] = budget
+        self.send(doc)
+        reply = self.recv()
+        if reply.get("id") not in (rid, ""):
+            raise ServiceError(
+                f"out-of-order response {reply.get('id')!r} to {rid!r}; "
+                "use send()/recv() for pipelined queries"
+            )
+        return reply
+
+
+def http_query(
+    host: str, port: int, requests: list[dict], *, timeout: float = 60.0
+) -> list[dict]:
+    """POST request documents to ``/query``; returns response documents."""
+    body = b"".join(encode(doc) for doc in requests)
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(
+            "POST",
+            "/query",
+            body=body,
+            headers={"Content-Type": "application/x-ndjson"},
+        )
+        raw = conn.getresponse().read()
+    except OSError as exc:
+        raise ServiceError(f"HTTP query to {host}:{port} failed: {exc}") from exc
+    finally:
+        conn.close()
+    return [json.loads(line) for line in raw.splitlines() if line.strip()]

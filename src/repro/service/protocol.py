@@ -1,0 +1,237 @@
+"""Wire protocol of the query service: newline-delimited JSON.
+
+One request per line, one response per line, over a unix socket (or
+wrapped in a minimal local-HTTP POST body — the framing is identical).
+Requests::
+
+    {"id": "c1", "op": "width_reduce",
+     "params": {"benchmark": "5-7-11-13 RNS"},
+     "tenant": "ci",                      # optional, default "default"
+     "tt": {"fastpath": false, "window": 6},   # optional per-request
+     "budget": {"max_steps": 2000000, "max_nodes": 500000,
+                "deadline_s": 30.0}}      # optional per-request
+
+Responses::
+
+    {"id": "c1", "ok": true, "result": {...},
+     "meta": {"key": "query:width_reduce/ab12...", "shard": "rns",
+              "batched": false, "wall_s": 0.41}}
+    {"id": "c1", "ok": false,
+     "error": {"type": "ResourceLimitError", "message": "..."}}
+
+Ops: ``ping``, ``stats``, ``width_reduce``, ``decompose``, ``cascade``,
+``pla_reduce``, ``shutdown``.  ``ping``/``stats``/``shutdown`` are
+control ops answered by the event loop directly; the compute ops go
+through admission, batching, and (when configured) the write-ahead
+journal.
+
+Query identity is *content-addressed*: :func:`query_key` digests the
+op plus its canonicalized parameters (and any per-request ``tt`` /
+``budget`` overrides, which change how — not what — is computed but
+must not be coalesced across), yielding the ``query:<op>/<digest>``
+key used for journaling, batching, and cost estimates.  Two clients
+asking the identical question share one key, which is exactly what
+lets the batcher answer both with one manager pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "CONTROL_OPS",
+    "OPS",
+    "PROTOCOL",
+    "PROTOCOL_VERSION",
+    "Request",
+    "encode",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "query_key",
+]
+
+PROTOCOL = "repro-query-v1"
+PROTOCOL_VERSION = 1
+
+#: Compute ops: admitted, batched, journaled, executed on a shard.
+COMPUTE_OPS = ("width_reduce", "decompose", "cascade", "pla_reduce")
+
+#: Control ops: answered immediately by the server loop.
+CONTROL_OPS = ("ping", "stats", "shutdown")
+
+OPS = COMPUTE_OPS + CONTROL_OPS
+
+#: Parameters accepted per compute op (validation rejects unknown keys
+#: early, so a typo'd parameter fails the request instead of silently
+#: computing something else).
+_OP_PARAMS = {
+    "width_reduce": {"benchmark", "sift", "payload"},
+    "decompose": {"benchmark", "cut_height", "sift"},
+    "cascade": {"benchmark", "reduce", "sift", "max_cell_inputs", "max_cell_outputs"},
+    "pla_reduce": {"pla", "name", "payload"},
+    "ping": set(),
+    "stats": set(),
+    "shutdown": set(),
+}
+
+
+@dataclass
+class Request:
+    """One parsed, validated request line."""
+
+    id: str
+    op: str
+    params: dict[str, Any] = field(default_factory=dict)
+    tenant: str = "default"
+    tt: dict[str, Any] | None = None
+    budget: dict[str, Any] | None = None
+
+    @property
+    def is_control(self) -> bool:
+        return self.op in CONTROL_OPS
+
+    def key(self) -> str:
+        """Content-addressed query key (see :func:`query_key`)."""
+        return query_key(self.op, self.params, tt=self.tt, budget=self.budget)
+
+    def doc(self) -> dict:
+        """JSON description sufficient to re-execute this query.
+
+        Embedded in journal attempt records so a killed daemon can
+        rebuild its in-flight queue from the journal alone.
+        """
+        return {
+            "op": self.op,
+            "params": self.params,
+            "tenant": self.tenant,
+            "tt": self.tt,
+            "budget": self.budget,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict, *, id: str = "journal") -> "Request":
+        return cls(
+            id=id,
+            op=doc["op"],
+            params=dict(doc.get("params") or {}),
+            tenant=doc.get("tenant") or "default",
+            tt=doc.get("tt"),
+            budget=doc.get("budget"),
+        )
+
+
+def query_key(
+    op: str,
+    params: dict[str, Any],
+    *,
+    tt: dict | None = None,
+    budget: dict | None = None,
+) -> str:
+    """``query:<op>/<digest>`` — stable identity of one computation.
+
+    The digest covers the canonical JSON of op, params, and the
+    per-request overrides.  Like the sweep journal's ``config_hash``,
+    two requests share a key iff they describe the identical
+    computation under identical execution settings.
+    """
+    doc = {"op": op, "params": params, "tt": tt or None, "budget": budget or None}
+    canon = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.blake2b(canon.encode("utf-8"), digest_size=8).hexdigest()
+    return f"query:{op}/{digest}"
+
+
+def parse_request(line: str | bytes) -> Request:
+    """Parse and validate one request line; raises :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"request is not valid UTF-8: {exc}") from exc
+    try:
+        raw = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ProtocolError("request must be a JSON object")
+    rid = raw.get("id")
+    if not isinstance(rid, str) or not rid:
+        raise ProtocolError("request is missing a non-empty string 'id'")
+    op = raw.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r} (expected one of: {', '.join(OPS)})"
+        )
+    params = raw.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be a JSON object")
+    unknown = set(params) - _OP_PARAMS[op]
+    if unknown:
+        raise ProtocolError(
+            f"op {op!r} does not accept parameter(s): {', '.join(sorted(unknown))}"
+        )
+    if op in ("width_reduce", "decompose", "cascade") and not isinstance(
+        params.get("benchmark"), str
+    ):
+        raise ProtocolError(f"op {op!r} requires a string 'benchmark' parameter")
+    if op == "pla_reduce" and not isinstance(params.get("pla"), str):
+        raise ProtocolError("op 'pla_reduce' requires the PLA text in 'pla'")
+    if op == "decompose" and not isinstance(params.get("cut_height"), int):
+        raise ProtocolError("op 'decompose' requires an integer 'cut_height'")
+    tenant = raw.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError("'tenant' must be a non-empty string")
+    tt = raw.get("tt")
+    if tt is not None:
+        if not isinstance(tt, dict) or set(tt) - {"fastpath", "window"}:
+            raise ProtocolError("'tt' accepts only 'fastpath' and 'window'")
+        if "window" in tt and not isinstance(tt["window"], int):
+            raise ProtocolError("'tt.window' must be an integer")
+        if "fastpath" in tt and not isinstance(tt["fastpath"], bool):
+            raise ProtocolError("'tt.fastpath' must be a boolean")
+    budget = raw.get("budget")
+    if budget is not None:
+        if not isinstance(budget, dict) or set(budget) - {
+            "max_steps",
+            "max_nodes",
+            "deadline_s",
+        }:
+            raise ProtocolError(
+                "'budget' accepts only max_steps/max_nodes/deadline_s"
+            )
+    return Request(id=rid, op=op, params=params, tenant=tenant, tt=tt, budget=budget)
+
+
+def ok_response(rid: str, result: Any, **meta: Any) -> dict:
+    """A success response document."""
+    out: dict[str, Any] = {"id": rid, "ok": True, "result": result}
+    if meta:
+        out["meta"] = meta
+    return out
+
+
+def error_response(rid: str | None, exc: BaseException | str, *, type_: str | None = None) -> dict:
+    """An error response document (type name + message)."""
+    if isinstance(exc, BaseException):
+        etype = type_ or type(exc).__name__
+        message = str(exc)
+    else:
+        etype = type_ or "ProtocolError"
+        message = exc
+    return {
+        "id": rid if rid is not None else "",
+        "ok": False,
+        "error": {"type": etype, "message": message},
+    }
+
+
+def encode(doc: dict) -> bytes:
+    """One response/request document as a wire line."""
+    return (json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n").encode(
+        "utf-8"
+    )

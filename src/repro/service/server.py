@@ -1,0 +1,496 @@
+"""The always-on query daemon: sockets, batching, durability.
+
+One :class:`Service` owns
+
+* a :class:`~repro.service.shards.ShardPool` of warm managers,
+* an :class:`~repro.service.admission.Admission` queue (shortest-job
+  first over the EWMA cost model, per-tenant cumulative budgets),
+* a request **batcher**: concurrent requests with the same
+  content-addressed query key coalesce onto one computation — every
+  waiter gets its own response, the engine runs once,
+* an optional write-ahead :class:`~repro.parallel.journal.Journal`:
+  each admitted query is journaled (attempt record embedding the
+  request document) before it runs and journaled again (result record)
+  when it finishes, so a SIGKILL'd daemon restarted with ``resume=True``
+  re-executes exactly the in-flight work and serves identical results,
+* an asyncio front door: a unix-domain socket speaking the
+  newline-delimited JSON protocol of :mod:`repro.service.protocol`,
+  plus an optional minimal local-HTTP listener (``POST /query`` with an
+  NDJSON body, ``GET /stats``, ``GET /healthz``).
+
+Concurrency model: the event loop does parsing, admission, batching,
+and journaling; ALL BDD work runs on one dedicated worker thread
+(``ThreadPoolExecutor(max_workers=1)``).  The governor's budget stack
+and the stats registry are process-global and not thread-aware — the
+single-worker discipline is what makes per-tenant budgets and
+per-shard counter attribution sound.  Queue order (shortest-job-first)
+is therefore the entire scheduling policy; see
+:mod:`repro.service.admission`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.bdd import stats, tt
+from repro.errors import ProtocolError, ServiceError
+from repro.parallel.costs import CostModel
+from repro.parallel.journal import Journal
+from repro.parallel.tasks import RowTask, TaskResult
+from repro.service.admission import Admission
+from repro.service.protocol import (
+    PROTOCOL,
+    PROTOCOL_VERSION,
+    Request,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.service.shards import DEFAULT_MAX_ALIVE, ShardPool
+
+__all__ = ["Service"]
+
+
+def _row_task(req: Request) -> RowTask:
+    """The journal's task identity for a query.
+
+    ``RowTask("query", "<op>/<digest>").key`` equals the protocol's
+    ``query:<op>/<digest>`` key, so journal records and cost-model
+    entries share one namespace.  The full request document rides in
+    ``options`` so ``config_hash`` pins the journaled computation to
+    its exact parameters (same guarantee sweeps get from kind/name/
+    options).
+    """
+    doc = json.dumps(req.doc(), sort_keys=True, separators=(",", ":"))
+    return RowTask("query", req.key().split(":", 1)[1], (("doc", doc),))
+
+
+class Service:
+    """One daemon instance (create, then ``await serve()`` or ``drain()``)."""
+
+    def __init__(
+        self,
+        *,
+        socket_path: str | Path | None = None,
+        http_host: str | None = None,
+        http_port: int = 0,
+        journal_path: str | Path | None = None,
+        resume: bool = False,
+        cost_path: str | Path | None = None,
+        tenant_max_steps: int | None = None,
+        max_alive: int = DEFAULT_MAX_ALIVE,
+        request_timeout: float | None = None,
+    ) -> None:
+        self.socket_path = Path(socket_path) if socket_path else None
+        self.http_host = http_host
+        self.http_port = http_port
+        self.request_timeout = request_timeout
+        self.pool = ShardPool(max_alive=max_alive)
+        costs = CostModel.load(cost_path) if cost_path else CostModel()
+        self.admission = Admission(costs, tenant_max_steps=tenant_max_steps)
+        self.journal = (
+            Journal(journal_path, resume=resume) if journal_path else None
+        )
+        #: query key -> list of ``(request id, future)`` waiters.  A key
+        #: present here is queued or running; a matching arrival joins
+        #: the list instead of re-queueing — that is the batcher.
+        self._waiters: dict[str, list[tuple[str, asyncio.Future]]] = {}
+        self._attempts: dict[str, int] = {}
+        self._work = asyncio.Event()
+        self._stopping = False
+        self._stopped = asyncio.Event()
+        self._worker = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-query"
+        )
+        self.started_at = time.time()
+        self.queries_total = 0
+        self.batched_total = 0
+        self.executed = 0
+        self.replayed = 0
+        if self.journal is not None and resume:
+            self._replay_pending()
+
+    # -- durability ---------------------------------------------------
+
+    def _replay_pending(self) -> None:
+        """Re-queue journaled in-flight work (daemon was killed mid-run).
+
+        Replayed queries have no connection waiting for them — their
+        results go to the journal, where the original requester's retry
+        (or the drain tooling) finds them.  No futures are created, so
+        replay is safe to run before any event loop exists.
+        """
+        for record in self.journal.pending():
+            doc = record.get("doc")
+            if not doc:
+                continue
+            try:
+                req = Request.from_doc(doc)
+            except (KeyError, TypeError):
+                continue
+            key = req.key()
+            try:
+                self.admission.submit(req)
+            except ServiceError:
+                continue
+            self._waiters.setdefault(key, [])
+            self._attempts[key] = record.get("attempt", 1) + 1
+            self.replayed += 1
+
+    # -- admission + batching -----------------------------------------
+
+    def _enqueue(self, req: Request) -> asyncio.Future:
+        """Admit (or coalesce) one compute request; returns its future.
+
+        Raises :class:`ServiceError` on refusal (exhausted tenant).
+        The attempt record is journaled *before* the queue learns about
+        the query — write-ahead, so a kill between admission and
+        execution loses nothing.
+        """
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        key = req.key()
+        waiters = self._waiters.get(key)
+        self.queries_total += 1
+        if waiters is not None:
+            # The batcher: an identical queued/running query answers
+            # this request too — one engine pass, many responses.
+            waiters.append((req.id, fut))
+            self.batched_total += 1
+            return fut
+        self.admission.submit(req)
+        self._waiters[key] = [(req.id, fut)]
+        self._attempts[key] = 1
+        if self.journal is not None:
+            self.journal.record_attempt(_row_task(req), 1, doc=req.doc())
+        self._work.set()
+        return fut
+
+    # -- execution (worker thread) ------------------------------------
+
+    def _run_query(self, req: Request) -> tuple[str, dict, float]:
+        """Execute one query on the worker thread; returns (family, result, wall)."""
+        budget = dict(req.budget or {})
+        if self.request_timeout is not None and "deadline_s" not in budget:
+            budget["deadline_s"] = self.request_timeout
+        tt_over = req.tt or {}
+        t0 = time.perf_counter()
+        with tt.overrides(
+            fastpath=tt_over.get("fastpath"), window=tt_over.get("window")
+        ):
+            family, result = self.pool.execute(
+                req.op,
+                req.params,
+                budget=budget or None,
+                tenant_budget=self.admission.tenant_budget(req.tenant),
+            )
+        return family, result, time.perf_counter() - t0
+
+    async def _pump(self) -> None:
+        """The worker pump: drain the admission queue, cheapest first."""
+        loop = asyncio.get_running_loop()
+        while True:
+            item = self.admission.pop()
+            if item is None:
+                if self._stopping:
+                    break
+                self._work.clear()
+                await self._work.wait()
+                continue
+            req: Request = item.request
+            key = item.key
+            try:
+                family, result, wall = await loop.run_in_executor(
+                    self._worker, self._run_query, req
+                )
+            except Exception as exc:
+                self.executed += 1
+                self._resolve(key, error=exc)
+                continue
+            self.executed += 1
+            self.admission.observe(key, wall)
+            if self.journal is not None:
+                self.journal.record_result(
+                    _row_task(req),
+                    TaskResult(
+                        key=key, result=result, wall_s=wall, pid=os.getpid()
+                    ),
+                )
+            self._resolve(key, result=result, family=family, wall=wall)
+        self._stopped.set()
+
+    def _resolve(
+        self,
+        key: str,
+        *,
+        result: dict | None = None,
+        family: str | None = None,
+        wall: float = 0.0,
+        error: Exception | None = None,
+    ) -> None:
+        """Answer every waiter batched onto ``key``."""
+        waiters = self._waiters.pop(key, [])
+        self._attempts.pop(key, None)
+        batched = len(waiters) > 1
+        for rid, fut in waiters:
+            if fut.cancelled():
+                continue
+            if error is not None:
+                fut.set_result(error_response(rid, error))
+            else:
+                fut.set_result(
+                    ok_response(
+                        rid,
+                        result,
+                        key=key,
+                        shard=family,
+                        batched=batched,
+                        wall_s=round(wall, 6),
+                    )
+                )
+
+    # -- request dispatch (event loop) --------------------------------
+
+    def _control(self, req: Request) -> dict:
+        if req.op == "ping":
+            return ok_response(
+                req.id,
+                {
+                    "protocol": PROTOCOL,
+                    "version": PROTOCOL_VERSION,
+                    "pid": os.getpid(),
+                },
+            )
+        if req.op == "stats":
+            return ok_response(req.id, self.stats())
+        # shutdown: acknowledge, then stop once the queue drains.
+        self._stopping = True
+        self._work.set()
+        return ok_response(req.id, {"stopping": True})
+
+    async def handle_request(self, req: Request) -> dict:
+        """One request -> one response document (any transport)."""
+        if req.is_control:
+            return self._control(req)
+        if self._stopping:
+            return error_response(
+                req.id, ServiceError("service is shutting down")
+            )
+        try:
+            fut = self._enqueue(req)
+        except ServiceError as exc:
+            return error_response(req.id, exc)
+        return await fut
+
+    # -- unix-socket transport ----------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+
+        async def respond(req: Request) -> None:
+            doc = await self.handle_request(req)
+            async with lock:
+                writer.write(encode(doc))
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    req = parse_request(line)
+                except ProtocolError as exc:
+                    async with lock:
+                        writer.write(encode(error_response(None, exc)))
+                        await writer.drain()
+                    continue
+                # Per-request task: responses go out as they finish, so
+                # one connection pipelining many queries still benefits
+                # from shortest-job-first ordering (ids disambiguate).
+                task = asyncio.ensure_future(respond(req))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown after shutdown cancels handlers parked in
+            # readline(); close the connection quietly instead of
+            # letting the stream protocol log the cancellation.
+            pass
+        finally:
+            for task in pending:
+                if not task.done():
+                    try:
+                        await task
+                    except asyncio.CancelledError:
+                        pass
+            writer.close()
+
+    # -- minimal local HTTP transport ---------------------------------
+
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        def http(status: str, body: bytes, ctype: str) -> bytes:
+            head = (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            return head.encode("ascii") + body
+
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                writer.close()
+                return
+            method, path = parts[0], parts[1]
+            length = 0
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = header.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        length = int(value.strip())
+                    except ValueError:
+                        length = 0
+            if method == "GET" and path == "/healthz":
+                body = encode({"ok": True, "protocol": PROTOCOL})
+                writer.write(http("200 OK", body, "application/json"))
+            elif method == "GET" and path == "/stats":
+                body = encode(ok_response("stats", self.stats()))
+                writer.write(http("200 OK", body, "application/json"))
+            elif method == "POST" and path == "/query":
+                raw = await reader.readexactly(length) if length else b""
+                docs = []
+                for line in raw.splitlines():
+                    if not line.strip():
+                        continue
+                    try:
+                        req = parse_request(line)
+                    except ProtocolError as exc:
+                        docs.append(error_response(None, exc))
+                        continue
+                    docs.append(await self.handle_request(req))
+                body = b"".join(encode(doc) for doc in docs)
+                writer.write(http("200 OK", body, "application/x-ndjson"))
+            else:
+                body = encode(
+                    error_response(None, f"no such endpoint: {method} {path}")
+                )
+                writer.write(http("404 Not Found", body, "application/json"))
+            await writer.drain()
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        finally:
+            writer.close()
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def serve(self, *, ready=None) -> None:
+        """Listen and serve until a ``shutdown`` op drains the queue.
+
+        ``ready`` (a zero-argument callable) is invoked once every
+        listener is bound — by then an ephemeral ``http_port=0`` has
+        been replaced with the assigned port.
+        """
+        servers = []
+        if self.socket_path is not None:
+            # A stale socket file from a SIGKILL'd predecessor would
+            # make bind() fail; the journal, not the socket, is the
+            # durable state.
+            try:
+                self.socket_path.unlink()
+            except OSError:
+                pass
+            servers.append(
+                await asyncio.start_unix_server(
+                    self._handle_conn, path=str(self.socket_path)
+                )
+            )
+        if self.http_host is not None:
+            server = await asyncio.start_server(
+                self._handle_http, host=self.http_host, port=self.http_port
+            )
+            self.http_port = server.sockets[0].getsockname()[1]
+            servers.append(server)
+        if not servers:
+            raise ServiceError("service has neither a socket path nor an HTTP address")
+        if ready is not None:
+            ready()
+        pump = asyncio.ensure_future(self._pump())
+        try:
+            await self._stopped.wait()
+        finally:
+            self._stopping = True
+            self._work.set()
+            await pump
+            for server in servers:
+                server.close()
+                await server.wait_closed()
+            self.close()
+
+    async def drain(self) -> int:
+        """Execute everything queued (e.g. journal-replayed), then stop.
+
+        Returns the number of queries executed.  Used by
+        ``repro serve --drain-exit`` to finish a killed daemon's
+        in-flight work without opening any listener.
+        """
+        before = self.executed
+        self._stopping = True
+        self._work.set()
+        await self._pump()
+        self.close()
+        return self.executed - before
+
+    def close(self) -> None:
+        self._worker.shutdown(wait=True)
+        if self.journal is not None:
+            self.journal.close()
+        if self.admission.costs.path is not None:
+            self.admission.costs.save()
+        if self.socket_path is not None:
+            try:
+                self.socket_path.unlink()
+            except OSError:
+                pass
+
+    # -- stats --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The daemon's schema-v6 stats document."""
+        return {
+            "schema": stats.SCHEMA,
+            "schema_version": stats.SCHEMA_VERSION,
+            "protocol": PROTOCOL,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "pid": os.getpid(),
+            "queries_total": self.queries_total,
+            "batched_total": self.batched_total,
+            "executed": self.executed,
+            "replayed": self.replayed,
+            "queued": len(self.admission),
+            "shards": self.pool.stats(),
+            "admission": self.admission.stats(),
+        }

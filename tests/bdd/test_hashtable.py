@@ -8,13 +8,17 @@ generation-stamp purge behaviour.
 
 import random
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.errors import CapacityError
 from repro.bdd.hashtable import (
     KIND_BINARY,
     KIND_ITE,
+    MAX_NODE_ID,
     PackedCache,
     UniqueTable,
+    check_capacity,
     pack2,
     pack3,
     unpack2,
@@ -223,3 +227,50 @@ class TestPackedCache:
             "invalidations",
             "hit_rate",
         }
+
+
+class TestCapacityGuard:
+    """Pin the node-id capacity fix: allocation refuses ids the packed
+    32-bit key fields cannot represent, instead of silently aliasing."""
+
+    def test_boundary_id_is_accepted(self):
+        check_capacity(0)
+        check_capacity(MAX_NODE_ID)
+
+    def test_reserved_and_overflow_ids_raise(self):
+        for next_id in (MAX_NODE_ID + 1, 1 << 32, (1 << 33) + 7):
+            with pytest.raises(CapacityError) as exc:
+                check_capacity(next_id)
+            assert exc.value.limit == MAX_NODE_ID
+            assert str(next_id) in str(exc.value)
+
+    def test_max_node_id_leaves_empty_marker_free(self):
+        # 2**32 - 1 masks to the _EMPTY slot marker; the guard must keep
+        # it unallocatable.
+        assert MAX_NODE_ID == (1 << 32) - 2
+
+    def test_capacity_error_is_a_repro_error(self):
+        from repro.errors import ReproError
+
+        assert issubclass(CapacityError, ReproError)
+
+    def test_mk_refuses_to_allocate_past_the_boundary(self):
+        """BDD.mk consults the guard on the fresh-allocation branch; a
+        manager whose id space is (apparently) full raises CapacityError
+        instead of packing a 33-bit id."""
+        from repro.bdd import BDD, FALSE, TRUE
+
+        bdd = BDD()
+        (v,) = bdd.add_vars(["x"])
+        bdd.mk(v, FALSE, TRUE)  # interned: no fresh allocation below
+
+        class HugeList(list):
+            def __len__(self):
+                return MAX_NODE_ID + 1
+
+        bdd._vid = HugeList(bdd._vid)
+        # Cached node: still fine (no allocation).
+        assert bdd.mk(v, FALSE, TRUE) >= 2
+        # Fresh node: would need id 2**32 - 1 — refused.
+        with pytest.raises(CapacityError):
+            bdd.mk(v, TRUE, FALSE)

@@ -1,0 +1,99 @@
+"""Pin the fault-parent marker fix: no ``os.environ`` mutation.
+
+``run_tasks`` used to export ``REPRO_FAULT_PARENT=<pid>`` so injected
+faults could tell the sweep parent from a worker.  A process-global
+marker breaks concurrent sweeps in one process (the query service runs
+several): whichever sweep wrote last won, and the variable leaked to
+the caller.  The marker now travels in the task description
+(``RowTask.fault_parent``, stamped via ``dataclasses.replace``).
+"""
+
+import concurrent.futures
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import FaultInjected
+from repro.parallel import CostModel, run_tasks, table4_task
+from repro.parallel.tasks import _maybe_inject
+
+ROWS = [table4_task("3-5 RNS"), table4_task("3-7 RNS")]
+
+
+@pytest.fixture(autouse=True)
+def no_parent_marker(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_PARENT", raising=False)
+    monkeypatch.delenv("REPRO_FAULT_INJECT", raising=False)
+
+
+class TestNoEnvironMutation:
+    def test_run_tasks_leaves_environ_alone(self):
+        before = dict(os.environ)
+        report = run_tasks(ROWS, jobs=1, cost_model=CostModel())
+        assert len(report.results) == len(ROWS)
+        assert "REPRO_FAULT_PARENT" not in os.environ
+        assert dict(os.environ) == before
+
+    def test_caller_tasks_not_mutated(self):
+        tasks = [table4_task("3-5 RNS")]
+        assert tasks[0].fault_parent is None
+        run_tasks(tasks, jobs=1, cost_model=CostModel())
+        # The stamp is applied to copies (dataclasses.replace), never to
+        # the caller's objects.
+        assert tasks[0].fault_parent is None
+
+    def test_concurrent_sweeps_do_not_interfere(self):
+        """Two sweeps in one process: with the env-var marker the
+        second export clobbered the first; the per-task stamp cannot."""
+        before = dict(os.environ)
+        with concurrent.futures.ThreadPoolExecutor(max_workers=2) as pool:
+            futs = [
+                pool.submit(
+                    run_tasks,
+                    [table4_task("3-5 RNS")],
+                    jobs=1,
+                    cost_model=CostModel(),
+                )
+                for _ in range(2)
+            ]
+            reports = [f.result(timeout=600) for f in futs]
+        for report in reports:
+            assert len(report.results) == 1
+            assert not report.failures
+        assert "REPRO_FAULT_PARENT" not in os.environ
+        assert dict(os.environ) == before
+
+
+class TestParentDetectionViaTask:
+    def test_stamped_task_detects_parent(self, monkeypatch):
+        """A fault whose task carries this pid fires the in-parent
+        degraded mode (crash/hang degrade to a raise) — proving the
+        marker is read from the task, not the environment."""
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "crash=table4:3-5 RNS")
+        task = replace(table4_task("3-5 RNS"), fault_parent=os.getpid())
+        with pytest.raises(FaultInjected, match="in parent"):
+            _maybe_inject(task)
+
+    def test_wrong_pid_stamp_is_not_parent(self, monkeypatch):
+        """A stamp for a *different* pid must not select the in-parent
+        branch — a hang fault sleeps in a worker, but with a tiny
+        configured hang it returns instead of raising."""
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "hang=table4:3-5 RNS")
+        monkeypatch.setenv("REPRO_FAULT_HANG_S", "0.01")
+        task = replace(table4_task("3-5 RNS"), fault_parent=os.getpid() + 1)
+        assert _maybe_inject(task) is None  # slept, did not raise
+
+    def test_fault_parent_excluded_from_config_hash(self):
+        """Journal row identity must not depend on the parent pid, or
+        resuming a sweep from a new process would re-run everything."""
+        from repro.parallel.journal import config_hash
+
+        bare = table4_task("3-5 RNS")
+        stamped = replace(bare, fault_parent=12345)
+        assert config_hash(bare) == config_hash(stamped)
+
+    def test_fault_parent_not_in_options(self):
+        task = replace(table4_task("3-5 RNS"), fault_parent=999)
+        assert task.key == "table4:3-5 RNS"
+        assert all(k != "fault_parent" for k, _v in task.options)

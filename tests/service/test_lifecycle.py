@@ -1,0 +1,247 @@
+"""Daemon lifecycle over real processes: sockets, SIGKILL, drain.
+
+These tests spawn ``python -m repro serve`` as a subprocess, talk to
+it over its unix socket, kill it without warning, and prove that the
+journal makes the daemon's queue durable: a restart with ``--resume
+--drain-exit`` executes exactly the in-flight work and its journaled
+results equal an uninterrupted run's.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.parallel.journal import Journal
+from repro.service.client import SocketClient
+
+BENCH = "3-5 RNS"
+SRC = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+
+
+def daemon_env():
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (SRC, env.get("PYTHONPATH")) if p
+    )
+    return env
+
+
+def start_daemon(tmp_path, *extra):
+    sock = tmp_path / "svc.sock"
+    sock.unlink(missing_ok=True)  # stale socket from a killed daemon
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", str(sock), *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        cwd=tmp_path,
+        env=daemon_env(),
+    )
+    deadline = time.monotonic() + 30
+    while not sock.exists():
+        if proc.poll() is not None:
+            out = proc.stdout.read().decode()
+            raise AssertionError(f"daemon died on start:\n{out}")
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise AssertionError("daemon never created its socket")
+        time.sleep(0.05)
+    return proc, sock
+
+
+def stop_daemon(proc, sock):
+    if proc.poll() is None:
+        try:
+            with SocketClient(sock, timeout=10) as client:
+                client.call("shutdown")
+        except Exception:
+            proc.kill()
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+class TestSocketTransport:
+    def test_ping_query_stats_shutdown(self, tmp_path):
+        proc, sock = start_daemon(tmp_path)
+        try:
+            with SocketClient(sock) as client:
+                ping = client.call("ping")
+                assert ping["ok"]
+                assert ping["result"]["protocol"] == "repro-query-v1"
+                assert ping["result"]["pid"] == proc.pid
+
+                reply = client.call("width_reduce", {"benchmark": BENCH})
+                assert reply["ok"], reply
+                assert reply["meta"]["shard"] == "rns"
+                assert reply["result"]["max_width_after"] <= reply["result"][
+                    "max_width_before"
+                ]
+
+                stats = client.call("stats")["result"]
+                assert stats["schema"] == "repro-bench-v6"
+                assert stats["executed"] == 1
+
+                bad = client.call("width_reduce", {"benchmark": "nonsense"})
+                assert not bad["ok"]
+                assert bad["error"]["type"] == "BenchmarkError"
+
+                # The malformed-line error must not poison the stream.
+                client._sock.sendall(b"this is not json\n")
+                err = client.recv()
+                assert err["ok"] is False
+                assert err["error"]["type"] == "ProtocolError"
+                assert client.call("ping")["ok"]
+        finally:
+            stop_daemon(proc, sock)
+        assert proc.wait(timeout=30) == 0
+
+    def test_cli_query_roundtrip(self, tmp_path):
+        proc, sock = start_daemon(tmp_path)
+        try:
+            out = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "query", "width_reduce",
+                    "--socket", str(sock), "--benchmark", BENCH,
+                ],
+                capture_output=True,
+                text=True,
+                timeout=120,
+                env=daemon_env(),
+            )
+            assert out.returncode == 0, out.stderr
+            doc = json.loads(out.stdout)
+            assert doc["ok"]
+            assert doc["result"]["cf"]["name"]
+        finally:
+            stop_daemon(proc, sock)
+
+
+class TestKillRestartDurability:
+    def test_sigkill_resume_drain_matches_uninterrupted_run(self, tmp_path):
+        """The tentpole durability criterion, end to end.
+
+        Queries journaled as in-flight when the daemon is SIGKILL'd are
+        re-executed by ``--resume --drain-exit``, and the drained
+        journal's results equal those of an identical daemon that was
+        never killed.
+        """
+        queries = [
+            {"id": "a", "op": "width_reduce", "params": {"benchmark": "3-5 RNS"}},
+            {"id": "b", "op": "decompose",
+             "params": {"benchmark": "3-5-7 RNS", "cut_height": 4}},
+        ]
+
+        # -- interrupted run ------------------------------------------
+        kill_journal = tmp_path / "killed.journal"
+        proc, sock = start_daemon(tmp_path, "--journal", str(kill_journal))
+        client = SocketClient(sock)
+        for doc in queries:
+            client.send(doc)  # enqueue, do not wait
+        # Wait until both attempts are journaled (fsync'd), then kill.
+        deadline = time.monotonic() + 30
+        while True:
+            text = kill_journal.read_text() if kill_journal.exists() else ""
+            if text.count('"type":"attempt"') >= len(queries):
+                break
+            assert time.monotonic() < deadline, "attempts never journaled"
+            time.sleep(0.02)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait()
+        client.close()
+
+        drained = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--journal", str(kill_journal), "--resume", "--drain-exit",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=daemon_env(),
+        )
+        assert drained.returncode == 0, drained.stderr
+
+        # -- uninterrupted reference run ------------------------------
+        clean_journal = tmp_path / "clean.journal"
+        proc2, sock2 = start_daemon(tmp_path, "--journal", str(clean_journal))
+        try:
+            with SocketClient(sock2) as c2:
+                for doc in queries:
+                    reply = c2.call(doc["op"], doc["params"])
+                    assert reply["ok"], reply
+        finally:
+            stop_daemon(proc2, sock2)
+
+        # -- equivalence ----------------------------------------------
+        with Journal(kill_journal, resume=True) as jk:
+            assert jk.pending() == []  # the drain finished everything
+            killed_results = {k: r.result for k, r in jk.results().items()}
+        with Journal(clean_journal, resume=True) as jc:
+            clean_results = {k: r.result for k, r in jc.results().items()}
+        assert killed_results == clean_results
+        assert len(killed_results) == len(queries)
+
+    def test_drain_exit_is_noop_on_clean_journal(self, tmp_path):
+        journal = tmp_path / "svc.journal"
+        proc, sock = start_daemon(tmp_path, "--journal", str(journal))
+        try:
+            with SocketClient(sock) as client:
+                assert client.call("width_reduce", {"benchmark": BENCH})["ok"]
+        finally:
+            stop_daemon(proc, sock)
+        drained = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--journal", str(journal), "--resume", "--drain-exit",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=daemon_env(),
+        )
+        assert drained.returncode == 0, drained.stderr
+        assert "drained 0" in drained.stdout
+
+
+class TestWarmVsColdProcesses:
+    def test_warm_daemon_beats_two_cold_runs(self, tmp_path):
+        """Two identical queries against one daemon: the shard counter
+        delta of the second shows a strictly higher computed-table hit
+        rate than the first (which is exactly what two cold one-shot
+        processes would each pay)."""
+        proc, sock = start_daemon(tmp_path)
+        try:
+            with SocketClient(sock) as client:
+                def rates():
+                    counters = client.call("stats")["result"]["shards"].get(
+                        "rns", {"counters": {}}
+                    )["counters"]
+                    return (
+                        counters.get("cache_hits", 0),
+                        counters.get("cache_misses", 0),
+                    )
+
+                assert client.call("width_reduce", {"benchmark": BENCH})["ok"]
+                h1, m1 = rates()
+                assert client.call("width_reduce", {"benchmark": BENCH})["ok"]
+                h2, m2 = rates()
+        finally:
+            stop_daemon(proc, sock)
+        cold_rate = h1 / (h1 + m1)
+        warm_rate = (h2 - h1) / ((h2 - h1) + (m2 - m1))
+        assert warm_rate > cold_rate, (cold_rate, warm_rate)
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGKILL"), reason="needs SIGKILL")
+def test_sigkill_available():
+    """Guard: the durability tests above assume a POSIX SIGKILL."""
+    assert signal.SIGKILL

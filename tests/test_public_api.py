@@ -14,6 +14,7 @@ MODULES = [
     "repro.cascade",
     "repro.benchfns",
     "repro.experiments",
+    "repro.service",
     "repro.utils",
 ]
 
