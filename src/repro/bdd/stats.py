@@ -46,9 +46,15 @@ from pathlib import Path
 #: (:mod:`repro.service`): a ``shards`` map of per-family additive
 #: counters (accumulated with :func:`merge_additive`) plus query /
 #: batching / warm-hit tallies, carried in service ``stats`` responses
-#: and service-emitted BENCH payloads.
-SCHEMA = "repro-bench-v6"
-SCHEMA_VERSION = 6
+#: and service-emitted BENCH payloads.  v7 adds the multi-process
+#: service blocks: per-worker-process counter summaries (``workers``
+#: map: pid / queries / restarts per shard family, see
+#: :mod:`repro.service.workers`) and the cross-request result-cache
+#: counters (``result_cache_hits`` / ``result_cache_misses`` /
+#: ``result_cache_invalidations`` plus the invalidation ``epoch``)
+#: carried in service ``stats`` responses and BENCH_PR8 payloads.
+SCHEMA = "repro-bench-v7"
+SCHEMA_VERSION = 7
 
 #: Counters that add across managers and processes.  ``peak_nodes``
 #: aggregates with ``max`` instead and is handled separately.
@@ -197,8 +203,8 @@ def merge_additive(totals: dict, delta: dict) -> dict:
     """Fold one counter delta into a running totals dict, in place.
 
     Additive keys sum; ``peak_nodes`` aggregates with ``max``.  This is
-    the per-shard accumulation primitive of the query service (schema
-    v6): each executed query's :func:`counter_delta` merges into its
+    the per-shard accumulation primitive of the query service (since
+    schema v6): each executed query's :func:`counter_delta` merges into its
     shard's counters, so warm-vs-cold cache behaviour is attributable
     per benchmark family.  Returns ``totals`` for chaining.
     """

@@ -207,12 +207,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="default wall-clock deadline per query (a request's own "
         "budget.deadline_s overrides it)",
     )
+    pserve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve with up to N per-family worker processes (0, the "
+        "default, runs queries in-process on one thread)",
+    )
+    pserve.add_argument(
+        "--snapshot-dir",
+        metavar="PATH",
+        default=None,
+        help="persist/reuse binary CF snapshots (RBCF) so cold shards "
+        "and rebuilt workers warm up without re-running build+sift",
+    )
+    pserve.add_argument(
+        "--result-cache",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cross-request result-cache capacity in entries "
+        "(default: 256; 0 disables)",
+    )
 
     pquery = sub.add_parser("query", help="send one query to a running daemon")
     pquery.add_argument(
         "op",
-        choices=["ping", "stats", "width_reduce", "decompose", "cascade",
-                 "pla_reduce", "shutdown"],
+        choices=["ping", "stats", "invalidate", "width_reduce", "decompose",
+                 "cascade", "pla_reduce", "shutdown"],
     )
     pquery.add_argument("--socket", metavar="PATH", required=True)
     pquery.add_argument("--benchmark", metavar="NAME", default=None)
@@ -254,6 +277,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         metavar="S",
         help="wall-clock deadline for this query",
+    )
+    pquery.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        metavar="S",
+        help="give up after S seconds waiting for the daemon to answer "
+        "(connecting retries with backoff within the same window; "
+        "default: 120)",
     )
 
     args = parser.parse_args(argv)
@@ -585,7 +617,7 @@ def _cmd_pla(args) -> int:
 def _cmd_serve(args) -> int:
     import asyncio
 
-    from repro.service.server import Service
+    from repro.service.server import DEFAULT_RESULT_CACHE, Service
     from repro.service.shards import DEFAULT_MAX_ALIVE
 
     http_host, http_port = None, 0
@@ -609,6 +641,15 @@ def _cmd_serve(args) -> int:
             else DEFAULT_MAX_ALIVE
         ),
         request_timeout=args.request_timeout,
+        # A drain must be deterministic and self-contained, so it
+        # always runs in-process regardless of --workers.
+        workers=0 if args.drain_exit else args.workers,
+        snapshot_dir=args.snapshot_dir,
+        result_cache_size=(
+            args.result_cache
+            if args.result_cache is not None
+            else DEFAULT_RESULT_CACHE
+        ),
     )
     if args.drain_exit:
         executed = asyncio.run(service.drain())
@@ -668,7 +709,11 @@ def _cmd_query(args) -> int:
     if args.budget_deadline is not None:
         budget["deadline_s"] = args.budget_deadline
     try:
-        with SocketClient(args.socket) as client:
+        with SocketClient(
+            args.socket,
+            timeout=args.timeout,
+            connect_timeout=min(args.timeout, 5.0),
+        ) as client:
             reply = client.call(
                 args.op,
                 params,

@@ -166,6 +166,32 @@ class ServiceError(ReproError):
     """
 
 
+class WorkerDied(ServiceError):
+    """A shard worker process died while (or before) serving a query.
+
+    The daemon's dispatcher treats this as a recoverable infrastructure
+    fault, mirroring the batch executor's pool-rebuild semantics: the
+    worker is rebuilt, the in-flight query is re-journaled as a new
+    attempt and re-executed.  Only after repeated deaths does the error
+    reach the client.
+    """
+
+
+class RemoteQueryError(ServiceError):
+    """An engine error that happened inside a worker process.
+
+    Worker replies serialize exceptions as ``(type name, message)``;
+    the parent re-raises them as this class with :attr:`type_name`
+    preserved, so client-facing error responses keep the original
+    engine error type (``ResourceLimitError``, ``DeadlineError``, ...)
+    across the process boundary.
+    """
+
+    def __init__(self, type_name: str, message: str) -> None:
+        super().__init__(message)
+        self.type_name = type_name
+
+
 class ProtocolError(ServiceError):
     """A service request line could not be parsed or validated.
 

@@ -21,14 +21,43 @@ optimization, never a correctness dependency.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
 import warnings
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 from pathlib import Path
 
 from repro.parallel.tasks import RowTask
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+
+@contextlib.contextmanager
+def _file_lock(target: Path) -> Iterator[None]:
+    """An exclusive advisory lock on ``<target>.lock`` (POSIX flock).
+
+    The query daemon and a concurrently running sweep both persist to
+    the same cost file; the lock serializes the read-merge-write in
+    :meth:`CostModel.save` so neither clobbers the other's estimates.
+    Degrades to a no-op where ``fcntl`` is unavailable — the write
+    itself stays atomic either way.
+    """
+    if fcntl is None:
+        yield
+        return
+    lock_path = target.with_name(target.name + ".lock")
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(lock_path, "w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
 
 #: Fallback estimates (seconds) by task kind.  ``query`` rows are the
 #: service's interactive queries — biased low so an unknown query is
@@ -53,6 +82,12 @@ class CostModel:
         self.estimates: dict[str, float] = dict(estimates or {})
         self.path = Path(path) if path is not None else None
         self.alpha = alpha
+        #: Keys this model has *observed* itself (not merely loaded or
+        #: seeded).  On save these win over what is on disk; everything
+        #: else merges in from the file, so a service daemon and a
+        #: sweep sharing one cost file exchange observations instead of
+        #: clobbering each other.
+        self._touched: set[str] = set()
 
     # ------------------------------------------------------------------
     # Persistence
@@ -108,36 +143,54 @@ class CostModel:
                             continue
         return cls(estimates, path=path, alpha=alpha)
 
-    def save(self, path: str | Path | None = None) -> Path | None:
+    def save(
+        self, path: str | Path | None = None, *, merge: bool = True
+    ) -> Path | None:
         """Persist the estimates; no-op when no path is configured.
 
         The write is atomic (temp file + ``os.replace`` in the target
         directory), so a sweep killed mid-save — exactly the regime the
         fault-tolerant executor operates in — can never leave a torn
         half-JSON behind for the next :meth:`load` to trip over.
+
+        With ``merge=True`` (the default) the save is a locked
+        read-merge-write against the current file contents: keys this
+        model observed itself (:meth:`observe`) win, every other
+        on-disk key is preserved — the contract that lets the service
+        daemon and the sweep executor share one cost file without
+        losing each other's walls.  The merged view is folded back into
+        ``self.estimates`` too, so a long-lived daemon learns from
+        concurrent sweeps at each save.
         """
         target = Path(path) if path is not None else self.path
         if target is None:
             return None
         target.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "format": COST_FORMAT,
-            "version": COST_VERSION,
-            "estimates": {k: round(v, 6) for k, v in sorted(self.estimates.items())},
-        }
-        fd, tmp = tempfile.mkstemp(
-            prefix=target.name + ".", suffix=".tmp", dir=target.parent
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(json.dumps(payload, indent=2) + "\n")
-            os.replace(tmp, target)
-        except BaseException:
+        with _file_lock(target):
+            if merge and target.exists():
+                for key, value in _read_estimates(target).items():
+                    if key not in self._touched:
+                        self.estimates[key] = value
+            payload = {
+                "format": COST_FORMAT,
+                "version": COST_VERSION,
+                "estimates": {
+                    k: round(v, 6) for k, v in sorted(self.estimates.items())
+                },
+            }
+            fd, tmp = tempfile.mkstemp(
+                prefix=target.name + ".", suffix=".tmp", dir=target.parent
+            )
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(json.dumps(payload, indent=2) + "\n")
+                os.replace(tmp, target)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         return target
 
     # ------------------------------------------------------------------
@@ -169,6 +222,7 @@ class CostModel:
             self.estimates[key] = wall_s
         else:
             self.estimates[key] = self.alpha * wall_s + (1 - self.alpha) * old
+        self._touched.add(key)
 
     def schedule(self, tasks: Sequence[RowTask]) -> list[int]:
         """Longest-first execution order, as indices into ``tasks``.
@@ -180,6 +234,28 @@ class CostModel:
         return sorted(
             range(len(tasks)), key=lambda i: (-self.estimate(tasks[i].key), i)
         )
+
+
+def _read_estimates(path: Path) -> dict[str, float]:
+    """Best-effort estimates from a cost file (for merge-on-save).
+
+    Unlike :meth:`CostModel.load`, a corrupt file here is simply
+    ignored — the caller is about to overwrite it with a fresh valid
+    document anyway, which *is* the repair.
+    """
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    if not isinstance(data, dict) or data.get("format") != COST_FORMAT:
+        return {}
+    out: dict[str, float] = {}
+    for key, value in data.get("estimates", {}).items():
+        try:
+            out[key] = float(value)
+        except (TypeError, ValueError):
+            continue
+    return out
 
 
 def _bench_walls(path: str | Path) -> dict[str, float]:

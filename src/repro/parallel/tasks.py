@@ -175,6 +175,11 @@ class TaskResult:
     pid: int
     stats_delta: dict = field(default_factory=dict)
     shipped_cfs: dict[str, dict] = field(default_factory=dict)
+    #: BLAKE2b fingerprints of the shipped payloads, computed *once* in
+    #: the worker over the canonical bytes (the hot shipping path used
+    #: to serialize each payload a second time whenever the parent
+    #: wanted its fingerprint).  Keyed like :attr:`shipped_cfs`.
+    shipped_fps: dict[str, str] = field(default_factory=dict)
     status: str = "ok"
     error: str | None = None
     degraded: tuple[str, ...] = ()
@@ -274,8 +279,14 @@ def _maybe_inject(task: RowTask) -> Any | None:
     return None
 
 
-def _run_table4(name: str, opts: dict) -> tuple[Any, dict[str, dict]]:
-    from repro.bdd.io import charfunction_payload
+def _run_table4(
+    name: str, opts: dict
+) -> tuple[Any, dict[str, dict], dict[str, str]]:
+    from repro.bdd.io import (
+        canonical_payload,
+        charfunction_payload,
+        payload_fingerprint,
+    )
     from repro.benchfns.registry import get_benchmark
     from repro.experiments.table4 import run_row
 
@@ -286,13 +297,21 @@ def _run_table4(name: str, opts: dict) -> tuple[Any, dict[str, dict]]:
         verify=opts.get("verify", False),
         collect=collect,
     )
-    shipped = {
-        label: charfunction_payload(cf) for label, cf in (collect or {}).items()
-    }
-    return row, shipped
+    shipped: dict[str, dict] = {}
+    fps: dict[str, str] = {}
+    for label, cf in (collect or {}).items():
+        payload = charfunction_payload(cf)
+        # Canonicalize once: the fingerprint is a digest of these bytes
+        # and downstream consumers (journal, parent verification) reuse
+        # the fingerprint instead of re-serializing the node list.
+        fps[label] = payload_fingerprint(canon=canonical_payload(payload))
+        shipped[label] = payload
+    return row, shipped, fps
 
 
-def _run_table5(name: str, opts: dict) -> tuple[Any, dict[str, dict]]:
+def _run_table5(
+    name: str, opts: dict
+) -> tuple[Any, dict[str, dict], dict[str, str]]:
     from repro.benchfns.registry import get_benchmark
     from repro.experiments.table5 import run_row
 
@@ -301,10 +320,12 @@ def _run_table5(name: str, opts: dict) -> tuple[Any, dict[str, dict]]:
         sift=opts.get("sift", True),
         verify=opts.get("verify", False),
     )
-    return row, {}
+    return row, {}, {}
 
 
-def _run_table6(name: str, opts: dict) -> tuple[Any, dict[str, dict]]:
+def _run_table6(
+    name: str, opts: dict
+) -> tuple[Any, dict[str, dict], dict[str, str]]:
     from repro.experiments.table6 import run_table6
 
     rows = run_table6(
@@ -312,7 +333,7 @@ def _run_table6(name: str, opts: dict) -> tuple[Any, dict[str, dict]]:
         sift=opts.get("sift", True),
         verify=opts.get("verify", False),
     )
-    return rows, {}
+    return rows, {}, {}
 
 
 _DISPATCH = {
@@ -353,15 +374,16 @@ def execute_task(task: RowTask) -> TaskResult:
     degraded: tuple[str, ...] = ()
     result: Any = None
     shipped: dict[str, dict] = {}
+    fps: dict[str, str] = {}
     try:
         if budget is not None:
             with budget:
-                result, shipped = runner(task.name, opts)
+                result, shipped, fps = runner(task.name, opts)
             degraded = tuple(budget.degradations)
             if degraded:
                 status = "degraded"
         else:
-            result, shipped = runner(task.name, opts)
+            result, shipped, fps = runner(task.name, opts)
     except (ResourceLimitError, DeadlineError) as exc:
         if budget is None or exc.budget is not budget:
             raise  # someone else's budget (e.g. the executor's deadline)
@@ -369,6 +391,7 @@ def execute_task(task: RowTask) -> TaskResult:
         error = str(exc)
         result = None
         shipped = {}
+        fps = {}
     # Row-boundary self-check (REPRO_SELFCHECK=1): every manager still
     # alive after the row — including one a governor aborted out of a
     # sift — must satisfy the structural invariants.  Runs inside the
@@ -388,6 +411,7 @@ def execute_task(task: RowTask) -> TaskResult:
         pid=os.getpid(),
         stats_delta=delta,
         shipped_cfs=shipped,
+        shipped_fps=fps,
         status=status,
         error=error,
         degraded=degraded,
@@ -451,6 +475,18 @@ def verify_shipped(result: TaskResult) -> int:
     }
     loaded: dict[str, Any] = {}
     for label, payload in result.shipped_cfs.items():
+        fp = result.shipped_fps.get(label)
+        if fp is not None:
+            from repro.bdd.io import payload_fingerprint
+
+            # Independent recomputation: the worker fingerprinted the
+            # canonical bytes it shipped; a mismatch here means the
+            # payload was corrupted in transit (pickling, journal).
+            if payload_fingerprint(payload) != fp:
+                raise ReproError(
+                    f"{result.key}: {label} payload fingerprint mismatch "
+                    f"(worker shipped {fp})"
+                )
         cf = load_charfunction_payload(payload)
         loaded[label] = cf
         want = measures_by_label.get(label)

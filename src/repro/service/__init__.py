@@ -14,11 +14,14 @@ Modules:
 * :mod:`repro.service.protocol` — request/response schema, parsing,
   content-addressed query keys.
 * :mod:`repro.service.shards` — the warm shard pool: per-family base-CF
-  caches, per-shard counters (stats schema v6), query execution.
-* :mod:`repro.service.admission` — cost-model-ordered admission queue
-  (shortest-job-first) and per-tenant cumulative budgets.
-* :mod:`repro.service.server` — the asyncio daemon: batching,
-  journal-backed durability, drain/resume.
+  caches (LRU + snapshot-backed), per-shard counters (stats schema
+  v7), query execution.
+* :mod:`repro.service.admission` — cost-model-ordered admission queues
+  (shortest-job-first, per family) and per-tenant cumulative budgets.
+* :mod:`repro.service.workers` — per-family shard worker processes and
+  the pipe RPC the daemon dispatches over.
+* :mod:`repro.service.server` — the asyncio daemon: batching, the
+  cross-request result cache, journal-backed durability, drain/resume.
 * :mod:`repro.service.client` — small blocking client used by
   ``repro query`` and the tests.
 """
@@ -35,8 +38,9 @@ from repro.service.protocol import (
     parse_request,
     query_key,
 )
-from repro.service.server import Service
+from repro.service.server import ResultCache, Service
 from repro.service.shards import Shard, ShardPool, family_of
+from repro.service.workers import ShardWorker, WorkerPool
 
 __all__ = [
     "Admission",
@@ -44,10 +48,13 @@ __all__ = [
     "PROTOCOL_VERSION",
     "QueuedQuery",
     "Request",
+    "ResultCache",
     "Service",
     "Shard",
     "ShardPool",
+    "ShardWorker",
     "SocketClient",
+    "WorkerPool",
     "encode",
     "error_response",
     "family_of",

@@ -34,6 +34,7 @@ from typing import Any
 from repro.bdd.governor import Budget
 from repro.errors import ServiceError
 from repro.parallel.costs import CostModel
+from repro.service.shards import family_of
 
 __all__ = ["Admission", "QueuedQuery", "estimate_size"]
 
@@ -78,7 +79,7 @@ def estimate_size(op: str, params: dict) -> float:
 
 @dataclass(order=True)
 class QueuedQuery:
-    """One admitted query waiting for the worker thread.
+    """One admitted query waiting for a worker.
 
     Orders by ``(estimate, seq)``: shortest-job-first, with the
     monotonic admission sequence breaking ties so equal-cost queries
@@ -89,6 +90,7 @@ class QueuedQuery:
     seq: int
     key: str = field(compare=False)
     request: Any = field(compare=False)
+    family: str = field(compare=False, default="misc")
 
 
 class Admission:
@@ -103,7 +105,10 @@ class Admission:
         self.costs = costs if costs is not None else CostModel()
         self.tenant_max_steps = tenant_max_steps
         self.tenants: dict[str, Budget] = {}
-        self._heap: list[QueuedQuery] = []
+        #: One shortest-job-first heap per shard family: the worker-
+        #: process dispatcher drains families independently, so a slow
+        #: family's backlog must not be interleaved into a fast one's.
+        self._heaps: dict[str, list[QueuedQuery]] = {}
         self._seq = itertools.count()
 
     # -- tenant budgets -----------------------------------------------
@@ -140,27 +145,55 @@ class Admission:
             seq=next(self._seq),
             key=key,
             request=request,
+            family=family_of(request.op, request.params),
         )
-        heapq.heappush(self._heap, item)
+        heapq.heappush(self._heaps.setdefault(item.family, []), item)
         return item
 
-    def pop(self) -> QueuedQuery | None:
-        """The cheapest queued query, or None when idle."""
-        if not self._heap:
-            return None
-        return heapq.heappop(self._heap)
+    def requeue(self, item: QueuedQuery) -> None:
+        """Put a popped query back (worker died; it will be retried).
+
+        Unlike :meth:`submit` this skips tenant admission — the query
+        was already admitted once and its waiters are still registered.
+        """
+        heapq.heappush(self._heaps.setdefault(item.family, []), item)
+
+    def families(self) -> list[str]:
+        """Families with at least one queued query."""
+        return [family for family, heap in self._heaps.items() if heap]
+
+    def pop(self, family: str | None = None) -> QueuedQuery | None:
+        """The cheapest queued query (optionally of one family), or None.
+
+        With ``family=None`` the cheapest query across *all* family
+        heaps is returned — the single-threaded in-process pump's
+        global shortest-job-first order, unchanged from PR 7.
+        """
+        if family is not None:
+            heap = self._heaps.get(family)
+            return heapq.heappop(heap) if heap else None
+        best: str | None = None
+        for name, heap in self._heaps.items():
+            if heap and (best is None or heap[0] < self._heaps[best][0]):
+                best = name
+        return heapq.heappop(self._heaps[best]) if best is not None else None
 
     def observe(self, key: str, wall_s: float) -> None:
         """Feed a measured wall time back into the cost model (EWMA)."""
         self.costs.observe(key, wall_s)
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return sum(len(heap) for heap in self._heaps.values())
 
     def stats(self) -> dict:
         """Queue depth and per-tenant spend, for stats responses."""
         return {
-            "queued": len(self._heap),
+            "queued": len(self),
+            "queued_by_family": {
+                family: len(heap)
+                for family, heap in sorted(self._heaps.items())
+                if heap
+            },
             "tenants": {
                 name: {
                     "steps": budget.steps,

@@ -13,6 +13,7 @@ import http.client
 import itertools
 import json
 import socket
+import time
 from pathlib import Path
 
 from repro.errors import ProtocolError, ServiceError
@@ -24,21 +25,43 @@ __all__ = ["SocketClient", "http_query"]
 class SocketClient:
     """A blocking unix-socket connection to a running daemon.
 
+    Connecting retries with exponential backoff until
+    ``connect_timeout`` expires — ``repro serve`` binding its socket
+    and ``repro query`` racing it is the normal startup sequence in
+    scripts and CI, not an error.  ``timeout`` bounds each blocking
+    read, so a wedged server surfaces as a :class:`ServiceError`
+    instead of hanging the client forever.
+
     >>> with SocketClient("/tmp/repro.sock") as client:   # doctest: +SKIP
     ...     client.call("ping")
     """
 
-    def __init__(self, path: str | Path, *, timeout: float | None = 60.0) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        timeout: float | None = 60.0,
+        connect_timeout: float = 5.0,
+    ) -> None:
         self.path = str(path)
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._sock.settimeout(timeout)
-        try:
-            self._sock.connect(self.path)
-        except OSError as exc:
-            self._sock.close()
-            raise ServiceError(
-                f"cannot connect to service socket {self.path}: {exc}"
-            ) from exc
+        deadline = time.monotonic() + connect_timeout
+        delay = 0.02
+        while True:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            try:
+                self._sock.connect(self.path)
+                break
+            except OSError as exc:
+                self._sock.close()
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceError(
+                        f"cannot connect to service socket {self.path} "
+                        f"after {connect_timeout:.1f}s: {exc}"
+                    ) from exc
+                time.sleep(min(delay, remaining))
+                delay = min(delay * 2, 0.5)
         self._rfile = self._sock.makefile("rb")
         self._ids = itertools.count(1)
 
@@ -62,8 +85,13 @@ class SocketClient:
             raise ServiceError(f"cannot write to service: {exc}") from exc
 
     def recv(self) -> dict:
-        """Read one response line (blocking)."""
-        line = self._rfile.readline()
+        """Read one response line (blocking, bounded by ``timeout``)."""
+        try:
+            line = self._rfile.readline()
+        except socket.timeout as exc:
+            raise ServiceError(
+                f"timed out waiting for a response on {self.path}"
+            ) from exc
         if not line:
             raise ServiceError("service closed the connection")
         try:

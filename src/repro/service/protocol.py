@@ -19,11 +19,12 @@ Responses::
     {"id": "c1", "ok": false,
      "error": {"type": "ResourceLimitError", "message": "..."}}
 
-Ops: ``ping``, ``stats``, ``width_reduce``, ``decompose``, ``cascade``,
-``pla_reduce``, ``shutdown``.  ``ping``/``stats``/``shutdown`` are
-control ops answered by the event loop directly; the compute ops go
-through admission, batching, and (when configured) the write-ahead
-journal.
+Ops: ``ping``, ``stats``, ``invalidate``, ``width_reduce``,
+``decompose``, ``cascade``, ``pla_reduce``, ``shutdown``.
+``ping``/``stats``/``invalidate``/``shutdown`` are control ops answered
+by the event loop directly; the compute ops go through admission,
+batching, the cross-request result cache, and (when configured) the
+write-ahead journal.
 
 Query identity is *content-addressed*: :func:`query_key` digests the
 op plus its canonicalized parameters (and any per-request ``tt`` /
@@ -56,14 +57,16 @@ __all__ = [
     "query_key",
 ]
 
-PROTOCOL = "repro-query-v1"
-PROTOCOL_VERSION = 1
+PROTOCOL = "repro-query-v2"
+PROTOCOL_VERSION = 2
 
 #: Compute ops: admitted, batched, journaled, executed on a shard.
 COMPUTE_OPS = ("width_reduce", "decompose", "cascade", "pla_reduce")
 
-#: Control ops: answered immediately by the server loop.
-CONTROL_OPS = ("ping", "stats", "shutdown")
+#: Control ops: answered immediately by the server loop.  v2 adds
+#: ``invalidate`` (bump the result-cache epoch, dropping every cached
+#: cross-request result).
+CONTROL_OPS = ("ping", "stats", "invalidate", "shutdown")
 
 OPS = COMPUTE_OPS + CONTROL_OPS
 
@@ -77,6 +80,7 @@ _OP_PARAMS = {
     "pla_reduce": {"pla", "name", "payload"},
     "ping": set(),
     "stats": set(),
+    "invalidate": set(),
     "shutdown": set(),
 }
 
@@ -97,8 +101,20 @@ class Request:
         return self.op in CONTROL_OPS
 
     def key(self) -> str:
-        """Content-addressed query key (see :func:`query_key`)."""
-        return query_key(self.op, self.params, tt=self.tt, budget=self.budget)
+        """Content-addressed query key (see :func:`query_key`).
+
+        Computed once and cached: the daemon consults the key on every
+        admission, batch, journal, and result-cache touch, and the
+        canonical-JSON dump it digests is the expensive part for
+        payload-carrying requests.
+        """
+        key = getattr(self, "_key", None)
+        if key is None:
+            key = query_key(
+                self.op, self.params, tt=self.tt, budget=self.budget
+            )
+            object.__setattr__(self, "_key", key)
+        return key
 
     def doc(self) -> dict:
         """JSON description sufficient to re-execute this query.

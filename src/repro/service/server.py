@@ -19,30 +19,48 @@ One :class:`Service` owns
   NDJSON body, ``GET /stats``, ``GET /healthz``).
 
 Concurrency model: the event loop does parsing, admission, batching,
-and journaling; ALL BDD work runs on one dedicated worker thread
-(``ThreadPoolExecutor(max_workers=1)``).  The governor's budget stack
-and the stats registry are process-global and not thread-aware — the
-single-worker discipline is what makes per-tenant budgets and
-per-shard counter attribution sound.  Queue order (shortest-job-first)
-is therefore the entire scheduling policy; see
-:mod:`repro.service.admission`.
+caching, and journaling; BDD work runs in one of two modes.
+
+* **In-process** (``workers=0``, the default): one dedicated worker
+  thread (``ThreadPoolExecutor(max_workers=1)``).  The governor's
+  budget stack and the stats registry are process-global and not
+  thread-aware — the single-worker discipline is what makes per-tenant
+  budgets and per-shard counter attribution sound.
+* **Multi-process** (``workers>=1``): one worker *process* per shard
+  family (:mod:`repro.service.workers`), each owning a private
+  :class:`~repro.service.shards.ShardPool`.  Families execute
+  concurrently — a slow cascade build cannot head-of-line-block an RNS
+  lookup — and each family still serves one query at a time, so the
+  per-process discipline above holds inside every worker.  Worker
+  death is a recoverable fault: the process is rebuilt and the
+  in-flight query re-journaled and re-executed (PR 4 pool-rebuild
+  semantics).
+
+Either way a **cross-request result cache** sits in front of the
+queue: repeated identical queries (same content-addressed key) are
+answered from the cache with zero engine passes.  Epoch-based
+invalidation keeps it honest — a worker restart, a tt-override
+execution, or an explicit ``invalidate`` op bumps the epoch, which
+orphans every older entry at once.
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import os
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro.bdd import stats, tt
-from repro.errors import ProtocolError, ServiceError
+from repro.errors import ProtocolError, ServiceError, WorkerDied
 from repro.parallel.costs import CostModel
 from repro.parallel.journal import Journal
 from repro.parallel.tasks import RowTask, TaskResult
-from repro.service.admission import Admission
+from repro.service.admission import Admission, QueuedQuery
 from repro.service.protocol import (
     PROTOCOL,
     PROTOCOL_VERSION,
@@ -53,8 +71,77 @@ from repro.service.protocol import (
     parse_request,
 )
 from repro.service.shards import DEFAULT_MAX_ALIVE, ShardPool
+from repro.service.workers import WorkerPool
 
-__all__ = ["Service"]
+__all__ = ["ResultCache", "Service"]
+
+#: Attempts per query across worker deaths before the error surfaces.
+MAX_WORKER_ATTEMPTS = 3
+
+#: Default cross-request result-cache capacity (entries).
+DEFAULT_RESULT_CACHE = 256
+
+
+class ResultCache:
+    """Cross-request result cache with epoch-based invalidation.
+
+    Entries are keyed by the content-addressed ``query:<op>/<digest>``
+    key, so a hit is *definitionally* the same computation.  What a
+    key cannot capture is service-side state that changes answers or
+    their warmth guarantees out from under it — a rebuilt (cold)
+    worker, a tt-override execution that rewired memo state, an
+    operator who knows better.  Those bump :attr:`epoch`; entries
+    remember the epoch they were stored under and a stale epoch is a
+    miss, which retires the whole cache in O(1) without walking it.
+    """
+
+    def __init__(self, size: int = DEFAULT_RESULT_CACHE) -> None:
+        self.size = int(size)
+        self.epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        #: key -> (epoch, family, result); insertion order is LRU.
+        self._entries: OrderedDict[str, tuple[int, str, dict]] = OrderedDict()
+
+    def get(self, key: str) -> tuple[str, dict] | None:
+        """A cached ``(family, result)`` or None; counts hit/miss."""
+        entry = self._entries.get(key)
+        if entry is None or entry[0] != self.epoch:
+            if entry is not None:
+                del self._entries[key]
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[1], entry[2]
+
+    def put(self, key: str, family: str, result: dict) -> None:
+        if self.size <= 0:
+            return
+        self._entries[key] = (self.epoch, family, result)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.size:
+            self._entries.popitem(last=False)
+
+    def invalidate(self) -> int:
+        """Bump the epoch; every cached entry becomes stale at once."""
+        self.epoch += 1
+        self.invalidations += 1
+        dropped = len(self._entries)
+        self._entries.clear()
+        return dropped
+
+    def stats(self) -> dict:
+        """The schema-v7 ``result_cache`` block."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "epoch": self.epoch,
+            "entries": len(self._entries),
+            "size_limit": self.size,
+        }
 
 
 def _row_task(req: Request) -> RowTask:
@@ -86,12 +173,21 @@ class Service:
         tenant_max_steps: int | None = None,
         max_alive: int = DEFAULT_MAX_ALIVE,
         request_timeout: float | None = None,
+        workers: int = 0,
+        snapshot_dir: str | Path | None = None,
+        result_cache_size: int = DEFAULT_RESULT_CACHE,
     ) -> None:
         self.socket_path = Path(socket_path) if socket_path else None
         self.http_host = http_host
         self.http_port = http_port
         self.request_timeout = request_timeout
-        self.pool = ShardPool(max_alive=max_alive)
+        self.pool = ShardPool(max_alive=max_alive, snapshot_dir=snapshot_dir)
+        self.worker_pool = (
+            WorkerPool(workers, max_alive=max_alive, snapshot_dir=snapshot_dir)
+            if workers >= 1
+            else None
+        )
+        self.result_cache = ResultCache(result_cache_size)
         costs = CostModel.load(cost_path) if cost_path else CostModel()
         self.admission = Admission(costs, tenant_max_steps=tenant_max_steps)
         self.journal = (
@@ -102,6 +198,9 @@ class Service:
         #: the list instead of re-queueing — that is the batcher.
         self._waiters: dict[str, list[tuple[str, asyncio.Future]]] = {}
         self._attempts: dict[str, int] = {}
+        #: Families with a query currently running on their worker
+        #: process (multi-process mode only; one query per worker).
+        self._inflight: set[str] = set()
         self._work = asyncio.Event()
         self._stopping = False
         self._stopped = asyncio.Event()
@@ -156,8 +255,26 @@ class Service:
         loop = asyncio.get_running_loop()
         fut: asyncio.Future = loop.create_future()
         key = req.key()
-        waiters = self._waiters.get(key)
         self.queries_total += 1
+        cached = self.result_cache.get(key)
+        if cached is not None:
+            # Cross-request cache hit: zero engine passes, no journal
+            # write (nothing will run, so there is nothing to make
+            # durable), answered before admission ever sees it.
+            family, result = cached
+            fut.set_result(
+                ok_response(
+                    req.id,
+                    result,
+                    key=key,
+                    shard=family,
+                    batched=False,
+                    cached=True,
+                    wall_s=0.0,
+                )
+            )
+            return fut
+        waiters = self._waiters.get(key)
         if waiters is not None:
             # The batcher: an identical queued/running query answers
             # this request too — one engine pass, many responses.
@@ -193,37 +310,169 @@ class Service:
         return family, result, time.perf_counter() - t0
 
     async def _pump(self) -> None:
-        """The worker pump: drain the admission queue, cheapest first."""
+        """The dispatcher: drain the admission queue, cheapest first.
+
+        In-process mode runs queries inline (one at a time, globally
+        shortest-job-first).  Multi-process mode dispatches to one
+        worker per family concurrently — shortest-job-first *within*
+        each family, with at most one query in flight per worker.
+        """
         loop = asyncio.get_running_loop()
+        if self.worker_pool is None:
+            while True:
+                item = self.admission.pop()
+                if item is None:
+                    if self._stopping:
+                        break
+                    self._work.clear()
+                    await self._work.wait()
+                    continue
+                req: Request = item.request
+                key = item.key
+                try:
+                    family, result, wall = await loop.run_in_executor(
+                        self._worker, self._run_query, req
+                    )
+                except Exception as exc:
+                    self.executed += 1
+                    self._resolve(key, error=exc)
+                    continue
+                self._finish(req, key, family, result, wall)
+            self._stopped.set()
+            return
+        pending: set[asyncio.Task] = set()
         while True:
-            item = self.admission.pop()
-            if item is None:
-                if self._stopping:
-                    break
-                self._work.clear()
-                await self._work.wait()
+            dispatched = False
+            for family in self.admission.families():
+                if family in self._inflight:
+                    continue
+                item = self.admission.pop(family)
+                if item is None:
+                    continue
+                self._inflight.add(family)
+                task = asyncio.ensure_future(self._dispatch(item))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+                dispatched = True
+            if dispatched:
                 continue
-            req: Request = item.request
-            key = item.key
-            try:
-                family, result, wall = await loop.run_in_executor(
-                    self._worker, self._run_query, req
-                )
-            except Exception as exc:
-                self.executed += 1
-                self._resolve(key, error=exc)
-                continue
-            self.executed += 1
-            self.admission.observe(key, wall)
-            if self.journal is not None:
-                self.journal.record_result(
-                    _row_task(req),
-                    TaskResult(
-                        key=key, result=result, wall_s=wall, pid=os.getpid()
-                    ),
-                )
-            self._resolve(key, result=result, family=family, wall=wall)
+            if self._stopping and not self._inflight and not len(self.admission):
+                break
+            self._work.clear()
+            await self._work.wait()
+        for task in list(pending):
+            if not task.done():
+                await task
         self._stopped.set()
+
+    def _finish(
+        self, req: Request, key: str, family: str, result: dict, wall: float
+    ) -> None:
+        """Common success bookkeeping: costs, journal, cache, waiters."""
+        self.executed += 1
+        self.admission.observe(key, wall)
+        if self.journal is not None:
+            self.journal.record_result(
+                _row_task(req),
+                TaskResult(
+                    key=key, result=result, wall_s=wall, pid=os.getpid()
+                ),
+            )
+        if req.tt:
+            # A tt-override execution rewired truth-table memo state in
+            # its worker; cached answers may have been produced under
+            # assumptions that no longer hold.  Bump the epoch (and do
+            # not cache the override's own result).
+            self.result_cache.invalidate()
+        else:
+            self.result_cache.put(key, family, result)
+        self._resolve(key, result=result, family=family, wall=wall)
+
+    async def _dispatch(self, item: QueuedQuery) -> None:
+        """Run one query on its family's worker process (worker mode).
+
+        A dead worker (crash, SIGKILL, wedge) is rebuilt and the query
+        re-queued as a new journaled attempt, up to
+        :data:`MAX_WORKER_ATTEMPTS`; engine errors inside a healthy
+        worker are final answers.
+        """
+        loop = asyncio.get_running_loop()
+        req: Request = item.request
+        key, family = item.key, item.family
+        worker = self.worker_pool.get(
+            family, busy=frozenset(self._inflight - {family})
+        )
+        tenant = self.admission.tenant_budget(req.tenant)
+        doc = {
+            "op": req.op,
+            "params": req.params,
+            "tt": req.tt,
+            "budget": self._budget_with_default(req.budget),
+            "tenant_remaining": (
+                max(0, tenant.max_steps - tenant.steps)
+                if tenant.max_steps is not None
+                else None
+            ),
+        }
+        timeout = (
+            self.request_timeout + 5.0
+            if self.request_timeout is not None
+            else None
+        )
+        try:
+            reply = await loop.run_in_executor(
+                worker.executor,
+                functools.partial(worker.call, doc, timeout=timeout),
+            )
+        except WorkerDied:
+            self._worker_died(item)
+            return
+        except Exception as exc:
+            self.executed += 1
+            self._resolve(key, error=exc)
+            return
+        finally:
+            self._inflight.discard(family)
+            self._work.set()
+        delta = reply.get("stats_delta", {})
+        stats.merge_worker_totals(delta)
+        tenant.steps += int(delta.get("kernel_steps", 0))
+        self._finish(
+            req,
+            key,
+            reply.get("family", family),
+            reply.get("result", {}),
+            float(reply.get("wall_s", 0.0)),
+        )
+
+    def _worker_died(self, item: QueuedQuery) -> None:
+        """PR 4 pool-rebuild semantics for a dead worker process."""
+        key = item.key
+        self.result_cache.invalidate()  # its warm state is gone
+        self.worker_pool.restart(item.family)
+        attempt = self._attempts.get(key, 1)
+        if attempt < MAX_WORKER_ATTEMPTS:
+            self._attempts[key] = attempt + 1
+            if self.journal is not None:
+                self.journal.record_attempt(
+                    _row_task(item.request), attempt + 1, doc=item.request.doc()
+                )
+            self.admission.requeue(item)
+        else:
+            self.executed += 1
+            self._resolve(
+                key,
+                error=ServiceError(
+                    f"query {key} failed {attempt} times across worker "
+                    "restarts; giving up"
+                ),
+            )
+
+    def _budget_with_default(self, budget: dict | None) -> dict | None:
+        out = dict(budget or {})
+        if self.request_timeout is not None and "deadline_s" not in out:
+            out["deadline_s"] = self.request_timeout
+        return out or None
 
     def _resolve(
         self,
@@ -242,7 +491,11 @@ class Service:
             if fut.cancelled():
                 continue
             if error is not None:
-                fut.set_result(error_response(rid, error))
+                fut.set_result(
+                    error_response(
+                        rid, error, type_=getattr(error, "type_name", None)
+                    )
+                )
             else:
                 fut.set_result(
                     ok_response(
@@ -269,6 +522,12 @@ class Service:
             )
         if req.op == "stats":
             return ok_response(req.id, self.stats())
+        if req.op == "invalidate":
+            dropped = self.result_cache.invalidate()
+            return ok_response(
+                req.id,
+                {"invalidated": dropped, "epoch": self.result_cache.epoch},
+            )
         # shutdown: acknowledge, then stop once the queue drains.
         self._stopping = True
         self._work.set()
@@ -376,6 +635,18 @@ class Service:
             elif method == "GET" and path == "/stats":
                 body = encode(ok_response("stats", self.stats()))
                 writer.write(http("200 OK", body, "application/json"))
+            elif method == "POST" and path == "/invalidate":
+                dropped = self.result_cache.invalidate()
+                body = encode(
+                    ok_response(
+                        "invalidate",
+                        {
+                            "invalidated": dropped,
+                            "epoch": self.result_cache.epoch,
+                        },
+                    )
+                )
+                writer.write(http("200 OK", body, "application/json"))
             elif method == "POST" and path == "/query":
                 raw = await reader.readexactly(length) if length else b""
                 docs = []
@@ -455,8 +726,14 @@ class Service:
 
         Returns the number of queries executed.  Used by
         ``repro serve --drain-exit`` to finish a killed daemon's
-        in-flight work without opening any listener.
+        in-flight work without opening any listener.  Always runs
+        in-process (workers are stopped first): a drain's whole point
+        is a deterministic, self-contained completion of journaled
+        work, which one process provides with nothing to rebuild.
         """
+        if self.worker_pool is not None:
+            self.worker_pool.stop_all()
+            self.worker_pool = None
         before = self.executed
         self._stopping = True
         self._work.set()
@@ -466,6 +743,8 @@ class Service:
 
     def close(self) -> None:
         self._worker.shutdown(wait=True)
+        if self.worker_pool is not None:
+            self.worker_pool.stop_all()
         if self.journal is not None:
             self.journal.close()
         if self.admission.costs.path is not None:
@@ -479,18 +758,37 @@ class Service:
     # -- stats --------------------------------------------------------
 
     def stats(self) -> dict:
-        """The daemon's schema-v6 stats document."""
-        return {
+        """The daemon's schema-v7 stats document.
+
+        In multi-process mode the ``shards`` map is assembled from each
+        worker's most recent reply (warm state lives in the workers);
+        the ``workers`` block carries per-process pids, query counts,
+        and restart counts.
+        """
+        if self.worker_pool is not None:
+            shards: dict = {}
+            for worker in self.worker_pool.workers.values():
+                shards.update(worker.last_shards)
+        else:
+            shards = self.pool.stats()
+        doc = {
             "schema": stats.SCHEMA,
             "schema_version": stats.SCHEMA_VERSION,
             "protocol": PROTOCOL,
             "uptime_s": round(time.time() - self.started_at, 3),
             "pid": os.getpid(),
+            "mode": (
+                "multi-process" if self.worker_pool is not None else "in-process"
+            ),
             "queries_total": self.queries_total,
             "batched_total": self.batched_total,
             "executed": self.executed,
             "replayed": self.replayed,
             "queued": len(self.admission),
-            "shards": self.pool.stats(),
+            "result_cache": self.result_cache.stats(),
+            "shards": shards,
             "admission": self.admission.stats(),
         }
+        if self.worker_pool is not None:
+            doc["workers"] = self.worker_pool.stats()
+        return doc

@@ -13,7 +13,7 @@ Shards are keyed by benchmark *family* (:func:`family_of`): RNS
 converters, p-nary converters, decimal arithmetic, word lists, ad-hoc
 PLAs.  Families bound blast-radius — a huge word-list manager being
 housekept never disturbs the warm RNS tables — and give the per-shard
-counter blocks of stats schema v6 their meaning: each executed query's
+counter blocks of stats schema v7 their meaning: each executed query's
 :func:`repro.bdd.stats.counter_delta` is folded into its shard with
 :func:`repro.bdd.stats.merge_additive`, so warm-vs-cold cache behaviour
 is attributable per family.
@@ -27,11 +27,19 @@ locking of their own.
 from __future__ import annotations
 
 import hashlib
+from pathlib import Path
 
 from repro.benchfns.registry import get_benchmark
 from repro.bdd import stats
 from repro.bdd.governor import Budget
-from repro.bdd.io import charfunction_payload, payload_fingerprint
+from repro.bdd.io import (
+    canonical_payload,
+    charfunction_payload,
+    dump_snapshot,
+    load_snapshot,
+    payload_fingerprint,
+)
+from repro.errors import ReproError
 from repro.bdd.transfer import extract_charfunction
 from repro.cf.charfun import CharFunction
 from repro.cf.width import max_width
@@ -90,26 +98,90 @@ def _served_payload(cf: CharFunction) -> dict:
     """
     clean = extract_charfunction(cf)
     payload = charfunction_payload(clean)
-    return {"payload": payload, "fingerprint": payload_fingerprint(payload)}
+    return {
+        "payload": payload,
+        "fingerprint": payload_fingerprint(canon=canonical_payload(payload)),
+    }
 
 
 class Shard:
-    """One benchmark family's warm managers plus its counter block."""
+    """One benchmark family's warm managers plus its counter block.
 
-    def __init__(self, family: str) -> None:
+    ``cfs`` insertion order doubles as LRU recency (a warm hit
+    reinserts its key), so node-pressure eviction can drop the coldest
+    CF first.  With a ``snapshot_dir`` the shard consults RBCF binary
+    snapshots (:func:`repro.bdd.io.load_snapshot`) before building a
+    cold CF from scratch, and persists freshly built CFs back — that is
+    how a rebuilt worker process warms up in milliseconds instead of
+    re-running build+sift.
+    """
+
+    def __init__(
+        self, family: str, *, snapshot_dir: str | Path | None = None
+    ) -> None:
         self.family = family
-        #: Warm base CFs by cache key (benchmark name or PLA digest).
-        #: The CF's manager — with its computed tables and tt memo — is
-        #: what "warm" means; evicting an entry cold-starts that row.
+        self.snapshot_dir = Path(snapshot_dir) if snapshot_dir else None
+        #: Warm base CFs by cache key (benchmark name or PLA digest),
+        #: least-recently-used first.  The CF's manager — with its
+        #: computed tables and tt memo — is what "warm" means; evicting
+        #: an entry cold-starts that row.
         self.cfs: dict[str, CharFunction] = {}
+        #: Cache keys referenced by queries currently executing, with
+        #: reference counts.  Housekeeping never evicts a pinned CF —
+        #: an in-flight query holds its base CF's manager.
+        self._pins: dict[str, int] = {}
+        #: While a query executes, the keys it touched (so ``execute``
+        #: can unpin exactly what it pinned, reentrantly).
+        self._active: list[str] | None = None
         #: Additive engine counters attributed to this shard (schema
-        #: v6), accumulated with :func:`repro.bdd.stats.merge_additive`.
+        #: v7), accumulated with :func:`repro.bdd.stats.merge_additive`.
         self.counters: dict[str, int] = {}
         self.queries = 0
         self.warm_hits = 0
         self.cold_builds = 0
+        self.evicted_cfs = 0
+        self.snapshot_loads = 0
+        self.snapshot_writes = 0
 
     # -- warm base-CF cache -------------------------------------------
+
+    def _touch(self, key: str, cf: CharFunction) -> None:
+        """Mark a cache hit: re-insert the key at the recent end."""
+        self.cfs.pop(key, None)
+        self.cfs[key] = cf
+        if self._active is not None:
+            self._pins[key] = self._pins.get(key, 0) + 1
+            self._active.append(key)
+
+    def _snapshot_path(self, key: str) -> Path | None:
+        if self.snapshot_dir is None:
+            return None
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=10).hexdigest()
+        return self.snapshot_dir / f"{self.family}-{digest}.rbcf"
+
+    def _load_snapshot(self, key: str) -> CharFunction | None:
+        """A warm CF from the snapshot store, or None (always a miss
+        on corrupt/missing files — the build path is the repair)."""
+        path = self._snapshot_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            cf = load_snapshot(path)
+        except (ReproError, OSError):
+            return None
+        self.snapshot_loads += 1
+        return cf
+
+    def _store_snapshot(self, key: str, cf: CharFunction) -> None:
+        """Best-effort persist of a freshly built CF (never fatal)."""
+        path = self._snapshot_path(key)
+        if path is None:
+            return
+        try:
+            dump_snapshot(cf, path)
+        except (ReproError, OSError):
+            return
+        self.snapshot_writes += 1
 
     def base_cf(self, benchmark: str, *, sift: bool = True) -> CharFunction:
         """The built (and sifted) BDD_for_CF of a benchmark, warm-cached."""
@@ -117,13 +189,17 @@ class Shard:
         cf = self.cfs.get(key)
         if cf is not None:
             self.warm_hits += 1
+            self._touch(key, cf)
             return cf
-        bench = get_benchmark(benchmark)
-        cf = CharFunction.from_isf(bench.build())
-        if sift:
-            cf.sift(cost="auto")
-        self.cfs[key] = cf
-        self.cold_builds += 1
+        cf = self._load_snapshot(key)
+        if cf is None:
+            bench = get_benchmark(benchmark)
+            cf = CharFunction.from_isf(bench.build())
+            if sift:
+                cf.sift(cost="auto")
+            self.cold_builds += 1
+            self._store_snapshot(key, cf)
+        self._touch(key, cf)
         return cf
 
     def pla_cf(self, text: str, *, name: str | None) -> CharFunction:
@@ -133,12 +209,16 @@ class Shard:
         cf = self.cfs.get(key)
         if cf is not None:
             self.warm_hits += 1
+            self._touch(key, cf)
             return cf
-        isf = loads_pla(text, name=name or "pla")
-        cf = CharFunction.from_isf(isf)
-        cf.sift(cost="auto")
-        self.cfs[key] = cf
-        self.cold_builds += 1
+        cf = self._load_snapshot(key)
+        if cf is None:
+            isf = loads_pla(text, name=name or "pla")
+            cf = CharFunction.from_isf(isf)
+            cf.sift(cost="auto")
+            self.cold_builds += 1
+            self._store_snapshot(key, cf)
+        self._touch(key, cf)
         return cf
 
     # -- query execution ----------------------------------------------
@@ -152,6 +232,8 @@ class Shard:
         """
         before = stats.snapshot()
         self.queries += 1
+        outer_active = self._active
+        self._active = active = []
         try:
             if op == "width_reduce":
                 result = self._width_reduce(params)
@@ -164,6 +246,13 @@ class Shard:
             else:
                 raise ServiceError(f"shard cannot execute op {op!r}")
         finally:
+            self._active = outer_active
+            for key in active:
+                count = self._pins.get(key, 0) - 1
+                if count > 0:
+                    self._pins[key] = count
+                else:
+                    self._pins.pop(key, None)
             stats.merge_additive(
                 self.counters, stats.counter_delta(before, stats.snapshot())
             )
@@ -252,11 +341,20 @@ class Shard:
         return sum(b.num_alive_nodes() for b in managers.values())
 
     def housekeep(self, max_alive: int = DEFAULT_MAX_ALIVE) -> int:
-        """Collect query scratch when the shard exceeds ``max_alive``.
+        """Shed nodes when the shard exceeds ``max_alive``.
 
-        Keeps every warm base root (and its variable structure); frees
-        the cones left behind by reductions and decompositions.
-        Returns the number of nodes freed (0 when under the threshold —
+        Two escalating passes:
+
+        1. collect query scratch — keep every warm base root (and its
+           variable structure), free the cones left behind by
+           reductions and decompositions;
+        2. still over the ceiling: **evict whole CFs, coldest first**
+           (``cfs`` is in LRU order).  CFs pinned by an in-flight query
+           are never evicted — their managers are being traversed right
+           now.  Evicted CFs cold-start their next query (or reload
+           from a snapshot, when configured).
+
+        Returns the number of nodes freed (0 under the threshold —
         collection invalidates the very caches that make the shard
         warm, so it only runs under memory pressure).
         """
@@ -269,15 +367,25 @@ class Shard:
             roots.append(cf.root)
         for mgr, roots in by_manager.values():
             freed += mgr.collect(roots)
+        for key in list(self.cfs):
+            if self.alive_nodes() <= max_alive:
+                break
+            if self._pins.get(key, 0) > 0:
+                continue
+            del self.cfs[key]
+            self.evicted_cfs += 1
         return freed
 
     def stats(self) -> dict:
-        """This shard's schema-v6 counter block."""
+        """This shard's schema-v7 counter block."""
         return {
             "family": self.family,
             "queries": self.queries,
             "warm_hits": self.warm_hits,
             "cold_builds": self.cold_builds,
+            "evicted_cfs": self.evicted_cfs,
+            "snapshot_loads": self.snapshot_loads,
+            "snapshot_writes": self.snapshot_writes,
             "cached_cfs": len(self.cfs),
             "alive_nodes": self.alive_nodes(),
             "counters": dict(self.counters),
@@ -285,16 +393,24 @@ class Shard:
 
 
 class ShardPool:
-    """All warm shards of one daemon, created lazily per family."""
+    """All warm shards of one daemon (or worker process), lazy per family."""
 
-    def __init__(self, *, max_alive: int = DEFAULT_MAX_ALIVE) -> None:
+    def __init__(
+        self,
+        *,
+        max_alive: int = DEFAULT_MAX_ALIVE,
+        snapshot_dir: str | Path | None = None,
+    ) -> None:
         self.max_alive = max_alive
+        self.snapshot_dir = snapshot_dir
         self.shards: dict[str, Shard] = {}
 
     def get(self, family: str) -> Shard:
         shard = self.shards.get(family)
         if shard is None:
-            shard = self.shards[family] = Shard(family)
+            shard = self.shards[family] = Shard(
+                family, snapshot_dir=self.snapshot_dir
+            )
         return shard
 
     def execute(
@@ -330,5 +446,5 @@ class ShardPool:
         return family, result
 
     def stats(self) -> dict:
-        """The schema-v6 ``shards`` map for stats responses/payloads."""
+        """The schema-v7 ``shards`` map for stats responses/payloads."""
         return {family: shard.stats() for family, shard in self.shards.items()}

@@ -1,0 +1,142 @@
+"""RBCF binary snapshots: round trips, integrity checks, file handling.
+
+The snapshot format exists so a cold shard (or a freshly rebuilt worker
+process) warms up by bulk-loading packed node arrays instead of
+re-parsing a JSON payload node by node.  These tests pin the contract:
+byte-identical semantics with the JSON path (same payload fingerprint),
+loud failure on every corruption mode, and atomic file writes.  The
+"≥5× faster than JSON" acceptance criterion is measured in
+``benchmarks/bench_service.py`` (BENCH_PR8.json), not asserted here —
+wall-clock ratios do not belong in tier-1.
+"""
+
+import json
+
+import pytest
+
+from repro.benchfns.registry import get_benchmark
+from repro.bdd.io import (
+    SNAPSHOT_MAGIC,
+    charfunction_payload,
+    dump_snapshot,
+    load_charfunction_payload,
+    load_snapshot,
+    load_snapshot_bytes,
+    payload_fingerprint,
+    snapshot_bytes,
+)
+from repro.cf.charfun import CharFunction
+from repro.errors import BDDError
+
+
+@pytest.fixture(scope="module")
+def cf():
+    return CharFunction.from_isf(get_benchmark("3-5 RNS").build())
+
+
+@pytest.fixture(scope="module")
+def fingerprint(cf):
+    return payload_fingerprint(charfunction_payload(cf))
+
+
+class TestRoundTrip:
+    def test_bytes_round_trip_preserves_fingerprint(self, cf, fingerprint):
+        loaded = load_snapshot_bytes(snapshot_bytes(cf))
+        assert payload_fingerprint(charfunction_payload(loaded)) == fingerprint
+
+    def test_matches_json_path_semantics(self, cf, fingerprint):
+        """Snapshot and JSON loads of the same CF are interchangeable."""
+        payload = charfunction_payload(cf)
+        via_json = load_charfunction_payload(json.loads(json.dumps(payload)))
+        via_snap = load_snapshot_bytes(snapshot_bytes(cf))
+        assert payload_fingerprint(
+            charfunction_payload(via_json)
+        ) == payload_fingerprint(charfunction_payload(via_snap))
+
+    def test_loaded_cf_is_independent_and_usable(self, cf):
+        """The rebuilt CF lives in its own manager and can compute."""
+        from repro.cf.width import max_width
+
+        loaded = load_snapshot_bytes(snapshot_bytes(cf))
+        assert loaded.bdd is not cf.bdd
+        assert max_width(loaded.bdd, loaded.root) == max_width(
+            cf.bdd, cf.root
+        )
+
+    def test_round_trip_survives_selfcheck(self, cf, fingerprint, monkeypatch):
+        monkeypatch.setenv("REPRO_SELFCHECK", "1")
+        loaded = load_snapshot_bytes(snapshot_bytes(cf))
+        assert payload_fingerprint(charfunction_payload(loaded)) == fingerprint
+
+    def test_sifted_cf_round_trips(self):
+        cf = CharFunction.from_isf(get_benchmark("3-5 RNS").build())
+        cf.sift(cost="auto")
+        fp = payload_fingerprint(charfunction_payload(cf))
+        loaded = load_snapshot_bytes(snapshot_bytes(cf))
+        assert payload_fingerprint(charfunction_payload(loaded)) == fp
+
+
+class TestIntegrity:
+    def test_magic_is_checked(self, cf):
+        blob = bytearray(snapshot_bytes(cf))
+        blob[:4] = b"NOPE"
+        with pytest.raises(BDDError, match="magic"):
+            load_snapshot_bytes(bytes(blob))
+
+    def test_version_is_checked(self, cf):
+        blob = bytearray(snapshot_bytes(cf))
+        blob[4] = 250
+        with pytest.raises(BDDError, match="version"):
+            load_snapshot_bytes(bytes(blob))
+
+    def test_body_corruption_fails_checksum(self, cf):
+        blob = bytearray(snapshot_bytes(cf))
+        blob[-3] ^= 0xFF  # flip bits inside the packed body
+        with pytest.raises(BDDError, match="checksum"):
+            load_snapshot_bytes(bytes(blob))
+
+    def test_truncated_body_is_rejected(self, cf):
+        blob = snapshot_bytes(cf)
+        with pytest.raises(BDDError, match="body"):
+            load_snapshot_bytes(blob[:-8])
+
+    def test_truncated_header_is_rejected(self, cf):
+        blob = snapshot_bytes(cf)
+        with pytest.raises(BDDError):
+            load_snapshot_bytes(blob[:10])
+
+    def test_empty_input_is_rejected(self):
+        with pytest.raises(BDDError):
+            load_snapshot_bytes(b"")
+
+    def test_magic_constant_leads_the_file(self, cf):
+        assert snapshot_bytes(cf)[:4] == SNAPSHOT_MAGIC
+
+
+class TestFiles:
+    def test_dump_load_file_round_trip(self, cf, fingerprint, tmp_path):
+        path = tmp_path / "cf.rbcf"
+        assert dump_snapshot(cf, path) == path
+        loaded = load_snapshot(path)
+        assert payload_fingerprint(charfunction_payload(loaded)) == fingerprint
+
+    def test_dump_is_atomic_no_temp_leftovers(self, cf, tmp_path):
+        dump_snapshot(cf, tmp_path / "cf.rbcf")
+        assert [p.name for p in tmp_path.iterdir()] == ["cf.rbcf"]
+
+    def test_dump_creates_parent_directories(self, cf, tmp_path):
+        path = tmp_path / "nested" / "dir" / "cf.rbcf"
+        dump_snapshot(cf, path)
+        assert path.exists()
+
+    def test_load_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_snapshot(tmp_path / "absent.rbcf")
+
+    def test_load_corrupt_file_raises_bdderror(self, cf, tmp_path):
+        path = tmp_path / "cf.rbcf"
+        blob = bytearray(snapshot_bytes(cf))
+        blob[-1] ^= 0x01
+        path.write_bytes(bytes(blob))
+        with pytest.raises(BDDError):
+            load_snapshot(path)

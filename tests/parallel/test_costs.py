@@ -101,14 +101,53 @@ class TestRobustPersistence:
         data = json.loads(path.read_text())
         assert data["format"] == "repro-cost-model"
         assert data["estimates"] == {"table4:foo": 1.25}
-        # Only the final file remains: the temp staging file was renamed.
-        assert sorted(p.name for p in tmp_path.iterdir()) == ["costs.json"]
+        # Only the final file (plus the advisory lock file that guards
+        # concurrent merge-saves) remains: the temp staging file was
+        # renamed, never left behind.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "costs.json",
+            "costs.json.lock",
+        ]
 
     def test_save_then_load_roundtrip_after_overwrite(self, tmp_path):
         path = tmp_path / "costs.json"
         CostModel({"table5:a": 2.0}, path=path).save()
-        CostModel({"table5:a": 3.0}, path=path).save()  # overwrite in place
+        # An *observed* value overwrites in place (a merely-seeded one
+        # would lose to the on-disk value under merge-on-save).
+        second = CostModel(path=path)
+        second.observe("table5:a", 3.0)
+        second.save()
         assert CostModel.load(path).estimates == {"table5:a": 3.0}
+
+    def test_merge_save_preserves_concurrent_writers_keys(self, tmp_path):
+        """The shared-cost-file contract: a daemon and a sweep saving
+        to one file exchange observations instead of clobbering.  Keys
+        a model *observed* win over disk; everything else merges in."""
+        path = tmp_path / "costs.json"
+        sweep = CostModel(path=path)
+        sweep.observe("table4:row", 2.0)
+        sweep.save()
+        daemon = CostModel.load(path)
+        daemon.observe("query:width_reduce/abc", 0.25)
+        # Meanwhile the sweep re-saved with a fresher observation.
+        sweep.observe("table4:row", 4.0)
+        sweep.save()
+        daemon.save()
+        merged = CostModel.load(path).estimates
+        # The daemon never observed table4:row, so the sweep's latest
+        # value survived the daemon's later save; the daemon's own
+        # observation is there too.
+        assert merged["table4:row"] == 3.0  # EWMA of 2.0 then 4.0
+        assert merged["query:width_reduce/abc"] == 0.25
+        # The merged view also folded back into the daemon model.
+        assert daemon.estimates["table4:row"] == 3.0
+
+    def test_save_without_merge_overwrites(self, tmp_path):
+        path = tmp_path / "costs.json"
+        CostModel({"table5:a": 2.0}, path=path).save()
+        other = CostModel({"table5:b": 1.0}, path=path)
+        other.save(merge=False)
+        assert CostModel.load(path).estimates == {"table5:b": 1.0}
 
 
 class TestScheduling:

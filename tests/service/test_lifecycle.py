@@ -76,7 +76,7 @@ class TestSocketTransport:
             with SocketClient(sock) as client:
                 ping = client.call("ping")
                 assert ping["ok"]
-                assert ping["result"]["protocol"] == "repro-query-v1"
+                assert ping["result"]["protocol"] == "repro-query-v2"
                 assert ping["result"]["pid"] == proc.pid
 
                 reply = client.call("width_reduce", {"benchmark": BENCH})
@@ -87,7 +87,7 @@ class TestSocketTransport:
                 ]
 
                 stats = client.call("stats")["result"]
-                assert stats["schema"] == "repro-bench-v6"
+                assert stats["schema"] == "repro-bench-v7"
                 assert stats["executed"] == 1
 
                 bad = client.call("width_reduce", {"benchmark": "nonsense"})
@@ -232,13 +232,117 @@ class TestWarmVsColdProcesses:
 
                 assert client.call("width_reduce", {"benchmark": BENCH})["ok"]
                 h1, m1 = rates()
-                assert client.call("width_reduce", {"benchmark": BENCH})["ok"]
+                # A repeat without invalidation never reaches the
+                # engine: it is a cross-request result-cache hit.
+                repeat = client.call("width_reduce", {"benchmark": BENCH})
+                assert repeat["ok"] and repeat["meta"]["cached"]
+                hc, mc = rates()
+                assert (hc, mc) == (h1, m1)
+                # Invalidate, then repeat: now the engine runs again,
+                # on warm computed tables.
+                assert client.call("invalidate")["ok"]
+                rerun = client.call("width_reduce", {"benchmark": BENCH})
+                assert rerun["ok"] and not rerun["meta"].get("cached")
                 h2, m2 = rates()
+                cache = client.call("stats")["result"]["result_cache"]
+                assert cache["hits"] >= 1
+                assert cache["invalidations"] >= 1
         finally:
             stop_daemon(proc, sock)
         cold_rate = h1 / (h1 + m1)
         warm_rate = (h2 - h1) / ((h2 - h1) + (m2 - m1))
         assert warm_rate > cold_rate, (cold_rate, warm_rate)
+
+
+class TestClientConnectRetry:
+    def test_client_retries_until_socket_binds(self, tmp_path):
+        """``repro query`` racing ``repro serve`` at startup is normal:
+        the client retries with backoff instead of failing on the first
+        connection refusal."""
+        import socket as socket_mod
+        import threading
+
+        path = tmp_path / "late.sock"
+        served = {}
+
+        def bind_late():
+            time.sleep(0.3)
+            srv = socket_mod.socket(socket_mod.AF_UNIX, socket_mod.SOCK_STREAM)
+            srv.bind(str(path))
+            srv.listen(1)
+            conn, _ = srv.accept()
+            served["connected"] = True
+            conn.close()
+            srv.close()
+
+        thread = threading.Thread(target=bind_late)
+        thread.start()
+        try:
+            client = SocketClient(path, connect_timeout=10.0)
+            client.close()
+        finally:
+            thread.join()
+        assert served.get("connected")
+
+    def test_connect_timeout_raises_service_error(self, tmp_path):
+        from repro.errors import ServiceError
+
+        t0 = time.monotonic()
+        with pytest.raises(ServiceError, match="cannot connect"):
+            SocketClient(tmp_path / "never.sock", connect_timeout=0.2)
+        assert time.monotonic() - t0 >= 0.2
+
+    def test_read_timeout_raises_service_error(self, tmp_path):
+        """A wedged server surfaces as an error, not a client hang."""
+        import socket as socket_mod
+
+        from repro.errors import ServiceError
+
+        path = tmp_path / "mute.sock"
+        srv = socket_mod.socket(socket_mod.AF_UNIX, socket_mod.SOCK_STREAM)
+        srv.bind(str(path))
+        srv.listen(1)
+        try:
+            client = SocketClient(path, timeout=0.2)
+            client.send({"id": "x", "op": "ping", "params": {}})
+            with pytest.raises(ServiceError, match="timed out"):
+                client.recv()
+            client.close()
+        finally:
+            srv.close()
+
+
+class TestWorkerProcessDurability:
+    def test_sigkill_one_worker_daemon_recovers_transparently(self, tmp_path):
+        """The PR 8 durability criterion: SIGKILL of a single worker
+        process (not the daemon) is invisible to clients — the daemon
+        rebuilds the worker and the next query succeeds."""
+        proc, sock = start_daemon(tmp_path, "--workers", "2")
+        try:
+            with SocketClient(sock, timeout=120) as client:
+                first = client.call("width_reduce", {"benchmark": BENCH})
+                assert first["ok"], first
+                stats = client.call("stats")["result"]
+                assert stats["mode"] == "multi-process"
+                worker = stats["workers"]["processes"]["rns"]
+                assert worker["alive"] and worker["pid"] != proc.pid
+                os.kill(worker["pid"], signal.SIGKILL)
+
+                # Different params so the result cache cannot mask a
+                # broken engine path (cache was invalidated anyway).
+                again = client.call(
+                    "width_reduce", {"benchmark": BENCH, "sift": False}
+                )
+                assert again["ok"], again
+                after = client.call("stats")["result"]
+                rebuilt = after["workers"]["processes"]["rns"]
+                assert rebuilt["alive"]
+                assert rebuilt["pid"] != worker["pid"]
+                assert rebuilt["restarts"] == 1
+                assert after["result_cache"]["invalidations"] >= 1
+        finally:
+            stop_daemon(proc, sock)
+        assert proc.wait(timeout=30) == 0
 
 
 @pytest.mark.skipif(not hasattr(signal, "SIGKILL"), reason="needs SIGKILL")

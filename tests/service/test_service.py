@@ -27,11 +27,11 @@ def wr_request(rid: str, benchmark: str = BENCH, **extra) -> Request:
     return Request(id=rid, op="width_reduce", params={"benchmark": benchmark, **extra})
 
 
-def run_service(coro_fn):
+def run_service(coro_fn, **service_kwargs):
     """Run ``coro_fn(service)`` against a fresh listener-less daemon."""
 
     async def main():
-        service = Service()
+        service = Service(**service_kwargs)
         pump = asyncio.ensure_future(service._pump())
         try:
             return await coro_fn(service)
@@ -48,7 +48,9 @@ class TestWarmShards:
     def test_second_identical_query_is_warmer(self):
         """The acceptance criterion: serving the same query twice from
         one warm shard shows a higher computed-table hit rate than the
-        cold run — the manager (computed tables, tt memo) persisted."""
+        cold run — the manager (computed tables, tt memo) persisted.
+        The result cache is disabled here so the repeat actually
+        reaches the engine (its zero-pass behaviour has its own test)."""
 
         async def scenario(service):
             first = await service.handle_request(wr_request("q1"))
@@ -57,7 +59,9 @@ class TestWarmShards:
             counters_warm = service.pool.get("rns").counters
             return first, second, counters_cold, counters_warm
 
-        first, second, cold, warm = run_service(scenario)
+        first, second, cold, warm = run_service(
+            scenario, result_cache_size=0
+        )
         assert first["ok"] and second["ok"]
         assert first["result"]["fingerprint"] == second["result"]["fingerprint"]
         cold_lookups = cold["cache_hits"] + cold["cache_misses"]
@@ -67,14 +71,17 @@ class TestWarmShards:
         warm_rate = warm_hits / (warm_hits + warm_misses)
         assert warm_rate > cold_rate + 0.2, (cold_rate, warm_rate)
 
-    def test_shard_stats_in_v6_schema(self):
+    def test_shard_stats_in_v7_schema(self):
         async def scenario(service):
             await service.handle_request(wr_request("q1"))
             return service.stats()
 
         stats = run_service(scenario)
-        assert stats["schema"] == "repro-bench-v6"
-        assert stats["schema_version"] == 6
+        assert stats["schema"] == "repro-bench-v7"
+        assert stats["schema_version"] == 7
+        assert stats["mode"] == "in-process"
+        cache = stats["result_cache"]
+        assert set(cache) >= {"hits", "misses", "invalidations", "epoch"}
         shard = stats["shards"]["rns"]
         assert shard["queries"] == 1
         assert shard["cold_builds"] == 1
