@@ -1,6 +1,6 @@
-"""Query-service benchmarks (BENCH_SERVICE.json + BENCH_PR8.json).
+"""Query-service benchmarks (BENCH_SERVICE.json + BENCH_PR8/PR9.json).
 
-Two artefacts:
+Three artefacts:
 
 * ``BENCH_SERVICE.json`` — the PR 7 claim: the second identical query
   against a warm shard is substantially faster than the first (cold)
@@ -12,6 +12,12 @@ Two artefacts:
   loads beating the JSON payload path by >= 5x on the decimal
   multiplier, and 1-vs-2 worker-process throughput on a mixed
   two-family workload.
+* ``BENCH_PR9.json`` — the PR 9 resilience claims: under a saturating
+  mix of slow cascades and cheap reductions the bounded queue sheds
+  the overflow with structured ``overloaded`` errors (reported
+  honestly, shed for shed), the admitted cheap queries keep a sane
+  p95, and ``deadline_ms`` cuts a long build short; the shed /
+  deadline counters from the daemon's v8 stats ride along.
 
 The daemon is driven in-process (no sockets) through
 :class:`repro.service.server.Service` so the benchmarks time engine
@@ -49,6 +55,7 @@ from conftest import REPO_ROOT, bench_full
 
 BENCH_SERVICE = REPO_ROOT / "BENCH_SERVICE.json"
 BENCH_PR8 = REPO_ROOT / "BENCH_PR8.json"
+BENCH_PR9 = REPO_ROOT / "BENCH_PR9.json"
 
 BENCHMARKS = ["3-5 RNS", "3-5-7 RNS"] + (["5-7-11 RNS"] if bench_full() else [])
 
@@ -72,6 +79,22 @@ def _merge_pr8(section: str, payload) -> None:
             pass
     doc.setdefault("sections", {})[section] = payload
     BENCH_PR8.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def _merge_pr9(section: str, payload) -> None:
+    """Fold one section into BENCH_PR9.json (tests run in file order)."""
+    doc = {
+        "schema": stats.SCHEMA,
+        "schema_version": stats.SCHEMA_VERSION,
+        "sections": {},
+    }
+    if BENCH_PR9.exists():
+        try:
+            doc = json.loads(BENCH_PR9.read_text())
+        except json.JSONDecodeError:
+            pass
+    doc.setdefault("sections", {})[section] = payload
+    BENCH_PR9.write_text(json.dumps(doc, indent=2) + "\n")
 
 
 def _run_daemon(coro_fn, **service_kwargs):
@@ -369,4 +392,114 @@ def test_worker_throughput_1_vs_2(tmp_path):
     print(
         f"throughput: engine thread {row['throughput_0_qps']} q/s, "
         f"2 workers {row['throughput_2_qps']} q/s ({row['speedup']}x)"
+    )
+
+
+def test_overload_shedding_and_deadlines():
+    """The PR 9 overload leg: a saturating burst against a bounded queue.
+
+    Twelve concurrent requests — slow cascades interleaved with cheap
+    width reductions — hit a daemon whose admission queue holds six.
+    The overflow is shed *immediately* with structured ``overloaded``
+    errors carrying retry-after hints (one reported shed per refused
+    request, no hangs, no resets), the admitted cheap queries overtake
+    the cascades (shortest-job-first) and keep a bounded p95, and a
+    follow-up ``deadline_ms`` query shows the cooperative deadline
+    cutting a ~1s build short.  The daemon's v8 counters are recorded
+    so the artefact states the shed rate honestly.
+    """
+    depth = 6
+    slow = [
+        ("cascade", {"benchmark": "3-5 RNS", "reduce": r, "sift": s})
+        for r in (True, False)
+        for s in (True, False)
+    ][:4]
+    cheap = [
+        ("width_reduce", {"benchmark": b, "sift": s})
+        for b in ("3-5 RNS", "3-7 RNS")
+        for s in (True, False)
+    ] + [
+        ("width_reduce", {"benchmark": b, "sift": True, "payload": True})
+        for b in ("3-5 RNS", "3-7 RNS")
+    ] + [
+        ("decompose", {"benchmark": b, "cut_height": 3})
+        for b in ("3-5 RNS", "3-7 RNS")
+    ]
+    # cheap, slow, cheap, slow, ... so the admitted six mix both kinds.
+    workload: list = []
+    for i in range(max(len(slow), len(cheap))):
+        if i < len(cheap):
+            workload.append(("cheap", *cheap[i]))
+        if i < len(slow):
+            workload.append(("slow", *slow[i]))
+
+    async def scenario(service):
+        async def tracked(i, kind, op, params):
+            t0 = time.perf_counter()
+            doc = await service.handle_request(
+                Request(id=f"{kind}{i}", op=op, params=params)
+            )
+            return kind, doc, time.perf_counter() - t0
+
+        rows = await asyncio.gather(
+            *(
+                tracked(i, kind, op, params)
+                for i, (kind, op, params) in enumerate(workload)
+            )
+        )
+        # Deadline leg on the same daemon: a ~1s cold build bounded to
+        # 200ms aborts at a governor checkpoint; the thread survives.
+        cut = await service.handle_request(
+            Request(
+                id="cut",
+                op="width_reduce",
+                params={"benchmark": "5-7-11-13 RNS"},
+                deadline_ms=200,
+            )
+        )
+        after = await service.handle_request(
+            Request(id="after", op="width_reduce", params={"benchmark": "3-5 RNS"})
+        )
+        return rows, cut, after, service.stats()
+
+    rows, cut, after, svc_stats = _run_daemon(
+        scenario, max_queue_depth=depth, result_cache_size=0
+    )
+    served = [r for r in rows if r[1]["ok"]]
+    shed = [r for r in rows if not r[1]["ok"]]
+    assert len(served) == depth, [r[1] for r in shed]
+    assert len(shed) == len(workload) - depth
+    for _, doc, wall in shed:
+        assert doc["error"]["code"] == "overloaded", doc
+        assert doc["error"]["retry_after"] > 0
+        assert wall < 5.0, "a shed must be an immediate refusal"
+    assert svc_stats["shed_total"] == len(shed), "sheds reported honestly"
+    cheap_served = sorted(w for k, d, w in served if k == "cheap")
+    assert cheap_served, "some cheap traffic must survive the burst"
+    cheap_p95_ms = cheap_served[
+        min(len(cheap_served) - 1, int(0.95 * len(cheap_served)))
+    ] * 1e3
+    assert cheap_p95_ms < 30_000, cheap_served
+    assert cut["ok"] is False and cut["error"]["code"] == "deadline_exceeded"
+    assert after["ok"], "the engine thread survived the aborted build"
+    assert svc_stats["deadline_exceeded_total"] == 1
+    row = {
+        "requests": len(workload),
+        "max_queue_depth": depth,
+        "served": len(served),
+        "shed": len(shed),
+        "shed_total": svc_stats["shed_total"],
+        "deadline_exceeded_total": svc_stats["deadline_exceeded_total"],
+        "cheap_served": len(cheap_served),
+        "cheap_p95_ms": round(cheap_p95_ms, 3),
+        "slow_served": len(served) - len(cheap_served),
+        "retry_after_s": [round(d["error"]["retry_after"], 3) for _, d, _ in shed],
+        "watchdog_stage": svc_stats["watchdog"]["stage_name"],
+    }
+    _merge_pr9("overload", row)
+    print(
+        f"overload: {row['served']}/{row['requests']} served, "
+        f"{row['shed']} shed (counter {row['shed_total']}), cheap p95 "
+        f"{row['cheap_p95_ms']}ms, deadlines cut "
+        f"{row['deadline_exceeded_total']}"
     )

@@ -1,0 +1,152 @@
+"""Deterministic fault injection shared by the sweep executor and the service.
+
+PR 4 introduced ``REPRO_FAULT_INJECT`` for the parallel sweep executor
+(:mod:`repro.parallel.tasks`); PR 9 extracts the machinery here so the
+query service can arm the *same* faults in its shard workers and its
+asyncio front-end, and the chaos tests can drive every process kind
+from one spec.
+
+``REPRO_FAULT_INJECT`` holds a ``;``-separated list of ``mode=site`` or
+``mode=site@count`` entries.  A *site* is any stable string the
+instrumented code passes to :func:`fire` — row-task keys
+(``table4:5xp1``), service worker families (``service:rns``), or
+front-end ops (``frontend:decompose``).  Modes:
+
+* ``crash``  — the process dies with ``os._exit`` (simulated segfault).
+  In the *parent* process (see below) the fault degrades to raising
+  :class:`~repro.errors.FaultInjected` so retry paths are exercised
+  without killing the host.
+* ``hang``   — sleeps ``REPRO_FAULT_HANG_S`` seconds (default 3600),
+  long enough to trip any deadline.  Raises in the parent.
+* ``raise``  — raises :class:`~repro.errors.FaultInjected` anywhere.
+* ``pickle`` — returns :data:`UNPICKLABLE` for the caller to attach to
+  its result so shipping it across a process boundary fails.  A no-op
+  in the parent, where nothing is pickled.
+* ``abort``  — ``os._exit`` even in the parent, simulating a
+  whole-process kill (OOM killer, Ctrl-C, preempted runner).
+* ``slow``   — sleeps ``REPRO_FAULT_SLOW_S`` seconds (default 2.0) and
+  then continues normally, in parent and worker alike: the work
+  *succeeds*, just slowly.  This is the mode deadline and overload
+  tests use to manufacture expensive queries deterministically.
+* ``oom``    — raises :class:`MemoryError` anywhere, simulating an
+  allocation failure inside the engine.
+
+``@count`` caps how many times an entry fires.  Cross-process counting
+needs ``REPRO_FAULT_STATE`` to name a shared directory (one append-only
+counter file per entry); without it counts are per-process, which only
+suffices for single-process runs.
+
+Parent-vs-worker: callers thread the host pid explicitly (``parent=``),
+never through ``os.environ`` — the sweep executor stamps it into
+``RowTask.fault_parent``, the service passes the daemon pid to its
+shard workers at spawn — so concurrent sweeps inside one process
+cannot clobber each other's marker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from typing import Any
+
+from repro.errors import FaultInjected
+
+__all__ = ["MODES", "UNPICKLABLE", "claim", "fire", "parse_spec"]
+
+#: Every recognised fault mode, in documentation order.
+MODES = ("crash", "hang", "raise", "pickle", "abort", "slow", "oom")
+
+#: Sentinel returned by the ``pickle`` mode; module-level lambdas the
+#: pickler cannot resolve make shipping a result fail.
+UNPICKLABLE = lambda: None  # noqa: E731
+
+_LOCAL_FIRES: dict[str, int] = {}
+
+
+def parse_spec(spec: str) -> list[tuple[str, str, int | None]]:
+    """``"crash=table4:foo;hang=service:rns@2"`` -> [(mode, site, count)]."""
+    entries: list[tuple[str, str, int | None]] = []
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if not chunk or "=" not in chunk:
+            continue
+        mode, _, site = chunk.partition("=")
+        count: int | None = None
+        if "@" in site:
+            site, _, raw = site.rpartition("@")
+            try:
+                count = int(raw)
+            except ValueError:
+                count = None
+        entries.append((mode.strip(), site.strip(), count))
+    return entries
+
+
+def claim(entry: str, limit: int) -> bool:
+    """True while the count-limited ``entry`` has fires left.
+
+    Cross-process counting uses one append-only file per entry under
+    ``REPRO_FAULT_STATE`` (each fire appends a byte); without a state
+    dir the count is tracked per process.
+    """
+    state_dir = os.environ.get("REPRO_FAULT_STATE")
+    if not state_dir:
+        fired = _LOCAL_FIRES.get(entry, 0)
+        if fired >= limit:
+            return False
+        _LOCAL_FIRES[entry] = fired + 1
+        return True
+    name = hashlib.blake2b(entry.encode("utf-8"), digest_size=8).hexdigest()
+    path = os.path.join(state_dir, f"fault-{name}")
+    try:
+        with open(path, "ab") as handle:
+            if handle.tell() >= limit:
+                return False
+            handle.write(b"\x01")
+        return True
+    except OSError:
+        return True  # unusable state dir: fail open so the test still faults
+
+
+def fire(site: str, *, parent: int | None = None) -> Any | None:
+    """Fire any fault configured for ``site``; returns a result poison.
+
+    Returns ``None`` normally, or :data:`UNPICKLABLE` which the caller
+    must attach to its result (``pickle`` mode).  ``crash``/``hang``
+    never return in a worker process.  ``parent`` is the pid of the
+    host/daemon process; when the *current* process is the parent,
+    process-killing modes degrade to raising
+    :class:`~repro.errors.FaultInjected` (except ``abort``).
+    """
+    spec = os.environ.get("REPRO_FAULT_INJECT")
+    if not spec:
+        return None
+    in_parent = parent is not None and parent == os.getpid()
+    for mode, key, count in parse_spec(spec):
+        if key != site:
+            continue
+        entry = f"{mode}={key}"
+        if count is not None and not claim(entry, count):
+            continue
+        if mode == "abort":
+            os._exit(32)  # kill the whole process, parent or worker
+        if mode == "crash":
+            if in_parent:
+                raise FaultInjected(f"injected crash for {site} (in parent)")
+            os._exit(32)
+        if mode == "hang":
+            if in_parent:
+                raise FaultInjected(f"injected hang for {site} (in parent)")
+            time.sleep(float(os.environ.get("REPRO_FAULT_HANG_S", "3600")))
+            continue
+        if mode == "slow":
+            time.sleep(float(os.environ.get("REPRO_FAULT_SLOW_S", "2.0")))
+            continue
+        if mode == "raise":
+            raise FaultInjected(f"injected failure for {site}")
+        if mode == "oom":
+            raise MemoryError(f"injected oom for {site}")
+        if mode == "pickle" and not in_parent:
+            return UNPICKLABLE
+    return None

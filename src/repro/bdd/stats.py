@@ -52,9 +52,16 @@ from pathlib import Path
 #: :mod:`repro.service.workers`) and the cross-request result-cache
 #: counters (``result_cache_hits`` / ``result_cache_misses`` /
 #: ``result_cache_invalidations`` plus the invalidation ``epoch``)
-#: carried in service ``stats`` responses and BENCH_PR8 payloads.
-SCHEMA = "repro-bench-v7"
-SCHEMA_VERSION = 7
+#: carried in service ``stats`` responses and BENCH_PR8 payloads.  v8
+#: adds the service resilience blocks (PR 9): ``shed_total`` and
+#: ``deadline_exceeded_total`` tallies, per-family circuit-breaker
+#: state (``breakers`` map: state / failures / opens / retry_after,
+#: see :class:`repro.service.workers.CircuitBreaker`) inside the
+#: ``workers`` block, and the memory ``watchdog`` sampling block
+#: (RSS / alive-node readings plus the staged-degradation counters,
+#: see :mod:`repro.service.watchdog`).
+SCHEMA = "repro-bench-v8"
+SCHEMA_VERSION = 8
 
 #: Counters that add across managers and processes.  ``peak_nodes``
 #: aggregates with ``max`` instead and is handled separately.

@@ -197,7 +197,56 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         metavar="N",
         help="per-shard alive-node ceiling before query scratch is "
-        "collected (default: 2,000,000)",
+        "collected (default: $REPRO_MAX_ALIVE or 2,000,000)",
+    )
+    pserve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission queue bound: past N queued queries new requests "
+        "are shed with a structured 'overloaded' error (default: unbounded)",
+    )
+    pserve.add_argument(
+        "--tenant-max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-tenant cap on admitted-but-unanswered queries; excess "
+        "requests are shed with 'overloaded' (default: unlimited)",
+    )
+    pserve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="K",
+        help="consecutive worker deaths/timeouts before a family's "
+        "circuit breaker opens and fails fast with 'circuit_open' "
+        "(default: 3; multi-process mode only)",
+    )
+    pserve.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds an open circuit breaker waits before letting one "
+        "half-open probe query through (default: 30)",
+    )
+    pserve.add_argument(
+        "--rss-limit-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="memory watchdog RSS ceiling; past it the daemon degrades "
+        "in stages — housekeep, evict coldest worker, shed admissions "
+        "(default: watchdog samples but never triggers)",
+    )
+    pserve.add_argument(
+        "--watchdog-interval",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="seconds between memory watchdog samples (default: 5)",
     )
     pserve.add_argument(
         "--request-timeout",
@@ -277,6 +326,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         metavar="S",
         help="wall-clock deadline for this query",
+    )
+    pquery.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help="server-side deadline: the daemon answers deadline_exceeded "
+        "(exit 124) if the query has not finished MS milliseconds after "
+        "admission, and the worker stays reusable",
     )
     pquery.add_argument(
         "--timeout",
@@ -618,7 +676,6 @@ def _cmd_serve(args) -> int:
     import asyncio
 
     from repro.service.server import DEFAULT_RESULT_CACHE, Service
-    from repro.service.shards import DEFAULT_MAX_ALIVE
 
     http_host, http_port = None, 0
     if args.http:
@@ -635,11 +692,18 @@ def _cmd_serve(args) -> int:
         resume=args.resume,
         cost_path=args.cost_file,
         tenant_max_steps=args.tenant_max_steps,
-        max_alive=(
-            args.housekeep_nodes
-            if args.housekeep_nodes is not None
-            else DEFAULT_MAX_ALIVE
+        # None defers to default_max_alive() -> $REPRO_MAX_ALIVE.
+        max_alive=args.housekeep_nodes,
+        max_queue_depth=args.max_queue_depth,
+        tenant_max_inflight=args.tenant_max_inflight,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
+        rss_limit_bytes=(
+            args.rss_limit_mb * 1024 * 1024
+            if args.rss_limit_mb is not None
+            else None
         ),
+        watchdog_interval_s=args.watchdog_interval,
         request_timeout=args.request_timeout,
         # A drain must be deterministic and self-contained, so it
         # always runs in-process regardless of --workers.
@@ -679,8 +743,22 @@ def _cmd_serve(args) -> int:
 def _cmd_query(args) -> int:
     import json
 
-    from repro.errors import ServiceError
+    from repro.errors import (
+        CircuitOpenError,
+        DeadlineError,
+        OverloadedError,
+        ServiceError,
+    )
     from repro.service.client import SocketClient
+
+    # sysexits-style codes so shell retry loops can branch on $?:
+    # 75 = EX_TEMPFAIL (overloaded), 124 = timeout convention
+    # (deadline_exceeded), 69 = EX_UNAVAILABLE (circuit_open).
+    error_exits = (
+        (OverloadedError, 75),
+        (DeadlineError, 124),
+        (CircuitOpenError, 69),
+    )
 
     params: dict = {}
     if args.params:
@@ -720,7 +798,13 @@ def _cmd_query(args) -> int:
                 tenant=args.tenant,
                 tt=tt or None,
                 budget=budget or None,
+                deadline_ms=args.deadline_ms,
             )
+    except (OverloadedError, DeadlineError, CircuitOpenError) as exc:
+        retry_after = getattr(exc, "retry_after", None)
+        hint = f" (retry after {retry_after:.3f}s)" if retry_after else ""
+        print(f"query refused: {exc}{hint}", file=sys.stderr)
+        return next(code for cls, code in error_exits if isinstance(exc, cls))
     except ServiceError as exc:
         print(f"query failed: {exc}", file=sys.stderr)
         return 1

@@ -192,6 +192,40 @@ class RemoteQueryError(ServiceError):
         self.type_name = type_name
 
 
+class OverloadedError(ServiceError):
+    """The service shed this request instead of queueing it unboundedly.
+
+    Raised at admission time when the queue depth bound, a per-tenant
+    in-flight cap, or the memory watchdog's shedding stage refuses the
+    request.  Maps onto the structured ``overloaded`` error response;
+    :attr:`retry_after` is a backoff hint in seconds derived from the
+    EWMA cost model's view of the queued work.
+    """
+
+    code = "overloaded"
+
+    def __init__(self, message: str, *, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class CircuitOpenError(ServiceError):
+    """A shard family's circuit breaker is open; the request failed fast.
+
+    After K consecutive worker deaths/timeouts for one family the
+    dispatcher stops burning the pool's restart budget on it and
+    answers ``circuit_open`` immediately until the half-open probe
+    timer expires.  :attr:`retry_after` is the remaining open time in
+    seconds.
+    """
+
+    code = "circuit_open"
+
+    def __init__(self, message: str, *, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class ProtocolError(ServiceError):
     """A service request line could not be parsed or validated.
 
@@ -206,7 +240,8 @@ class FaultInjected(ReproError):
     """A deterministic test fault fired (``REPRO_FAULT_INJECT``).
 
     Only ever raised when the fault-injection environment hook of
-    :mod:`repro.parallel.tasks` is armed; it exists so the executor's
-    recovery paths (retry, pool rebuild, quarantine) are testable in CI
-    without depending on real crashes.
+    :mod:`repro._faults` is armed; it exists so the executor's and the
+    query service's recovery paths (retry, pool rebuild, quarantine,
+    circuit breaking) are testable in CI without depending on real
+    crashes.
     """

@@ -20,45 +20,26 @@ same result in any process at any ``--jobs`` value.
 Fault injection (tests and CI only): ``REPRO_FAULT_INJECT`` holds a
 ``;``-separated list of ``mode=rowkey`` or ``mode=rowkey@count``
 entries; :func:`execute_task` consults it on entry and fires the
-matching fault deterministically.  Modes:
-
-* ``crash``  — the worker dies with ``os._exit`` (simulates a segfault;
-  the parent sees ``BrokenProcessPool``).  In the parent process the
-  fault degrades to raising :class:`~repro.errors.FaultInjected`, so
-  the in-process retry path is exercised without killing the sweep.
-* ``hang``   — the worker sleeps ``REPRO_FAULT_HANG_S`` seconds
-  (default 3600), long enough to trip any row deadline.  In the parent
-  it raises instead.
-* ``raise``  — raises :class:`~repro.errors.FaultInjected` anywhere.
-* ``pickle`` — poisons the result with an unpicklable object so the
-  worker fails while shipping it back (a no-op in the parent, where
-  nothing is pickled).
-* ``abort``  — ``os._exit`` even in the parent process, simulating a
-  whole-sweep kill (OOM, Ctrl-C, preempted runner).  Unlike ``crash``
-  it never degrades to an exception, so it is the mode the
-  journal-resume tests and the CI resume-smoke job use to kill a
-  ``jobs=1`` sweep mid-run.
-
-``@count`` limits how many times an entry fires; cross-process
-counting needs ``REPRO_FAULT_STATE`` to name a shared directory (one
-counter file per entry).  The executor stamps each task with its own
-pid (``RowTask.fault_parent``) so a fault can tell parent from worker;
-the marker travels *in the task description*, never through
-``os.environ``, so concurrent sweeps inside one process (the query
-service) cannot clobber each other's parent marker.
+matching fault deterministically.  The machinery is shared with the
+query service and lives in :mod:`repro._faults` (see its docstring for
+the full mode list — crash/hang/raise/pickle/abort/slow/oom); a row
+task's fault *site* is its :attr:`RowTask.key`.  The executor stamps
+each task with its own pid (``RowTask.fault_parent``) so a fault can
+tell parent from worker; the marker travels *in the task description*,
+never through ``os.environ``, so concurrent sweeps inside one process
+(the query service) cannot clobber each other's parent marker.
 """
 
 from __future__ import annotations
 
-import hashlib
 import os
 import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import _faults
 from repro.errors import (
     DeadlineError,
-    FaultInjected,
     ReproError,
     ResourceLimitError,
 )
@@ -186,61 +167,14 @@ class TaskResult:
 
 
 # ----------------------------------------------------------------------
-# Deterministic fault injection (see module docstring)
+# Deterministic fault injection (see module docstring).  The machinery
+# lives in :mod:`repro._faults` since PR 9 so the query service can arm
+# the same spec; these aliases keep the executor-era names importable.
 # ----------------------------------------------------------------------
 
-
-def _parse_fault_spec(spec: str) -> list[tuple[str, str, int | None]]:
-    """``"crash=table4:foo;hang=table5:bar@2"`` -> [(mode, key, count)]."""
-    entries: list[tuple[str, str, int | None]] = []
-    for chunk in spec.split(";"):
-        chunk = chunk.strip()
-        if not chunk or "=" not in chunk:
-            continue
-        mode, _, key = chunk.partition("=")
-        count: int | None = None
-        if "@" in key:
-            key, _, raw = key.rpartition("@")
-            try:
-                count = int(raw)
-            except ValueError:
-                count = None
-        entries.append((mode.strip(), key.strip(), count))
-    return entries
-
-
-def _claim_fault(entry: str, limit: int) -> bool:
-    """True while the count-limited ``entry`` has fires left.
-
-    Cross-process counting uses one append-only file per entry under
-    ``REPRO_FAULT_STATE`` (each fire appends a byte); without a state
-    dir the count is tracked per process, which only suffices for
-    in-parent (jobs=1 / final-attempt) runs.
-    """
-    state_dir = os.environ.get("REPRO_FAULT_STATE")
-    if not state_dir:
-        fired = _LOCAL_FIRES.get(entry, 0)
-        if fired >= limit:
-            return False
-        _LOCAL_FIRES[entry] = fired + 1
-        return True
-    name = hashlib.blake2b(entry.encode("utf-8"), digest_size=8).hexdigest()
-    path = os.path.join(state_dir, f"fault-{name}")
-    try:
-        with open(path, "ab") as handle:
-            if handle.tell() >= limit:
-                return False
-            handle.write(b"\x01")
-        return True
-    except OSError:
-        return True  # unusable state dir: fail open so the test still faults
-
-
-_LOCAL_FIRES: dict[str, int] = {}
-
-#: Sentinel planted in a ``TaskResult`` by the ``pickle`` fault mode;
-#: module-level lambdas the pickler cannot resolve make shipping fail.
-_UNPICKLABLE = lambda: None  # noqa: E731
+_parse_fault_spec = _faults.parse_spec
+_claim_fault = _faults.claim
+_UNPICKLABLE = _faults.UNPICKLABLE
 
 
 def _maybe_inject(task: RowTask) -> Any | None:
@@ -250,33 +184,7 @@ def _maybe_inject(task: RowTask) -> Any | None:
     attach to its result (``pickle`` mode).  ``crash``/``hang`` never
     return in a worker process.
     """
-    spec = os.environ.get("REPRO_FAULT_INJECT")
-    if not spec:
-        return None
-    parent = task.fault_parent
-    in_parent = parent is not None and parent == os.getpid()
-    for mode, key, count in _parse_fault_spec(spec):
-        if key != task.key:
-            continue
-        entry = f"{mode}={key}"
-        if count is not None and not _claim_fault(entry, count):
-            continue
-        if mode == "abort":
-            os._exit(32)  # kill the whole process, parent or worker
-        if mode == "crash":
-            if in_parent:
-                raise FaultInjected(f"injected crash for {task.key} (in parent)")
-            os._exit(32)
-        if mode == "hang":
-            if in_parent:
-                raise FaultInjected(f"injected hang for {task.key} (in parent)")
-            time.sleep(float(os.environ.get("REPRO_FAULT_HANG_S", "3600")))
-            continue
-        if mode == "raise":
-            raise FaultInjected(f"injected failure for {task.key}")
-        if mode == "pickle" and not in_parent:
-            return _UNPICKLABLE
-    return None
+    return _faults.fire(task.key, parent=task.fault_parent)
 
 
 def _run_table4(

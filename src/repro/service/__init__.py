@@ -15,35 +15,47 @@ Modules:
   content-addressed query keys.
 * :mod:`repro.service.shards` — the warm shard pool: per-family base-CF
   caches (LRU + snapshot-backed), per-shard counters (stats schema
-  v7), query execution.
+  v8), query execution.
 * :mod:`repro.service.admission` — cost-model-ordered admission queues
   (shortest-job-first, per family) and per-tenant cumulative budgets.
 * :mod:`repro.service.workers` — per-family shard worker processes and
   the pipe RPC the daemon dispatches over.
 * :mod:`repro.service.server` — the asyncio daemon: batching, the
   cross-request result cache, journal-backed durability, drain/resume.
+* :mod:`repro.service.watchdog` — the memory watchdog's staged
+  degradation ladder (housekeep, evict, shed).
 * :mod:`repro.service.client` — small blocking client used by
   ``repro query`` and the tests.
+
+The PR 9 resilience layer threads through all of them: bounded
+admission with load shedding (``overloaded``), per-query
+``deadline_ms`` deadlines (``deadline_exceeded``), per-family circuit
+breakers (``circuit_open``), and the chaos hooks of
+:mod:`repro._faults` armed at the worker and front-door sites.
 """
 
 from repro.service.admission import Admission, QueuedQuery
-from repro.service.client import SocketClient, http_query
+from repro.service.client import SocketClient, http_query, raise_for_code
 from repro.service.protocol import (
     PROTOCOL,
     PROTOCOL_VERSION,
     Request,
     encode,
+    error_code,
     error_response,
     ok_response,
     parse_request,
     query_key,
 )
 from repro.service.server import ResultCache, Service
-from repro.service.shards import Shard, ShardPool, family_of
-from repro.service.workers import ShardWorker, WorkerPool
+from repro.service.shards import Shard, ShardPool, default_max_alive, family_of
+from repro.service.watchdog import MemoryWatchdog
+from repro.service.workers import CircuitBreaker, ShardWorker, WorkerPool
 
 __all__ = [
     "Admission",
+    "CircuitBreaker",
+    "MemoryWatchdog",
     "PROTOCOL",
     "PROTOCOL_VERSION",
     "QueuedQuery",
@@ -55,11 +67,14 @@ __all__ = [
     "ShardWorker",
     "SocketClient",
     "WorkerPool",
+    "default_max_alive",
     "encode",
+    "error_code",
     "error_response",
     "family_of",
     "http_query",
     "ok_response",
     "parse_request",
     "query_key",
+    "raise_for_code",
 ]

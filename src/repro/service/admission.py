@@ -20,6 +20,15 @@ tenant's queries execute inside its :class:`~repro.bdd.governor.Budget`
 (``cumulative=True``, so kernel steps persist across requests), and an
 exhausted tenant is refused at admission time — a structured denial,
 not a crash mid-query.
+
+PR 9 adds *load shedding*: a bounded queue depth, per-tenant in-flight
+caps, and a watchdog-driven :attr:`Admission.shedding` switch, each of
+which refuses excess requests with a structured
+:class:`~repro.errors.OverloadedError` (mapped to the ``overloaded``
+wire code) carrying a ``retry_after`` hint summed from the EWMA
+estimates of the work already queued.  The daemon never queues
+unboundedly; under sustained overload clients see fast, honest
+refusals instead of timeouts.
 """
 
 from __future__ import annotations
@@ -28,11 +37,12 @@ import heapq
 import itertools
 import math
 import re
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.bdd.governor import Budget
-from repro.errors import ServiceError
+from repro.errors import OverloadedError, ServiceError
 from repro.parallel.costs import CostModel
 from repro.service.shards import family_of
 
@@ -91,6 +101,21 @@ class QueuedQuery:
     key: str = field(compare=False)
     request: Any = field(compare=False)
     family: str = field(compare=False, default="misc")
+    #: Monotonic-clock instant the request's ``deadline_ms`` expires
+    #: (stamped at admission — queueing time counts), or ``None``.
+    deadline_at: float | None = field(compare=False, default=None)
+
+    def expired(self, now: float | None = None) -> bool:
+        """True when the query's end-to-end deadline has already passed."""
+        if self.deadline_at is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline_at
+
+    def remaining_s(self, now: float | None = None) -> float | None:
+        """Seconds left until the deadline, or ``None`` when unbounded."""
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - (time.monotonic() if now is None else now)
 
 
 class Admission:
@@ -101,15 +126,27 @@ class Admission:
         costs: CostModel | None = None,
         *,
         tenant_max_steps: int | None = None,
+        max_queue_depth: int | None = None,
+        tenant_max_inflight: int | None = None,
     ) -> None:
         self.costs = costs if costs is not None else CostModel()
         self.tenant_max_steps = tenant_max_steps
+        self.max_queue_depth = max_queue_depth
+        self.tenant_max_inflight = tenant_max_inflight
         self.tenants: dict[str, Budget] = {}
         #: One shortest-job-first heap per shard family: the worker-
         #: process dispatcher drains families independently, so a slow
         #: family's backlog must not be interleaved into a fast one's.
         self._heaps: dict[str, list[QueuedQuery]] = {}
         self._seq = itertools.count()
+        #: Admitted-but-unresolved executions, key -> tenant.  Batched
+        #: waiters and cache hits never re-submit, so each in-flight
+        #: key maps to exactly the tenant that paid for its admission.
+        self._inflight: dict[str, str] = {}
+        #: Set by the memory watchdog's final degradation stage; while
+        #: True every new compute admission is shed.
+        self.shedding = False
+        self.shed_total = 0
 
     # -- tenant budgets -----------------------------------------------
 
@@ -124,12 +161,16 @@ class Admission:
 
     # -- queue --------------------------------------------------------
 
-    def submit(self, request) -> QueuedQuery:
+    def submit(self, request, *, replay: bool = False) -> QueuedQuery:
         """Admit a request; raises :class:`ServiceError` when refused.
 
-        Refusal happens up front (exhausted cumulative tenant budget)
-        so a denied query costs nothing and carries a structured error
-        instead of failing at the first governor checkpoint.
+        Refusal happens up front — exhausted cumulative tenant budget,
+        bounded queue depth, per-tenant in-flight cap, or watchdog
+        shedding — so a denied query costs nothing and carries a
+        structured error instead of failing at the first governor
+        checkpoint.  ``replay=True`` (journal recovery) skips the
+        overload checks: a journaled request was admitted once already
+        and must never be lost to its own backlog.
         """
         budget = self.tenant_budget(request.tenant)
         if budget.exhausted():
@@ -138,6 +179,8 @@ class Admission:
                 f"({budget.steps} of {budget.max_steps} steps spent); "
                 "admission refused"
             )
+        if not replay:
+            self._check_overload(request)
         key = request.key()
         self.costs.seed(key, estimate_size(request.op, request.params))
         item = QueuedQuery(
@@ -146,9 +189,56 @@ class Admission:
             key=key,
             request=request,
             family=family_of(request.op, request.params),
+            deadline_at=(
+                time.monotonic() + request.deadline_ms / 1000.0
+                if getattr(request, "deadline_ms", None)
+                else None
+            ),
         )
         heapq.heappush(self._heaps.setdefault(item.family, []), item)
+        self._inflight[key] = request.tenant
         return item
+
+    def _check_overload(self, request) -> None:
+        """Shed ``request`` (raise ``OverloadedError``) when over limits."""
+        reason: str | None = None
+        if self.shedding:
+            reason = "memory watchdog is shedding load"
+        elif (
+            self.max_queue_depth is not None
+            and len(self) >= self.max_queue_depth
+        ):
+            reason = f"queue depth limit reached ({self.max_queue_depth} queued)"
+        elif self.tenant_max_inflight is not None:
+            inflight = sum(
+                1 for tenant in self._inflight.values() if tenant == request.tenant
+            )
+            if inflight >= self.tenant_max_inflight:
+                reason = (
+                    f"tenant {request.tenant!r} already has {inflight} "
+                    f"queries in flight (limit {self.tenant_max_inflight})"
+                )
+        if reason is not None:
+            self.shed_total += 1
+            raise OverloadedError(
+                f"admission refused: {reason}", retry_after=self.retry_after()
+            )
+
+    def retry_after(self) -> float:
+        """Backoff hint in seconds: the EWMA cost of draining the queue.
+
+        Sums the estimates of everything queued (the work a retry would
+        wait behind), clamped to a sane band so a cold cost model still
+        yields a usable hint.
+        """
+        backlog = sum(
+            item.estimate for heap in self._heaps.values() for item in heap
+        )
+        return min(max(backlog, 0.1), 60.0)
+
+    def release(self, key: str) -> None:
+        """Mark the in-flight execution for ``key`` resolved."""
+        self._inflight.pop(key, None)
 
     def requeue(self, item: QueuedQuery) -> None:
         """Put a popped query back (worker died; it will be retried).
@@ -186,7 +276,10 @@ class Admission:
         return sum(len(heap) for heap in self._heaps.values())
 
     def stats(self) -> dict:
-        """Queue depth and per-tenant spend, for stats responses."""
+        """Queue depth, shedding state, and per-tenant spend."""
+        inflight_by_tenant: dict[str, int] = {}
+        for tenant in self._inflight.values():
+            inflight_by_tenant[tenant] = inflight_by_tenant.get(tenant, 0) + 1
         return {
             "queued": len(self),
             "queued_by_family": {
@@ -194,6 +287,11 @@ class Admission:
                 for family, heap in sorted(self._heaps.items())
                 if heap
             },
+            "max_queue_depth": self.max_queue_depth,
+            "tenant_max_inflight": self.tenant_max_inflight,
+            "inflight_by_tenant": dict(sorted(inflight_by_tenant.items())),
+            "shedding": self.shedding,
+            "shed_total": self.shed_total,
             "tenants": {
                 name: {
                     "steps": budget.steps,

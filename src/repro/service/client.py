@@ -5,6 +5,14 @@
 Both are deliberately dependency-free (``socket`` / ``http.client``
 from the standard library) — they exist for ``repro query``, the
 service tests, and the CI smoke job, not as a public SDK.
+
+Resilience errors (protocol v3) surface as *typed* exceptions: a reply
+whose error carries a machine-readable ``code`` — ``overloaded``,
+``deadline_exceeded``, ``circuit_open`` — re-raises client-side as the
+matching :mod:`repro.errors` class with ``retry_after`` attached
+(:func:`raise_for_code`), so a retry loop can branch on the exception
+type instead of string-matching messages.  Plain engine errors keep
+arriving as ordinary ``ok: false`` reply documents.
 """
 
 from __future__ import annotations
@@ -16,10 +24,47 @@ import socket
 import time
 from pathlib import Path
 
-from repro.errors import ProtocolError, ServiceError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineError,
+    OverloadedError,
+    ProtocolError,
+    ServiceError,
+)
 from repro.service.protocol import encode
 
-__all__ = ["SocketClient", "http_query"]
+__all__ = ["SocketClient", "http_query", "raise_for_code"]
+
+#: Wire ``code`` -> typed exception class (see :func:`raise_for_code`).
+_CODE_ERRORS: dict[str, type[Exception]] = {
+    "overloaded": OverloadedError,
+    "circuit_open": CircuitOpenError,
+    "deadline_exceeded": DeadlineError,
+}
+
+
+def raise_for_code(reply: dict) -> dict:
+    """Re-raise a coded error reply as its typed exception; pass others.
+
+    Only the resilience codes map; an uncoded error (engine errors,
+    tenant refusals) returns unchanged so callers keep the v2-era
+    "inspect the reply document" flow for them.  ``retry_after`` from
+    the wire is attached to the raised exception.
+    """
+    error = reply.get("error")
+    if not reply.get("ok", False) and isinstance(error, dict):
+        cls = _CODE_ERRORS.get(error.get("code", ""))
+        if cls is not None:
+            message = error.get("message", error.get("code"))
+            exc = (
+                cls(message)
+                if cls is DeadlineError
+                else cls(message, retry_after=error.get("retry_after"))
+            )
+            if cls is DeadlineError:
+                exc.retry_after = error.get("retry_after")
+            raise exc
+    return reply
 
 
 class SocketClient:
@@ -108,6 +153,8 @@ class SocketClient:
         tenant: str = "default",
         tt: dict | None = None,
         budget: dict | None = None,
+        deadline_ms: int | None = None,
+        check: bool = True,
     ) -> dict:
         """One request, one (matching) response.
 
@@ -115,6 +162,10 @@ class SocketClient:
         reply is matched by id; other responses read while waiting are
         an error here — :meth:`call` is for one-at-a-time use, tests
         that pipeline use :meth:`send`/:meth:`recv` directly.
+
+        With ``check`` (the default) coded resilience errors raise
+        their typed exceptions (:func:`raise_for_code`); pass
+        ``check=False`` to get the raw reply document regardless.
         """
         rid = f"c{next(self._ids)}"
         doc: dict = {"id": rid, "op": op, "params": params or {}, "tenant": tenant}
@@ -122,6 +173,8 @@ class SocketClient:
             doc["tt"] = tt
         if budget is not None:
             doc["budget"] = budget
+        if deadline_ms is not None:
+            doc["deadline_ms"] = deadline_ms
         self.send(doc)
         reply = self.recv()
         if reply.get("id") not in (rid, ""):
@@ -129,13 +182,23 @@ class SocketClient:
                 f"out-of-order response {reply.get('id')!r} to {rid!r}; "
                 "use send()/recv() for pipelined queries"
             )
-        return reply
+        return raise_for_code(reply) if check else reply
 
 
 def http_query(
-    host: str, port: int, requests: list[dict], *, timeout: float = 60.0
+    host: str,
+    port: int,
+    requests: list[dict],
+    *,
+    timeout: float = 60.0,
+    check: bool = False,
 ) -> list[dict]:
-    """POST request documents to ``/query``; returns response documents."""
+    """POST request documents to ``/query``; returns response documents.
+
+    ``check=True`` applies :func:`raise_for_code` to every response —
+    the first coded resilience error in the batch raises; the default
+    keeps batches inspectable document-by-document.
+    """
     body = b"".join(encode(doc) for doc in requests)
     conn = http.client.HTTPConnection(host, port, timeout=timeout)
     try:
@@ -150,4 +213,8 @@ def http_query(
         raise ServiceError(f"HTTP query to {host}:{port} failed: {exc}") from exc
     finally:
         conn.close()
-    return [json.loads(line) for line in raw.splitlines() if line.strip()]
+    replies = [json.loads(line) for line in raw.splitlines() if line.strip()]
+    if check:
+        for reply in replies:
+            raise_for_code(reply)
+    return replies

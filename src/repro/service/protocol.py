@@ -9,7 +9,8 @@ Requests::
      "tenant": "ci",                      # optional, default "default"
      "tt": {"fastpath": false, "window": 6},   # optional per-request
      "budget": {"max_steps": 2000000, "max_nodes": 500000,
-                "deadline_s": 30.0}}      # optional per-request
+                "deadline_s": 30.0},      # optional per-request
+     "deadline_ms": 1500}                 # optional end-to-end deadline
 
 Responses::
 
@@ -18,6 +19,16 @@ Responses::
               "batched": false, "wall_s": 0.41}}
     {"id": "c1", "ok": false,
      "error": {"type": "ResourceLimitError", "message": "..."}}
+    {"id": "c1", "ok": false,
+     "error": {"type": "OverloadedError", "message": "...",
+               "code": "overloaded", "retry_after": 2.5}}
+
+v3 adds ``deadline_ms`` (a per-query end-to-end deadline, measured from
+admission; queueing time counts) and machine-readable resilience error
+``code`` values — ``overloaded``, ``deadline_exceeded``,
+``circuit_open`` — with an optional ``retry_after`` backoff hint in
+seconds.  ``code`` is present only for those mapped conditions; plain
+engine errors keep the v2 shape (type + message).
 
 Ops: ``ping``, ``stats``, ``invalidate``, ``width_reduce``,
 ``decompose``, ``cascade``, ``pla_reduce``, ``shutdown``.
@@ -42,7 +53,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import ProtocolError
+from repro.errors import DeadlineError, ProtocolError, RemoteQueryError
 
 __all__ = [
     "CONTROL_OPS",
@@ -51,14 +62,15 @@ __all__ = [
     "PROTOCOL_VERSION",
     "Request",
     "encode",
+    "error_code",
     "error_response",
     "ok_response",
     "parse_request",
     "query_key",
 ]
 
-PROTOCOL = "repro-query-v2"
-PROTOCOL_VERSION = 2
+PROTOCOL = "repro-query-v3"
+PROTOCOL_VERSION = 3
 
 #: Compute ops: admitted, batched, journaled, executed on a shard.
 COMPUTE_OPS = ("width_reduce", "decompose", "cascade", "pla_reduce")
@@ -95,6 +107,10 @@ class Request:
     tenant: str = "default"
     tt: dict[str, Any] | None = None
     budget: dict[str, Any] | None = None
+    #: End-to-end deadline in milliseconds, measured from admission —
+    #: queueing time counts, so an overloaded daemon fails these fast
+    #: instead of serving answers nobody is waiting for anymore.
+    deadline_ms: int | None = None
 
     @property
     def is_control(self) -> bool:
@@ -111,7 +127,11 @@ class Request:
         key = getattr(self, "_key", None)
         if key is None:
             key = query_key(
-                self.op, self.params, tt=self.tt, budget=self.budget
+                self.op,
+                self.params,
+                tt=self.tt,
+                budget=self.budget,
+                deadline_ms=self.deadline_ms,
             )
             object.__setattr__(self, "_key", key)
         return key
@@ -122,13 +142,16 @@ class Request:
         Embedded in journal attempt records so a killed daemon can
         rebuild its in-flight queue from the journal alone.
         """
-        return {
+        doc: dict[str, Any] = {
             "op": self.op,
             "params": self.params,
             "tenant": self.tenant,
             "tt": self.tt,
             "budget": self.budget,
         }
+        if self.deadline_ms is not None:
+            doc["deadline_ms"] = self.deadline_ms
+        return doc
 
     @classmethod
     def from_doc(cls, doc: dict, *, id: str = "journal") -> "Request":
@@ -139,6 +162,7 @@ class Request:
             tenant=doc.get("tenant") or "default",
             tt=doc.get("tt"),
             budget=doc.get("budget"),
+            deadline_ms=doc.get("deadline_ms"),
         )
 
 
@@ -148,15 +172,26 @@ def query_key(
     *,
     tt: dict | None = None,
     budget: dict | None = None,
+    deadline_ms: int | None = None,
 ) -> str:
     """``query:<op>/<digest>`` — stable identity of one computation.
 
     The digest covers the canonical JSON of op, params, and the
     per-request overrides.  Like the sweep journal's ``config_hash``,
     two requests share a key iff they describe the identical
-    computation under identical execution settings.
+    computation under identical execution settings.  ``deadline_ms``
+    joins the digest only when set (keeping v2 keys stable), because a
+    deadline changes how long we compute — a deadlineless waiter must
+    not be batched onto an attempt that may abort early.
     """
-    doc = {"op": op, "params": params, "tt": tt or None, "budget": budget or None}
+    doc: dict[str, Any] = {
+        "op": op,
+        "params": params,
+        "tt": tt or None,
+        "budget": budget or None,
+    }
+    if deadline_ms is not None:
+        doc["deadline_ms"] = deadline_ms
     canon = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     digest = hashlib.blake2b(canon.encode("utf-8"), digest_size=8).hexdigest()
     return f"query:{op}/{digest}"
@@ -220,7 +255,19 @@ def parse_request(line: str | bytes) -> Request:
             raise ProtocolError(
                 "'budget' accepts only max_steps/max_nodes/deadline_s"
             )
-    return Request(id=rid, op=op, params=params, tenant=tenant, tt=tt, budget=budget)
+    deadline_ms = raw.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, int) or isinstance(deadline_ms, bool) or deadline_ms <= 0:
+            raise ProtocolError("'deadline_ms' must be a positive integer")
+    return Request(
+        id=rid,
+        op=op,
+        params=params,
+        tenant=tenant,
+        tt=tt,
+        budget=budget,
+        deadline_ms=deadline_ms,
+    )
 
 
 def ok_response(rid: str, result: Any, **meta: Any) -> dict:
@@ -231,18 +278,47 @@ def ok_response(rid: str, result: Any, **meta: Any) -> dict:
     return out
 
 
+def error_code(exc: BaseException) -> str | None:
+    """The machine-readable resilience code for ``exc``, if any.
+
+    ``overloaded`` / ``circuit_open`` come from the exception's own
+    ``code`` attribute; ``deadline_exceeded`` maps the governor's
+    :class:`~repro.errors.DeadlineError` — including one that crossed a
+    worker process boundary as a :class:`~repro.errors.RemoteQueryError`
+    — so clients see one code regardless of execution mode.
+    """
+    code = getattr(exc, "code", None)
+    if isinstance(code, str):
+        return code
+    if isinstance(exc, DeadlineError):
+        return "deadline_exceeded"
+    if isinstance(exc, RemoteQueryError) and exc.type_name == "DeadlineError":
+        return "deadline_exceeded"
+    return None
+
+
 def error_response(rid: str | None, exc: BaseException | str, *, type_: str | None = None) -> dict:
-    """An error response document (type name + message)."""
+    """An error response document (type name + message).
+
+    For resilience conditions (:func:`error_code`) the error object
+    additionally carries ``code`` and, when the exception supplies one,
+    a ``retry_after`` backoff hint in seconds.
+    """
+    error: dict[str, Any]
     if isinstance(exc, BaseException):
-        etype = type_ or type(exc).__name__
-        message = str(exc)
+        error = {"type": type_ or type(exc).__name__, "message": str(exc)}
+        code = error_code(exc)
+        if code is not None:
+            error["code"] = code
+        retry_after = getattr(exc, "retry_after", None)
+        if retry_after is not None:
+            error["retry_after"] = round(float(retry_after), 3)
     else:
-        etype = type_ or "ProtocolError"
-        message = exc
+        error = {"type": type_ or "ProtocolError", "message": exc}
     return {
         "id": rid if rid is not None else "",
         "ok": False,
-        "error": {"type": etype, "message": message},
+        "error": error,
     }
 
 

@@ -42,6 +42,17 @@ answered from the cache with zero engine passes.  Epoch-based
 invalidation keeps it honest — a worker restart, a tt-override
 execution, or an explicit ``invalidate`` op bumps the epoch, which
 orphans every older entry at once.
+
+PR 9 wraps the daemon in a **resilience layer**: bounded admission with
+load shedding (``overloaded`` + retry-after, never an unbounded
+queue), per-query ``deadline_ms`` deadlines enforced cooperatively via
+governor budgets (``deadline_exceeded``, worker left reusable),
+per-family circuit breakers that fail crash-looping families fast
+(``circuit_open``), and a memory watchdog whose staged degradation —
+housekeep, evict, shed — replaces the single fixed node ceiling.  The
+chaos hooks of :mod:`repro._faults` are armed at the worker site
+(``service:<family>``) and the front door (``frontend:<op>``), so every
+recovery path here is exercised deterministically in CI.
 """
 
 from __future__ import annotations
@@ -55,8 +66,16 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
+from repro import _faults
 from repro.bdd import stats, tt
-from repro.errors import ProtocolError, ServiceError, WorkerDied
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineError,
+    FaultInjected,
+    ProtocolError,
+    ServiceError,
+    WorkerDied,
+)
 from repro.parallel.costs import CostModel
 from repro.parallel.journal import Journal
 from repro.parallel.tasks import RowTask, TaskResult
@@ -66,11 +85,13 @@ from repro.service.protocol import (
     PROTOCOL_VERSION,
     Request,
     encode,
+    error_code,
     error_response,
     ok_response,
     parse_request,
 )
-from repro.service.shards import DEFAULT_MAX_ALIVE, ShardPool
+from repro.service.shards import ShardPool
+from repro.service.watchdog import MemoryWatchdog
 from repro.service.workers import WorkerPool
 
 __all__ = ["ResultCache", "Service"]
@@ -133,7 +154,7 @@ class ResultCache:
         return dropped
 
     def stats(self) -> dict:
-        """The schema-v7 ``result_cache`` block."""
+        """The schema-v8 ``result_cache`` block."""
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -171,11 +192,18 @@ class Service:
         resume: bool = False,
         cost_path: str | Path | None = None,
         tenant_max_steps: int | None = None,
-        max_alive: int = DEFAULT_MAX_ALIVE,
+        max_alive: int | None = None,
         request_timeout: float | None = None,
         workers: int = 0,
         snapshot_dir: str | Path | None = None,
         result_cache_size: int = DEFAULT_RESULT_CACHE,
+        max_queue_depth: int | None = None,
+        tenant_max_inflight: int | None = None,
+        breaker_threshold: int = 3,
+        breaker_reset_s: float = 30.0,
+        rss_limit_bytes: int | None = None,
+        alive_limit: int | None = None,
+        watchdog_interval_s: float = 5.0,
     ) -> None:
         self.socket_path = Path(socket_path) if socket_path else None
         self.http_host = http_host
@@ -183,13 +211,32 @@ class Service:
         self.request_timeout = request_timeout
         self.pool = ShardPool(max_alive=max_alive, snapshot_dir=snapshot_dir)
         self.worker_pool = (
-            WorkerPool(workers, max_alive=max_alive, snapshot_dir=snapshot_dir)
+            WorkerPool(
+                workers,
+                max_alive=max_alive,
+                snapshot_dir=snapshot_dir,
+                breaker_threshold=breaker_threshold,
+                breaker_reset_s=breaker_reset_s,
+            )
             if workers >= 1
             else None
         )
         self.result_cache = ResultCache(result_cache_size)
         costs = CostModel.load(cost_path) if cost_path else CostModel()
-        self.admission = Admission(costs, tenant_max_steps=tenant_max_steps)
+        self.admission = Admission(
+            costs,
+            tenant_max_steps=tenant_max_steps,
+            max_queue_depth=max_queue_depth,
+            tenant_max_inflight=tenant_max_inflight,
+        )
+        #: Always constructed — with no limits it is a pure sampler, so
+        #: the v8 ``watchdog`` stats block is present in every mode.
+        self.watchdog = MemoryWatchdog(
+            self,
+            rss_limit_bytes=rss_limit_bytes,
+            alive_limit=alive_limit,
+            interval_s=watchdog_interval_s,
+        )
         self.journal = (
             Journal(journal_path, resume=resume) if journal_path else None
         )
@@ -212,6 +259,7 @@ class Service:
         self.batched_total = 0
         self.executed = 0
         self.replayed = 0
+        self.deadline_exceeded_total = 0
         if self.journal is not None and resume:
             self._replay_pending()
 
@@ -235,7 +283,9 @@ class Service:
                 continue
             key = req.key()
             try:
-                self.admission.submit(req)
+                # replay=True: a journaled request predates this boot's
+                # overload limits and must never be shed by them.
+                self.admission.submit(req, replay=True)
             except ServiceError:
                 continue
             self._waiters.setdefault(key, [])
@@ -247,11 +297,16 @@ class Service:
     def _enqueue(self, req: Request) -> asyncio.Future:
         """Admit (or coalesce) one compute request; returns its future.
 
-        Raises :class:`ServiceError` on refusal (exhausted tenant).
-        The attempt record is journaled *before* the queue learns about
-        the query — write-ahead, so a kill between admission and
-        execution loses nothing.
+        Raises :class:`ServiceError` on refusal (exhausted tenant,
+        overload shedding).  The attempt record is journaled *before*
+        the queue learns about the query — write-ahead, so a kill
+        between admission and execution loses nothing.
         """
+        # Chaos hook for the asyncio front door itself.  ``parent`` is
+        # this process, so ``crash`` degrades to a raise (answered as a
+        # structured error) while ``abort`` still kills the daemon —
+        # exactly what the SIGKILL-equivalence tests need.
+        _faults.fire(f"frontend:{req.op}", parent=os.getpid())
         loop = asyncio.get_running_loop()
         fut: asyncio.Future = loop.create_future()
         key = req.key()
@@ -291,11 +346,17 @@ class Service:
 
     # -- execution (worker thread) ------------------------------------
 
-    def _run_query(self, req: Request) -> tuple[str, dict, float]:
-        """Execute one query on the worker thread; returns (family, result, wall)."""
-        budget = dict(req.budget or {})
-        if self.request_timeout is not None and "deadline_s" not in budget:
-            budget["deadline_s"] = self.request_timeout
+    def _run_query(
+        self, req: Request, remaining_s: float | None = None
+    ) -> tuple[str, dict, float]:
+        """Execute one query on the worker thread; returns (family, result, wall).
+
+        ``remaining_s`` is what is left of the request's ``deadline_ms``
+        after queueing; it joins the governor budget as a ``deadline_s``
+        extent, so the kernel's checkpoints abort the build cooperatively
+        (manager stays usable) instead of wedging the worker thread.
+        """
+        budget = self._effective_budget(req.budget, remaining_s)
         tt_over = req.tt or {}
         t0 = time.perf_counter()
         with tt.overrides(
@@ -304,10 +365,44 @@ class Service:
             family, result = self.pool.execute(
                 req.op,
                 req.params,
-                budget=budget or None,
+                budget=budget,
                 tenant_budget=self.admission.tenant_budget(req.tenant),
             )
         return family, result, time.perf_counter() - t0
+
+    def _effective_budget(
+        self, budget: dict | None, remaining_s: float | None
+    ) -> dict | None:
+        """Fold the service timeout and the query deadline into a budget.
+
+        The tightest of the request's own ``deadline_s``, the daemon's
+        ``request_timeout``, and the ``deadline_ms`` remainder wins.
+        """
+        out = dict(budget or {})
+        deadlines = [
+            d
+            for d in (out.get("deadline_s"), self.request_timeout, remaining_s)
+            if d is not None
+        ]
+        if deadlines:
+            out["deadline_s"] = min(deadlines)
+        return out or None
+
+    def _expire(self, item: QueuedQuery) -> None:
+        """Fail a queued query whose end-to-end deadline already passed.
+
+        The engine never runs; the waiters get ``deadline_exceeded``
+        immediately.  A journaled attempt without a result record stays
+        *pending*, so a later ``--resume --drain-exit`` still computes
+        it — deadlines bound the synchronous answer, not durability.
+        """
+        self._resolve(
+            item.key,
+            error=DeadlineError(
+                f"query {item.key} spent its {item.request.deadline_ms} ms "
+                "deadline queued; execution skipped"
+            ),
+        )
 
     async def _pump(self) -> None:
         """The dispatcher: drain the admission queue, cheapest first.
@@ -329,9 +424,15 @@ class Service:
                     continue
                 req: Request = item.request
                 key = item.key
+                if item.expired():
+                    self._expire(item)
+                    continue
                 try:
                     family, result, wall = await loop.run_in_executor(
-                        self._worker, self._run_query, req
+                        self._worker,
+                        functools.partial(
+                            self._run_query, req, item.remaining_s()
+                        ),
                     )
                 except Exception as exc:
                     self.executed += 1
@@ -399,41 +500,71 @@ class Service:
         loop = asyncio.get_running_loop()
         req: Request = item.request
         key, family = item.key, item.family
+        if item.expired():
+            self._inflight.discard(family)
+            self._expire(item)
+            self._work.set()
+            return
+        breaker = self.worker_pool.breaker(family)
+        if not breaker.allow():
+            # Fail fast: the family is crash-looping and its breaker is
+            # open — do not spend a process spawn on a doomed attempt.
+            self._inflight.discard(family)
+            self._resolve(
+                key,
+                error=CircuitOpenError(
+                    f"family {family!r} circuit breaker is open after "
+                    f"{breaker.failures} consecutive worker failures",
+                    retry_after=breaker.retry_after(),
+                ),
+            )
+            self._work.set()
+            return
         worker = self.worker_pool.get(
             family, busy=frozenset(self._inflight - {family})
         )
         tenant = self.admission.tenant_budget(req.tenant)
+        remaining = item.remaining_s()
         doc = {
             "op": req.op,
             "params": req.params,
             "tt": req.tt,
-            "budget": self._budget_with_default(req.budget),
+            "budget": self._effective_budget(req.budget, remaining),
             "tenant_remaining": (
                 max(0, tenant.max_steps - tenant.steps)
                 if tenant.max_steps is not None
                 else None
             ),
         }
-        timeout = (
-            self.request_timeout + 5.0
-            if self.request_timeout is not None
-            else None
-        )
+        # The pipe timeout backstops the cooperative deadline: the
+        # governor should abort the build first; the grace margin only
+        # fires when the worker is truly wedged (a hang, not a build).
+        timeouts = [
+            t + 5.0
+            for t in (self.request_timeout, remaining)
+            if t is not None
+        ]
+        timeout = min(timeouts) if timeouts else None
         try:
             reply = await loop.run_in_executor(
                 worker.executor,
                 functools.partial(worker.call, doc, timeout=timeout),
             )
         except WorkerDied:
+            breaker.record_failure()
             self._worker_died(item)
             return
         except Exception as exc:
+            # A live worker answered with an engine error: that is an
+            # *answer*, not infrastructure failure — the breaker resets.
+            breaker.record_success()
             self.executed += 1
             self._resolve(key, error=exc)
             return
         finally:
             self._inflight.discard(family)
             self._work.set()
+        breaker.record_success()
         delta = reply.get("stats_delta", {})
         stats.merge_worker_totals(delta)
         tenant.steps += int(delta.get("kernel_steps", 0))
@@ -468,12 +599,6 @@ class Service:
                 ),
             )
 
-    def _budget_with_default(self, budget: dict | None) -> dict | None:
-        out = dict(budget or {})
-        if self.request_timeout is not None and "deadline_s" not in out:
-            out["deadline_s"] = self.request_timeout
-        return out or None
-
     def _resolve(
         self,
         key: str,
@@ -486,6 +611,9 @@ class Service:
         """Answer every waiter batched onto ``key``."""
         waiters = self._waiters.pop(key, [])
         self._attempts.pop(key, None)
+        self.admission.release(key)
+        if error is not None and error_code(error) == "deadline_exceeded":
+            self.deadline_exceeded_total += 1
         batched = len(waiters) > 1
         for rid, fut in waiters:
             if fut.cancelled():
@@ -543,7 +671,10 @@ class Service:
             )
         try:
             fut = self._enqueue(req)
-        except ServiceError as exc:
+        except (ServiceError, FaultInjected, MemoryError) as exc:
+            # ServiceError covers refusals (tenant budget, overload,
+            # shutdown); FaultInjected/MemoryError come from the
+            # front-end chaos site and must answer, not kill the loop.
             return error_response(req.id, exc)
         return await fut
 
@@ -710,11 +841,13 @@ class Service:
         if ready is not None:
             ready()
         pump = asyncio.ensure_future(self._pump())
+        sampler = asyncio.ensure_future(self.watchdog.run())
         try:
             await self._stopped.wait()
         finally:
             self._stopping = True
             self._work.set()
+            sampler.cancel()
             await pump
             for server in servers:
                 server.close()
@@ -758,12 +891,14 @@ class Service:
     # -- stats --------------------------------------------------------
 
     def stats(self) -> dict:
-        """The daemon's schema-v7 stats document.
+        """The daemon's schema-v8 stats document.
 
         In multi-process mode the ``shards`` map is assembled from each
         worker's most recent reply (warm state lives in the workers);
         the ``workers`` block carries per-process pids, query counts,
-        and restart counts.
+        restart counts, and circuit-breaker states.  v8 adds the
+        resilience counters: ``shed_total``, ``deadline_exceeded_total``
+        and the ``watchdog`` sampling block.
         """
         if self.worker_pool is not None:
             shards: dict = {}
@@ -785,6 +920,9 @@ class Service:
             "executed": self.executed,
             "replayed": self.replayed,
             "queued": len(self.admission),
+            "shed_total": self.admission.shed_total,
+            "deadline_exceeded_total": self.deadline_exceeded_total,
+            "watchdog": self.watchdog.stats(),
             "result_cache": self.result_cache.stats(),
             "shards": shards,
             "admission": self.admission.stats(),

@@ -13,7 +13,7 @@ Shards are keyed by benchmark *family* (:func:`family_of`): RNS
 converters, p-nary converters, decimal arithmetic, word lists, ad-hoc
 PLAs.  Families bound blast-radius — a huge word-list manager being
 housekept never disturbs the warm RNS tables — and give the per-shard
-counter blocks of stats schema v7 their meaning: each executed query's
+counter blocks of stats schema v8 their meaning: each executed query's
 :func:`repro.bdd.stats.counter_delta` is folded into its shard with
 :func:`repro.bdd.stats.merge_additive`, so warm-vs-cold cache behaviour
 is attributable per family.
@@ -29,6 +29,7 @@ from __future__ import annotations
 import hashlib
 from pathlib import Path
 
+from repro._config import env_int
 from repro.benchfns.registry import get_benchmark
 from repro.bdd import stats
 from repro.bdd.governor import Budget
@@ -49,7 +50,7 @@ from repro.experiments.table5 import design
 from repro.isf.pla import loads_pla
 from repro.reduce import algorithm_3_3, reduce_support
 
-__all__ = ["Shard", "ShardPool", "family_of"]
+__all__ = ["Shard", "ShardPool", "default_max_alive", "family_of"]
 
 #: Benchmark families, i.e. shard keys (plus "misc" for the rest).
 FAMILIES = ("rns", "pnary", "decimal", "wordlist", "pla", "misc")
@@ -60,6 +61,17 @@ FAMILIES = ("rns", "pnary", "decimal", "wordlist", "pla", "misc")
 #: invalidates packed-cache entries — warmth is traded for memory only
 #: past this ceiling.
 DEFAULT_MAX_ALIVE = 2_000_000
+
+
+def default_max_alive() -> int:
+    """The housekeeping ceiling, overridable via ``REPRO_MAX_ALIVE``.
+
+    Read at call time (not import time) so a daemon — and the worker
+    processes it forks — honours the environment it was launched with;
+    deployments sized differently from the 2M-node default tune this
+    without a CLI flag on every invocation.
+    """
+    return env_int("REPRO_MAX_ALIVE", DEFAULT_MAX_ALIVE, lo=1)
 
 
 def family_of(op: str, params: dict) -> str:
@@ -134,7 +146,7 @@ class Shard:
         #: can unpin exactly what it pinned, reentrantly).
         self._active: list[str] | None = None
         #: Additive engine counters attributed to this shard (schema
-        #: v7), accumulated with :func:`repro.bdd.stats.merge_additive`.
+        #: v8), accumulated with :func:`repro.bdd.stats.merge_additive`.
         self.counters: dict[str, int] = {}
         self.queries = 0
         self.warm_hits = 0
@@ -340,7 +352,7 @@ class Shard:
         managers = {id(cf.bdd): cf.bdd for cf in self.cfs.values()}
         return sum(b.num_alive_nodes() for b in managers.values())
 
-    def housekeep(self, max_alive: int = DEFAULT_MAX_ALIVE) -> int:
+    def housekeep(self, max_alive: int | None = None) -> int:
         """Shed nodes when the shard exceeds ``max_alive``.
 
         Two escalating passes:
@@ -358,6 +370,8 @@ class Shard:
         collection invalidates the very caches that make the shard
         warm, so it only runs under memory pressure).
         """
+        if max_alive is None:
+            max_alive = default_max_alive()
         if self.alive_nodes() <= max_alive:
             return 0
         freed = 0
@@ -377,7 +391,7 @@ class Shard:
         return freed
 
     def stats(self) -> dict:
-        """This shard's schema-v7 counter block."""
+        """This shard's schema-v8 counter block."""
         return {
             "family": self.family,
             "queries": self.queries,
@@ -398,10 +412,10 @@ class ShardPool:
     def __init__(
         self,
         *,
-        max_alive: int = DEFAULT_MAX_ALIVE,
+        max_alive: int | None = None,
         snapshot_dir: str | Path | None = None,
     ) -> None:
-        self.max_alive = max_alive
+        self.max_alive = default_max_alive() if max_alive is None else max_alive
         self.snapshot_dir = snapshot_dir
         self.shards: dict[str, Shard] = {}
 
@@ -446,5 +460,5 @@ class ShardPool:
         return family, result
 
     def stats(self) -> dict:
-        """The schema-v7 ``shards`` map for stats responses/payloads."""
+        """The schema-v8 ``shards`` map for stats responses/payloads."""
         return {family: shard.stats() for family, shard in self.shards.items()}

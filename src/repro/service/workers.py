@@ -49,10 +49,10 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
+from repro import _faults
 from repro.errors import RemoteQueryError, WorkerDied
-from repro.service.shards import DEFAULT_MAX_ALIVE
 
-__all__ = ["ShardWorker", "WorkerPool"]
+__all__ = ["CircuitBreaker", "ShardWorker", "WorkerPool"]
 
 #: Sentinel asking a worker's loop to exit cleanly.
 _STOP = "__stop__"
@@ -64,15 +64,21 @@ _POLL_S = 0.1
 def _worker_main(
     family: str,
     conn,
-    max_alive: int,
+    max_alive: int | None,
     snapshot_dir: str | None,
+    fault_parent: int | None = None,
 ) -> None:
     """The worker process body: serve queries for one family, forever.
 
     Runs a private :class:`ShardPool` (warm managers live here, not in
     the daemon) and answers one request at a time.  Every reply carries
     the query's engine-counter delta and the pool's shard stats so the
-    parent can keep schema-v7 accounting without sharing memory.
+    parent can keep schema-v8 accounting without sharing memory.
+
+    The chaos hook :func:`repro._faults.fire` runs once per request at
+    the ``service:<family>`` site; ``fault_parent`` is the daemon's pid
+    so the same spec drives both worker-process kills and in-process
+    degradations, exactly like row tasks' ``fault_parent``.
     """
     # Imports happen here (not module top) so a fork()ed child touches
     # the engine modules only after it owns them.
@@ -91,7 +97,9 @@ def _worker_main(
         before = stats.snapshot()
         t0 = time.perf_counter()
         reply: dict
+        poison = None
         try:
+            poison = _faults.fire(f"service:{family}", parent=fault_parent)
             tt_over = msg.get("tt") or {}
             budget = dict(msg.get("budget") or {})
             tenant_remaining = msg.get("tenant_remaining")
@@ -118,11 +126,80 @@ def _worker_main(
         reply["wall_s"] = time.perf_counter() - t0
         reply["stats_delta"] = stats.counter_delta(before, stats.snapshot())
         reply["shards"] = pool.stats()
+        if poison is not None:
+            # ``pickle`` fault: shipping the reply must fail, like a row
+            # task whose result cannot cross the process boundary.
+            reply["poison"] = poison
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):
             break
+        except Exception:  # noqa: BLE001 - unpicklable reply: die like a crash
+            break
     conn.close()
+
+
+class CircuitBreaker:
+    """Per-family fail-fast state machine for worker infrastructure faults.
+
+    Counts *consecutive* :class:`~repro.errors.WorkerDied`-class
+    failures (crashes, timeouts); after ``threshold`` of them the
+    breaker **opens** and :meth:`allow` answers False, so the
+    dispatcher fails the family's queries fast (``circuit_open``)
+    instead of burning a process spawn per doomed attempt.  After
+    ``reset_s`` the breaker **half-opens**: exactly one probe query is
+    let through — success closes the circuit, failure re-opens it for
+    another full ``reset_s``.
+
+    Engine errors are answers, not infrastructure faults; they never
+    trip the breaker (the dispatcher only records worker deaths).
+    """
+
+    def __init__(self, *, threshold: int = 3, reset_s: float = 30.0) -> None:
+        self.threshold = max(1, int(threshold))
+        self.reset_s = float(reset_s)
+        self.state = "closed"
+        self.failures = 0
+        self.opens = 0
+        self._opened_at = 0.0
+
+    def allow(self) -> bool:
+        """May a query be dispatched to this family right now?"""
+        if self.state == "closed":
+            return True
+        now = time.monotonic()
+        if self.state == "open" and now - self._opened_at >= self.reset_s:
+            self.state = "half_open"  # this caller becomes the probe
+            return True
+        return False  # open, or half_open with the probe already in flight
+
+    def record_failure(self) -> None:
+        """A worker died/timed out serving this family."""
+        self.failures += 1
+        if self.state == "half_open" or self.failures >= self.threshold:
+            if self.state != "open":
+                self.opens += 1
+            self.state = "open"
+            self._opened_at = time.monotonic()
+
+    def record_success(self) -> None:
+        """A query completed (ok or engine error) — the worker is healthy."""
+        self.failures = 0
+        self.state = "closed"
+
+    def retry_after(self) -> float:
+        """Seconds until the next half-open probe is due."""
+        if self.state != "open":
+            return 0.0
+        return max(0.0, self.reset_s - (time.monotonic() - self._opened_at))
+
+    def stats(self) -> dict:
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "opens": self.opens,
+            "retry_after": round(self.retry_after(), 3),
+        }
 
 
 class ShardWorker:
@@ -139,7 +216,7 @@ class ShardWorker:
         self,
         family: str,
         *,
-        max_alive: int = DEFAULT_MAX_ALIVE,
+        max_alive: int | None = None,
         snapshot_dir: str | Path | None = None,
     ) -> None:
         self.family = family
@@ -160,7 +237,13 @@ class ShardWorker:
         self._conn, child_conn = ctx.Pipe(duplex=True)
         self.process = ctx.Process(
             target=_worker_main,
-            args=(self.family, child_conn, self.max_alive, self.snapshot_dir),
+            args=(
+                self.family,
+                child_conn,
+                self.max_alive,
+                self.snapshot_dir,
+                os.getpid(),  # fault_parent: the daemon's pid
+            ),
             name=f"repro-shard-{self.family}",
             daemon=True,
         )
@@ -243,7 +326,7 @@ class ShardWorker:
             self.process.join(timeout=2.0)
 
     def stats(self) -> dict:
-        """This worker's schema-v7 counter block."""
+        """This worker's schema-v8 counter block."""
         return {
             "family": self.family,
             "pid": self.process.pid,
@@ -267,14 +350,31 @@ class WorkerPool:
         self,
         max_workers: int,
         *,
-        max_alive: int = DEFAULT_MAX_ALIVE,
+        max_alive: int | None = None,
         snapshot_dir: str | Path | None = None,
+        breaker_threshold: int = 3,
+        breaker_reset_s: float = 30.0,
     ) -> None:
         self.max_workers = max(1, int(max_workers))
         self.max_alive = max_alive
         self.snapshot_dir = snapshot_dir
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_s = breaker_reset_s
         self.workers: dict[str, ShardWorker] = {}
+        #: Breakers live on the pool, not the worker, so the open/close
+        #: history survives worker restarts (the whole point: restarts
+        #: are what the breaker meters).
+        self.breakers: dict[str, CircuitBreaker] = {}
         self._last_used: dict[str, float] = {}
+
+    def breaker(self, family: str) -> CircuitBreaker:
+        """The family's circuit breaker (created closed on first use)."""
+        breaker = self.breakers.get(family)
+        if breaker is None:
+            breaker = self.breakers[family] = CircuitBreaker(
+                threshold=self.breaker_threshold, reset_s=self.breaker_reset_s
+            )
+        return breaker
 
     def get(self, family: str, *, busy: tuple | frozenset = ()) -> ShardWorker:
         """The family's worker, spawning (and maybe evicting) as needed."""
@@ -308,12 +408,16 @@ class WorkerPool:
         self._last_used.clear()
 
     def stats(self) -> dict:
-        """The schema-v7 ``workers`` map (parent pid for context)."""
+        """The schema-v8 ``workers`` map (parent pid for context)."""
         return {
             "parent_pid": os.getpid(),
             "max_workers": self.max_workers,
             "processes": {
                 family: worker.stats()
                 for family, worker in sorted(self.workers.items())
+            },
+            "breakers": {
+                family: breaker.stats()
+                for family, breaker in sorted(self.breakers.items())
             },
         }

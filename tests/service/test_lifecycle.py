@@ -76,7 +76,7 @@ class TestSocketTransport:
             with SocketClient(sock) as client:
                 ping = client.call("ping")
                 assert ping["ok"]
-                assert ping["result"]["protocol"] == "repro-query-v2"
+                assert ping["result"]["protocol"] == "repro-query-v3"
                 assert ping["result"]["pid"] == proc.pid
 
                 reply = client.call("width_reduce", {"benchmark": BENCH})
@@ -87,7 +87,7 @@ class TestSocketTransport:
                 ]
 
                 stats = client.call("stats")["result"]
-                assert stats["schema"] == "repro-bench-v7"
+                assert stats["schema"] == "repro-bench-v8"
                 assert stats["executed"] == 1
 
                 bad = client.call("width_reduce", {"benchmark": "nonsense"})

@@ -8,9 +8,17 @@ Also covers the RBCF snapshot integration — a shard with a
 starts from disk instead of re-running build+sift.
 """
 
+import asyncio
+
 import pytest
 
-from repro.service.shards import Shard, ShardPool, family_of
+from repro.service.shards import (
+    DEFAULT_MAX_ALIVE,
+    Shard,
+    ShardPool,
+    default_max_alive,
+    family_of,
+)
 
 HOT = "3-5 RNS"
 COLD = "3-7 RNS"
@@ -144,6 +152,47 @@ class TestSnapshots:
         assert second.snapshot_loads == 0
         assert second.cold_builds == 1
 
+    def test_corrupt_snapshot_concurrent_queries_build_once(self, tmp_path):
+        """A truncated RBCF under concurrent load: both simultaneous
+        queries answer correctly via the cold-build repair path, and
+        batch coalescing keeps it to a *single* rebuild."""
+        from repro.service.protocol import Request
+        from repro.service.server import Service
+
+        seed = Shard("rns", snapshot_dir=tmp_path)
+        seed.base_cf(HOT)
+        (path,) = tmp_path.glob("rns-*.rbcf")
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+
+        async def main():
+            service = Service(snapshot_dir=tmp_path, result_cache_size=0)
+            pump = asyncio.ensure_future(service._pump())
+            try:
+                reqs = [
+                    Request(
+                        id=f"q{i}",
+                        op="width_reduce",
+                        params={"benchmark": HOT},
+                    )
+                    for i in range(2)
+                ]
+                docs = await asyncio.gather(
+                    *(service.handle_request(r) for r in reqs)
+                )
+                return docs, service.pool.get("rns")
+            finally:
+                service._stopping = True
+                service._work.set()
+                await pump
+                service.close()
+
+        docs, shard = asyncio.run(main())
+        assert all(doc["ok"] for doc in docs)
+        fps = {doc["result"]["fingerprint"] for doc in docs}
+        assert len(fps) == 1
+        assert shard.snapshot_loads == 0, "truncated snapshot must miss"
+        assert shard.cold_builds == 1, "coalescing prevents a double build"
+
     def test_no_snapshot_dir_means_no_files(self, tmp_path):
         shard = Shard("rns")
         shard.base_cf(HOT)
@@ -154,6 +203,37 @@ class TestSnapshots:
         pool = ShardPool(snapshot_dir=tmp_path)
         pool.execute("width_reduce", {"benchmark": HOT})
         assert pool.get("rns").snapshot_writes == 1
+
+
+class TestMaxAliveEnv:
+    """``REPRO_MAX_ALIVE`` sizes the housekeeping ceiling (PR 9 S1)."""
+
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MAX_ALIVE", raising=False)
+        assert default_max_alive() == DEFAULT_MAX_ALIVE
+        assert ShardPool().max_alive == DEFAULT_MAX_ALIVE
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_ALIVE", "12345")
+        assert default_max_alive() == 12345
+        assert ShardPool().max_alive == 12345
+
+    def test_explicit_ceiling_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_ALIVE", "12345")
+        assert ShardPool(max_alive=7).max_alive == 7
+
+    def test_malformed_or_zero_env_is_safe(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_ALIVE", "not-a-number")
+        assert default_max_alive() == DEFAULT_MAX_ALIVE
+        # lo=1 clamp: 0 would make housekeep evict everything always.
+        monkeypatch.setenv("REPRO_MAX_ALIVE", "0")
+        assert default_max_alive() == 1
+
+    def test_housekeep_reads_env_at_call_time(self, monkeypatch):
+        shard = hot_cold_shard()
+        monkeypatch.setenv("REPRO_MAX_ALIVE", "1")
+        shard.housekeep()  # no explicit ceiling -> env governs
+        assert shard.cfs == {}
 
 
 class TestFamilyRouting:

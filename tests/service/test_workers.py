@@ -4,7 +4,7 @@ The worker layer's contract has three parts worth pinning separately:
 
 * :class:`ShardWorker` — one process, one family, pipe RPC.  Replies
   carry results, serialized engine errors, and the counter deltas the
-  parent needs for schema-v7 accounting.
+  parent needs for schema-v8 accounting.
 * :class:`WorkerPool` — lazy spawn per family with an LRU soft cap
   that never reaps a busy worker.
 * ``Service(workers=N)`` — the asyncio dispatcher end to end,
@@ -208,7 +208,7 @@ class TestServiceWorkerMode:
         assert rns["ok"] and dec["ok"]
         assert rns["meta"]["shard"] == "rns"
         assert dec["meta"]["shard"] == "decimal"
-        assert stats["schema_version"] == 7
+        assert stats["schema_version"] == 8
         assert stats["mode"] == "multi-process"
         procs = stats["workers"]["processes"]
         assert set(procs) == {"rns", "decimal"}
