@@ -1,0 +1,154 @@
+"""Distributed sweep fabric benchmark (BENCH_PR10.json).
+
+Runs the same Table 4 (+ Table 5) row sweep three ways through
+:mod:`repro.parallel`:
+
+* ``jobs=1`` — the in-process sequential baseline;
+* ``fabric`` — coordinator plus one local lease-holding worker over a
+  fresh fabric directory (``repro sweep --fabric`` in one process);
+* ``fabric-recovery`` — the same sweep with a *ghost lease* planted on
+  the first row before the coordinator starts, simulating a worker
+  whose machine vanished mid-row: the coordinator must expire the
+  lease, fence the epoch, and re-run the row.
+
+Asserts the fabric acceptance gate: every row accounted for
+(``len(results) + len(failures) == len(tasks)``), bit-identical row
+fingerprints and additive engine counters across all three sweeps,
+zero stale/duplicate merges on the clean run, and at least one
+expired-then-fenced lease on the recovery run.  Wall times, the
+lease-ledger tallies, and recovery overhead are written to
+``BENCH_PR10.json`` at the repo root.
+
+Environment: ``REPRO_BENCH_FULL=1`` sweeps every Table 4 + Table 5 row
+instead of the reduced set; ``REPRO_BENCH_TIMEOUT`` /
+``REPRO_BENCH_RETRIES`` set the per-attempt deadline and retry budget.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bdd import stats
+from repro.benchfns.registry import arithmetic_names, table4_names
+from repro.parallel import (
+    CostModel,
+    LeaseLedger,
+    config_hash,
+    row_fingerprint,
+    run_fabric,
+    run_tasks,
+    table4_task,
+    table5_task,
+    write_parallel_bench,
+)
+
+from conftest import (
+    REPO_ROOT,
+    RESULTS_DIR,
+    bench_full,
+    bench_retries,
+)
+
+BENCH_PR10 = REPO_ROOT / "BENCH_PR10.json"
+
+#: TTL for the recovery leg — short, so expiring the ghost lease costs
+#: about a second instead of the production default ten.
+RECOVERY_TTL = 1.0
+
+QUICK_TABLE4 = [
+    "5-7-11-13 RNS",
+    "4-digit 11-nary to binary",
+    "6-digit 5-nary to binary",
+    "3-digit decimal adder",
+]
+QUICK_TABLE5 = ["5-7-11-13 RNS", "2-digit decimal multiplier"]
+
+
+def build_tasks():
+    if bench_full():
+        t4, t5 = table4_names(), arithmetic_names()
+    else:
+        t4, t5 = QUICK_TABLE4, QUICK_TABLE5
+    return [table4_task(n, verify=True) for n in t4] + [
+        table5_task(n, verify=True) for n in t5
+    ]
+
+
+def _assert_matches_baseline(label, report, baseline, tasks):
+    assert len(report.results) + len(report.failures) == len(tasks), label
+    assert not report.failures, (label, [f.key for f in report.failures])
+    fps = {r.key: row_fingerprint(r.result) for r in report.results}
+    base = {r.key: row_fingerprint(r.result) for r in baseline.results}
+    assert fps == base, f"{label}: row fingerprints differ from jobs=1"
+    for key in (*stats.ADDITIVE_KEYS, "rows_completed"):
+        assert report.stats_totals[key] == baseline.stats_totals[key], (
+            f"{label}: aggregated {key} differs from jobs=1"
+        )
+
+
+def test_fabric_sweep_equivalence_and_recovery(tmp_path):
+    """jobs=1 vs fabric vs fabric-with-machine-loss: BENCH_PR10."""
+    tasks = build_tasks()
+    cost_model = CostModel.load(
+        RESULTS_DIR / "costs.json", seed_bench=sorted(REPO_ROOT.glob("BENCH_*.json"))
+    )
+    retries = bench_retries()
+
+    with stats.record("fabric_sweep_seq", rows=len(tasks)):
+        sequential = run_tasks(tasks, jobs=1, cost_model=cost_model, retries=retries)
+
+    with stats.record("fabric_sweep_clean", rows=len(tasks)):
+        clean = run_fabric(
+            tasks, tmp_path / "clean", cost_model=cost_model, retries=retries
+        )
+    _assert_matches_baseline("fabric", clean, sequential, tasks)
+    assert clean.fabric["results_stale"] == 0
+    assert clean.fabric["results_duplicate"] == 0
+    assert clean.fabric["leases_granted"] == len(tasks)
+
+    # Machine loss: a worker leased the first row and vanished.
+    lossy_root = tmp_path / "lossy"
+    ledger = LeaseLedger(lossy_root, lease_ttl=RECOVERY_TTL)
+    ledger.ensure_dirs()
+    ledger.acquire(config_hash(tasks[0]), tasks[0].key, "ghost-worker")
+    with stats.record("fabric_sweep_recovery", rows=len(tasks)):
+        lossy = run_fabric(
+            tasks,
+            lossy_root,
+            lease_ttl=RECOVERY_TTL,
+            resume=True,
+            cost_model=cost_model,
+            retries=max(1, retries),
+            ledger=ledger,
+        )
+    _assert_matches_baseline("fabric-recovery", lossy, sequential, tasks)
+    assert lossy.fabric["leases_expired"] >= 1
+    assert lossy.fabric["leases_fenced"] >= 1
+
+    recovery_overhead_s = lossy.wall_s - clean.wall_s
+    stats.RECORDS["fabric_sweep"] = {
+        "rows": len(tasks),
+        "sequential_wall_s": sequential.wall_s,
+        "fabric_wall_s": clean.wall_s,
+        "fabric_recovery_wall_s": lossy.wall_s,
+        "recovery_overhead_s": recovery_overhead_s,
+        "lease_ttl": RECOVERY_TTL,
+        "leases_expired": lossy.fabric["leases_expired"],
+        "cpu_count": os.cpu_count(),
+    }
+    path = write_parallel_bench(
+        BENCH_PR10,
+        {"jobs=1": sequential, "fabric": clean, "fabric-recovery": lossy},
+        meta={
+            "suite": "bench_fabric",
+            "full": bench_full(),
+            "rows": [t.key for t in tasks],
+        },
+    )
+    print(
+        f"\nfabric sweep over {len(tasks)} rows: jobs=1 "
+        f"{sequential.wall_s:.2f}s, fabric {clean.wall_s:.2f}s, with "
+        f"machine-loss recovery {lossy.wall_s:.2f}s "
+        f"(+{recovery_overhead_s:.2f}s to expire a {RECOVERY_TTL:.0f}s "
+        f"lease); report written to {path}"
+    )

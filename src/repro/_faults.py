@@ -10,7 +10,15 @@ from one spec.
 ``mode=site@count`` entries.  A *site* is any stable string the
 instrumented code passes to :func:`fire` — row-task keys
 (``table4:5xp1``), service worker families (``service:rns``), or
-front-end ops (``frontend:decompose``).  Modes:
+front-end ops (``frontend:decompose``).  The sweep fabric (PR 10,
+:mod:`repro.parallel.fabric`) adds three sites per row:
+``fabric:<key>`` fires in a worker right after it acquires the row's
+lease (an ``abort`` here is a machine lost mid-row),
+``fabric-commit:<key>`` fires in the worker just before it appends the
+result to its segment, with heartbeats paused (a stale-commit window),
+and ``fabric-merge:<key>`` fires in the *coordinator* right after it
+journals an accepted result (an ``abort`` here is a coordinator kill,
+recovered by ``repro sweep --fabric --resume``).  Modes:
 
 * ``crash``  — the process dies with ``os._exit`` (simulated segfault).
   In the *parent* process (see below) the fault degrades to raising

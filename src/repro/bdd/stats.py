@@ -59,9 +59,16 @@ from pathlib import Path
 #: see :class:`repro.service.workers.CircuitBreaker`) inside the
 #: ``workers`` block, and the memory ``watchdog`` sampling block
 #: (RSS / alive-node readings plus the staged-degradation counters,
-#: see :mod:`repro.service.watchdog`).
-SCHEMA = "repro-bench-v8"
-SCHEMA_VERSION = 8
+#: see :mod:`repro.service.watchdog`).  v9 adds the distributed sweep
+#: fabric (PR 10): sweeps run under ``repro sweep --fabric`` carry a
+#: per-sweep ``fabric`` record with the lease-ledger tallies
+#: (``leases_granted`` / ``leases_expired`` / ``leases_fenced``,
+#: ``results_stale`` / ``results_duplicate``), the coordinator's
+#: ``lease_ttl``, and a per-worker liveness map (heartbeat ``beats``
+#: counter, pid, host, last wall-clock beat) — see
+#: :mod:`repro.parallel.fabric` and :mod:`repro.parallel.lease`.
+SCHEMA = "repro-bench-v9"
+SCHEMA_VERSION = 9
 
 #: Counters that add across managers and processes.  ``peak_nodes``
 #: aggregates with ``max`` instead and is handled separately.

@@ -6,7 +6,14 @@ Commands:
 * ``table5 [names...]`` — regenerate the reconstructed Table 5.
 * ``table6 [sizes...]`` — regenerate Table 6 for the given word counts.
 * ``sweep`` — run the Table 4+5 row sweep through the parallel
-  executor and emit a BENCH_PR3-style comparison JSON.
+  executor and emit a BENCH_PR3-style comparison JSON.  With
+  ``--fabric DIR`` the sweep runs as a distributed work queue any
+  number of ``sweep-worker`` processes can join; ``--status PATH``
+  summarizes a fabric directory (or journal) without running anything.
+* ``sweep-worker DIR`` — join a fabric sweep as an elastic worker:
+  lease rows from DIR, heartbeat, append checksummed results.
+* ``journal compact PATH`` — rewrite a sweep journal to the latest
+  result per row (the original is kept as ``PATH.old``).
 * ``figures`` — print the figure reproductions (2, 5, 6, 7, 8, 9).
 * ``scaling [sizes...]`` — word-list scaling study (Fig. 8 vs DC=0).
 * ``demo`` — the Table 1 worked example, end to end.
@@ -133,6 +140,72 @@ def main(argv: Sequence[str] | None = None) -> int:
         metavar="PATH",
         help="persist/reuse per-row cost estimates at PATH",
     )
+    psweep.add_argument(
+        "--fabric",
+        metavar="DIR",
+        default=None,
+        help="coordinate the sweep as a distributed work queue in DIR "
+        "(lease ledger + journal); any number of 'repro sweep-worker "
+        "DIR' processes may join, on this box or others sharing the "
+        "filesystem",
+    )
+    psweep.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="S",
+        help="with --fabric: seconds without worker heartbeats before a "
+        "row's lease is fenced and the row re-queued (default: 10)",
+    )
+    psweep.add_argument(
+        "--no-local-work",
+        action="store_true",
+        help="with --fabric: coordinate only; do not run an in-process "
+        "worker (the sweep then progresses solely via sweep-worker "
+        "processes)",
+    )
+    psweep.add_argument(
+        "--status",
+        metavar="PATH",
+        default=None,
+        help="print rows done/failed/leased/pending and per-worker "
+        "heartbeat ages for a fabric directory (or bare journal) "
+        "without starting a run, then exit",
+    )
+
+    pworker = sub.add_parser(
+        "sweep-worker",
+        help="join a fabric sweep: lease rows from DIR until done or idle",
+    )
+    pworker.add_argument("dir", help="the coordinator's --fabric directory")
+    pworker.add_argument(
+        "--worker-id",
+        metavar="ID",
+        default=None,
+        help="stable worker identity (default: <hostname>-<pid>)",
+    )
+    pworker.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="seconds between lease attempts when no row is available "
+        "(default: 0.5)",
+    )
+    pworker.add_argument(
+        "--max-idle",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="exit after S seconds with nothing leasable; 0 waits "
+        "forever (default: 60)",
+    )
+
+    pjournal = sub.add_parser(
+        "journal", help="maintain sweep/fabric write-ahead journals"
+    )
+    pjournal.add_argument("action", choices=["compact"])
+    pjournal.add_argument("path", help="journal file to rewrite")
 
     sub.add_parser("figures", help="print the figure reproductions")
     sub.add_parser("demo", help="Table 1 worked example")
@@ -347,8 +420,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
 
     args = parser.parse_args(argv)
-    if getattr(args, "resume", False) and not getattr(args, "journal", None):
-        parser.error("--resume requires --journal PATH")
+    if (
+        getattr(args, "resume", False)
+        and not getattr(args, "journal", None)
+        and not getattr(args, "fabric", None)
+    ):
+        parser.error("--resume requires --journal PATH (or --fabric DIR)")
+    if getattr(args, "fabric", None) and getattr(args, "journal", None):
+        parser.error("--fabric keeps its own journal; drop --journal")
     command = args.command
     if command == "table4":
         return _cmd_table4(args)
@@ -358,6 +437,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_table6(args)
     if command == "sweep":
         return _cmd_sweep(args)
+    if command == "sweep-worker":
+        return _cmd_sweep_worker(args)
+    if command == "journal":
+        return _cmd_journal(args)
     if command == "figures":
         return _cmd_figures()
     if command == "scaling":
@@ -450,12 +533,81 @@ def _cmd_table6(args) -> int:
     return 0
 
 
+def _cmd_sweep_status(path: str) -> int:
+    """``repro sweep --status PATH``: inspect, never run."""
+    from repro.errors import ReproError
+    from repro.parallel import fabric_status
+
+    try:
+        status = fabric_status(path)
+    except (ReproError, OSError) as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 1
+    parts = [f"done {status['rows_done']}", f"failed {status['rows_failed']}"]
+    if "rows_leased" in status:
+        parts.append(f"leased {status['rows_leased']}")
+    if "rows_pending" in status:
+        parts.append(f"pending {status['rows_pending']}")
+    total = status.get("rows_total")
+    suffix = f" of {total} row(s)" if total is not None else ""
+    print(f"{status['journal']}: " + ", ".join(parts) + suffix)
+    for key, failure_status in sorted(status["failed"].items()):
+        print(f"  failed {key}: {failure_status}")
+    for key, info in sorted(status.get("leased", {}).items()):
+        print(f"  leased {key} -> {info['worker']} (epoch {info['epoch']})")
+    for worker, info in sorted(status.get("workers", {}).items()):
+        print(
+            f"  worker {worker}: pid {info['pid']} on {info['host']}, "
+            f"{info['beats']} beat(s), last heartbeat "
+            f"{info['heartbeat_age_s']:.1f}s ago"
+        )
+    return 0
+
+
+def _cmd_sweep_worker(args) -> int:
+    from repro.errors import ReproError
+    from repro.parallel import run_worker
+
+    try:
+        summary = run_worker(
+            args.dir,
+            worker_id=args.worker_id,
+            poll_s=args.poll,
+            max_idle_s=None if args.max_idle <= 0 else args.max_idle,
+        )
+    except ReproError as exc:
+        print(f"sweep-worker failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"worker {summary['worker']}: leased {summary['leased']}, "
+        f"completed {summary['completed']}, failed {summary['failed']}"
+    )
+    return 0
+
+
+def _cmd_journal(args) -> int:
+    from repro.errors import JournalError
+    from repro.parallel import compact_journal
+
+    try:
+        before, after = compact_journal(args.path)
+    except JournalError as exc:
+        print(f"journal compact failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"compacted {args.path}: {before} -> {after} record(s); "
+        f"original kept at {args.path}.old"
+    )
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     from repro.benchfns.registry import arithmetic_names, table4_names
     from repro.errors import ReproError
     from repro.parallel import (
         CostModel,
         row_fingerprint,
+        run_fabric,
         run_tasks,
         table4_task,
         table5_task,
@@ -463,6 +615,8 @@ def _cmd_sweep(args) -> int:
     )
     from repro.parallel.report import write_parallel_bench
 
+    if args.status:
+        return _cmd_sweep_status(args.status)
     tables = {t.strip() for t in args.tables.split(",") if t.strip()}
     unknown = tables - {"4", "5", "6"}
     if unknown:
@@ -481,7 +635,10 @@ def _cmd_sweep(args) -> int:
             table4_task(
                 n,
                 verify=args.verify,
-                ship_cfs=args.jobs > 1,
+                # Fabric rows must hash identically to jobs=1 rows so a
+                # fabric journal resumes into (and totals compare
+                # against) the sequential reference.
+                ship_cfs=args.jobs > 1 and not args.fabric,
                 node_limit=args.node_limit,
             )
             for n in (args.names or table4_names())
@@ -502,19 +659,42 @@ def _cmd_sweep(args) -> int:
 
     cost_model = CostModel.load(args.cost_file) if args.cost_file else None
     sweeps = {}
+    parallel_label = "fabric" if args.fabric else f"jobs={args.jobs}"
     # The journal attaches to the sweep the user asked for; the extra
     # --compare baseline is a throwaway check and never journals.
-    if args.compare or args.jobs <= 1:
+    if args.compare or (args.jobs <= 1 and not args.fabric):
         sweeps["jobs=1"] = run_tasks(
             tasks,
             jobs=1,
             cost_model=cost_model,
             timeout=args.timeout,
             retries=args.retries,
-            journal=args.journal if args.jobs <= 1 else None,
-            resume=args.resume if args.jobs <= 1 else False,
+            journal=args.journal if args.jobs <= 1 and not args.fabric else None,
+            resume=args.resume if args.jobs <= 1 and not args.fabric else False,
         )
-    if args.jobs > 1:
+    if args.fabric:
+        from repro.parallel.lease import DEFAULT_LEASE_TTL
+
+        report = run_fabric(
+            tasks,
+            args.fabric,
+            lease_ttl=args.lease_ttl or DEFAULT_LEASE_TTL,
+            resume=args.resume,
+            local_work=not args.no_local_work,
+            cost_model=cost_model,
+            retries=args.retries,
+        )
+        sweeps["fabric"] = report
+        fab = report.fabric or {}
+        print(
+            f"fabric {args.fabric}: {len(fab.get('workers', {}))} worker(s), "
+            f"leases granted {fab.get('leases_granted', 0)}, "
+            f"expired {fab.get('leases_expired', 0)}, "
+            f"fenced {fab.get('leases_fenced', 0)}; "
+            f"stale results {fab.get('results_stale', 0)}, "
+            f"duplicates {fab.get('results_duplicate', 0)}"
+        )
+    elif args.jobs > 1:
         sweeps[f"jobs={args.jobs}"] = run_tasks(
             tasks,
             jobs=args.jobs,
@@ -524,7 +704,7 @@ def _cmd_sweep(args) -> int:
             journal=args.journal,
             resume=args.resume,
         )
-    parallel_report = sweeps.get(f"jobs={args.jobs}")
+    parallel_report = sweeps.get(parallel_label)
     if parallel_report is not None:
         for result in parallel_report.results:
             if result.status == "ok":
@@ -561,7 +741,7 @@ def _cmd_sweep(args) -> int:
         )
         print(
             f"parity OK over {compared} of {len(tasks)} rows: "
-            f"jobs=1 {baseline.wall_s:.2f}s vs jobs={args.jobs} "
+            f"jobs=1 {baseline.wall_s:.2f}s vs {parallel_label} "
             f"{parallel_report.wall_s:.2f}s"
         )
     for label, report in sweeps.items():

@@ -12,7 +12,14 @@ this package fans them out over a shared-nothing process pool:
   aggregation.
 * :mod:`repro.parallel.journal` — :class:`Journal`, the fsync'd
   write-ahead record of sweep progress behind ``--journal``/``--resume``
-  (crash-safe resume of interrupted sweeps).
+  (crash-safe resume of interrupted sweeps), plus read-only scanning
+  and ``repro journal compact``.
+* :mod:`repro.parallel.lease` / :mod:`repro.parallel.fabric` — the
+  distributed sweep fabric: a lease ledger (heartbeats, fencing
+  epochs, per-worker result segments) and the coordinator/worker loops
+  behind ``repro sweep --fabric`` / ``repro sweep-worker``, for elastic
+  multi-process — and, over a shared filesystem, multi-host — sweeps
+  with machine-loss recovery.
 * :mod:`repro.parallel.report` — the BENCH_PR3.json artifact.
 
 ``run_tasks(tasks, jobs=1)`` is the sequential in-process path used by
@@ -33,7 +40,14 @@ from repro.parallel.executor import (
     WorkerUsage,
     run_tasks,
 )
-from repro.parallel.journal import Journal, config_hash
+from repro.parallel.fabric import fabric_status, run_fabric, run_worker
+from repro.parallel.journal import (
+    Journal,
+    compact_journal,
+    config_hash,
+    scan_journal,
+)
+from repro.parallel.lease import LeaseLedger
 from repro.parallel.report import write_parallel_bench
 from repro.parallel.tasks import (
     RowTask,
@@ -49,15 +63,21 @@ from repro.parallel.tasks import (
 __all__ = [
     "CostModel",
     "Journal",
+    "LeaseLedger",
     "RowTask",
     "SweepReport",
     "TaskFailure",
     "TaskResult",
     "WorkerUsage",
+    "compact_journal",
     "config_hash",
     "execute_task",
+    "fabric_status",
     "row_fingerprint",
+    "run_fabric",
     "run_tasks",
+    "run_worker",
+    "scan_journal",
     "table4_task",
     "table5_task",
     "table6_task",

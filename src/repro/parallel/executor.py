@@ -110,6 +110,11 @@ class SweepReport:
     retries: int = 0
     rows_resumed: int = 0
     journal_path: str | None = None
+    #: Fabric-sweep accounting (leases granted/expired/fenced, stale and
+    #: duplicate results, per-worker liveness) when the report came from
+    #: :func:`repro.parallel.fabric.run_fabric`; ``None`` for pool and
+    #: in-process sweeps.
+    fabric: dict | None = None
 
     @property
     def rows(self) -> list:
@@ -136,7 +141,7 @@ class SweepReport:
 
     def to_record(self) -> dict:
         """JSON-ready summary for BENCH_*.json emission."""
-        return {
+        record = {
             "jobs": self.jobs,
             "wall_s": self.wall_s,
             "busy_s": self.busy_s,
@@ -169,6 +174,9 @@ class SweepReport:
             "journal_path": self.journal_path,
             "stats_totals": dict(self.stats_totals),
         }
+        if self.fabric is not None:
+            record["fabric"] = dict(self.fabric)
+        return record
 
 
 def _traceback_digest(exc: BaseException) -> str:
@@ -581,7 +589,7 @@ def _run_pool(
         pool.shutdown(wait=True, cancel_futures=True)
 
 
-def _aggregate(report: SweepReport) -> dict:
+def aggregate_stats(report: SweepReport) -> dict:
     """Sum the additive counters over all task deltas; max the peak.
 
     Also folds in the sweep-outcome counters
@@ -605,6 +613,12 @@ def _aggregate(report: SweepReport) -> dict:
     totals["retries"] = report.retries
     totals["rows_resumed"] = report.rows_resumed
     return totals
+
+
+# The fabric coordinator (:mod:`repro.parallel.fabric`) aggregates its
+# reports through the same function, so N elastic workers total exactly
+# like N pool workers; the leading-underscore name predates that reuse.
+_aggregate = aggregate_stats
 
 
 def _worker_usage(

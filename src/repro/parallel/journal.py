@@ -26,10 +26,18 @@ stale hash (same key, different options) is re-run with a warning.
 ``crc`` is a BLAKE2b digest of the record's canonical JSON without the
 ``crc`` field itself.
 
-Durability: every append is flushed and ``fsync``'d before the row's
-outcome is reported to the caller, and each record is a single
-``write`` of one complete line, so the only possible damage from a
-kill is a *torn tail* — a partial final line.  On open, the journal
+Durability: by default every append is flushed and ``fsync``'d before
+the row's outcome is reported to the caller, and each record is a
+single ``write`` of one complete line, so the only possible damage
+from a kill is a *torn tail* — a partial final line.  Long fabric
+ledgers on slow disks can relax this: with ``REPRO_JOURNAL_FSYNC=0``
+(read through :func:`repro._config.env_flag`; the default stays the
+safe per-record fsync) appends are still flushed to the OS per record
+but ``fsync`` runs only every :data:`FSYNC_BATCH` records, on
+:meth:`Journal.sync`, and on close.  A kill can then lose a *suffix*
+of recent records — never corrupt earlier ones — and the torn-tail
+truncation below still recovers the journal (pinned by
+``tests/parallel/test_journal.py``).  On open, the journal
 scans forward record by record; at the first undecodable or
 checksum-failing line it copies the damaged remainder to ``<path>.bad``
 (same idiom as :meth:`~repro.parallel.costs.CostModel.load`), truncates
@@ -58,19 +66,31 @@ import warnings
 from pathlib import Path
 from typing import Any
 
+from repro._config import env_flag
 from repro.errors import JournalError
 from repro.parallel.tasks import RowTask, TaskResult
 
 __all__ = [
+    "FSYNC_BATCH",
     "JOURNAL_FORMAT",
     "JOURNAL_VERSION",
     "Journal",
     "RESUMABLE_STATUSES",
+    "compact_journal",
     "config_hash",
+    "decode_record_line",
+    "decode_result_payload",
+    "encode_record_line",
+    "encode_result_payload",
+    "scan_journal",
 ]
 
 JOURNAL_FORMAT = "repro-sweep-journal"
 JOURNAL_VERSION = 1
+
+#: With batched fsync (``REPRO_JOURNAL_FSYNC=0``), how many appends may
+#: pass between explicit ``fsync`` calls.
+FSYNC_BATCH = 64
 
 #: ``TaskResult.status`` values that make a journaled row resumable.
 RESUMABLE_STATUSES = ("ok", "degraded", "budget_exceeded")
@@ -99,13 +119,49 @@ def _crc(record: dict) -> str:
     return hashlib.blake2b(canon.encode("utf-8"), digest_size=8).hexdigest()
 
 
-def _encode_result(result: TaskResult) -> str:
+def encode_record_line(record: dict) -> bytes:
+    """Stamp ``crc`` and serialise one record as a complete JSONL line.
+
+    Shared with the fabric's per-worker result segments
+    (:mod:`repro.parallel.lease`), which use the journal's exact
+    checksummed-line format so both sides share one torn-tail
+    discipline.
+    """
+    record = dict(record)
+    record["crc"] = _crc(record)
+    return (
+        json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode_record_line(line: bytes) -> dict | None:
+    """Decode one JSONL line; ``None`` for partial or corrupt lines."""
+    if not line.endswith(b"\n"):
+        return None  # partial final write
+    try:
+        record = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict):
+        return None
+    if record.get("crc") != _crc(record):
+        return None
+    return record
+
+
+def encode_result_payload(result: TaskResult) -> str:
+    """Base64 pickle of a :class:`TaskResult` (journal/segment payload)."""
     raw = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
     return base64.b64encode(raw).decode("ascii")
 
 
-def _decode_result(payload: str) -> TaskResult:
+def decode_result_payload(payload: str) -> TaskResult:
+    """Inverse of :func:`encode_result_payload`."""
     return pickle.loads(base64.b64decode(payload.encode("ascii")))
+
+
+_encode_result = encode_result_payload
+_decode_result = decode_result_payload
 
 
 class Journal:
@@ -118,9 +174,23 @@ class Journal:
     underlying descriptor is released deterministically.
     """
 
-    def __init__(self, path: str | Path, *, resume: bool = False) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        resume: bool = False,
+        fsync: bool | None = None,
+    ) -> None:
         self.path = Path(path)
         self.resume = bool(resume)
+        #: True = fsync every record (the safe default); False = flush
+        #: per record, fsync every :data:`FSYNC_BATCH` appends and on
+        #: :meth:`sync`/:meth:`close`.  ``None`` reads the
+        #: ``REPRO_JOURNAL_FSYNC`` env knob.
+        self.fsync_every = (
+            env_flag("REPRO_JOURNAL_FSYNC", True) if fsync is None else bool(fsync)
+        )
+        self._unsynced = 0
         #: key -> latest valid *result* record (decoded lazily).
         self._results: dict[str, dict] = {}
         #: key -> latest valid *attempt* record (for :meth:`pending`).
@@ -231,17 +301,7 @@ class Journal:
 
     @staticmethod
     def _decode_line(line: bytes) -> dict | None:
-        if not line.endswith(b"\n"):
-            return None  # partial final write
-        try:
-            record = json.loads(line)
-        except (json.JSONDecodeError, UnicodeDecodeError):
-            return None
-        if not isinstance(record, dict):
-            return None
-        if record.get("crc") != _crc(record):
-            return None
-        return record
+        return decode_record_line(line)
 
     def _quarantine_tail(self, damaged: bytes) -> None:
         bad = self.path.with_name(self.path.name + ".bad")
@@ -253,19 +313,33 @@ class Journal:
     # -- appends (the write-ahead side) --------------------------------
 
     def _append(self, record: dict) -> None:
-        record = dict(record)
-        record["crc"] = _crc(record)
-        line = (json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n").encode(
-            "utf-8"
-        )
+        line = encode_record_line(record)
         try:
             self._fh.write(line)
             self._fh.flush()
-            os.fsync(self._fh.fileno())
+            if self.fsync_every:
+                os.fsync(self._fh.fileno())
+            else:
+                self._unsynced += 1
+                if self._unsynced >= FSYNC_BATCH:
+                    os.fsync(self._fh.fileno())
+                    self._unsynced = 0
         except OSError as exc:
             raise JournalError(
                 f"cannot append to journal {self.path}: {exc}"
             ) from exc
+
+    def sync(self) -> None:
+        """Force any batched appends to stable storage now."""
+        fh = getattr(self, "_fh", None)
+        if fh is None or fh.closed:
+            return
+        try:
+            fh.flush()
+            os.fsync(fh.fileno())
+        except OSError as exc:
+            raise JournalError(f"cannot sync journal {self.path}: {exc}") from exc
+        self._unsynced = 0
 
     def record_attempt(self, task: RowTask, attempt: int, doc: dict | None = None) -> None:
         """Journal that an attempt of ``task`` is starting.
@@ -375,3 +449,87 @@ class Journal:
                 continue
             out[i] = result
         return out
+
+
+def scan_journal(path: str | Path) -> list[dict]:
+    """Read a journal's valid records without mutating the file.
+
+    Unlike ``Journal(path, resume=True)`` this never truncates a torn
+    tail or writes a ``.bad`` sidecar — it simply stops at the first
+    undecodable line.  ``repro sweep --status`` and
+    :func:`compact_journal` use it so inspection is always safe to run
+    against a journal another process is appending to.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path}: {exc}") from exc
+    records: list[dict] = []
+    for line in io.BytesIO(raw):
+        record = decode_record_line(line)
+        if record is None:
+            break
+        records.append(record)
+    if not records or records[0].get("format") != JOURNAL_FORMAT:
+        raise JournalError(
+            f"{path} is not a {JOURNAL_FORMAT} v{JOURNAL_VERSION} journal"
+        )
+    return records
+
+
+def compact_journal(path: str | Path) -> tuple[int, int]:
+    """Rewrite a journal to the latest result/failure per row.
+
+    Long-lived fabric ledgers accumulate attempt records and superseded
+    results across resumes; compaction rewrites the file keeping only
+    the header and, per key, the *latest* result record (or, for keys
+    with no result at all, the latest failure record).  Attempt records
+    are dropped entirely — a compacted journal is a statement of
+    completed work, and resume re-runs anything without a result
+    anyway.  The original file is preserved as ``<path>.old`` and the
+    replacement is atomic, so a crash mid-compaction loses nothing.
+
+    Returns ``(records_before, records_after)`` counting non-header
+    records.
+    """
+    path = Path(path)
+    records = scan_journal(path)
+    results: dict[str, dict] = {}
+    failures: dict[str, dict] = {}
+    before = 0
+    for record in records[1:]:
+        before += 1
+        kind = record.get("type")
+        key = record.get("key")
+        if not isinstance(key, str):
+            continue
+        if kind == "result":
+            results[key] = record
+            failures.pop(key, None)
+        elif kind == "failure" and key not in results:
+            failures[key] = record
+    kept = list(results.values()) + list(failures.values())
+    tmp = path.with_name(path.name + ".compact.tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(encode_record_line({
+                "type": "header",
+                "format": JOURNAL_FORMAT,
+                "version": JOURNAL_VERSION,
+            }))
+            for record in kept:
+                handle.write(encode_record_line(
+                    {k: v for k, v in record.items() if k != "crc"}
+                ))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(path, path.with_name(path.name + ".old"))
+        os.replace(tmp, path)
+    except OSError as exc:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise JournalError(f"cannot compact journal {path}: {exc}") from exc
+    return before, len(kept)

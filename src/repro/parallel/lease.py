@@ -1,0 +1,497 @@
+"""Lease ledger for the distributed sweep fabric.
+
+The fabric (:mod:`repro.parallel.fabric`) runs one *coordinator* and
+any number of *workers* — separate processes on one box or on many
+machines sharing a filesystem.  This module is the ledger they
+coordinate through: a directory of small files colocated with the
+PR 5 write-ahead journal, designed so that every mutation is either an
+atomic create (``O_CREAT | O_EXCL``), an atomic replace
+(``tmp + os.replace``), or an fsync'd single-``write`` append — the
+same durability vocabulary as :mod:`repro.parallel.journal`.
+
+Layout (under one fabric directory)::
+
+    leases/<config>.json    one active lease per row, created O_EXCL
+    fence/<config>          current fencing epoch (missing = 0)
+    results/<worker>.jsonl  per-worker append-only result segments
+    workers/<worker>.json   per-worker heartbeat file (beat counter)
+    done/<config>           coordinator's done markers (final status)
+
+**Leases.**  A worker claims a row by *creating* its lease file — file
+creation with ``O_EXCL`` is atomic on POSIX filesystems, so two workers
+racing for the same row cannot both win.  The lease records the
+worker's identity and the row's current *fencing epoch*; lease files
+are immutable once created and only the coordinator removes them.
+
+**Heartbeats.**  Workers never touch their lease files again; instead
+each worker bumps a monotonically increasing *beat counter* in its own
+``workers/<worker>.json``.  Liveness is judged by the **coordinator's
+own monotonic clock**: a worker is alive while its beat counter keeps
+advancing, measured against ``time.monotonic()`` on the coordinator.
+Worker-side wall-clock timestamps are carried for display only and are
+never compared across machines — a worker with an arbitrarily skewed
+clock is indistinguishable from a well-behaved one (pinned by
+``tests/parallel/test_lease.py``).
+
+**Fencing.**  When a lease's heartbeats stop for longer than the TTL,
+the coordinator *fences* the row: it atomically bumps the row's epoch
+file and only then removes the lease.  Epochs are monotone and
+persistent, so they survive coordinator restarts.  A result segment
+record carries the epoch its producer held; the coordinator accepts a
+result only when that epoch equals the row's current fence epoch —
+a worker that was paused (SIGSTOP, VM migration, GC-of-the-OS) past
+its TTL and then resumed writes a *stale* record that is rejected, and
+the re-leased execution's record wins.  First valid result wins;
+later duplicates are counted, never double-merged.
+
+**Result segments.**  Each worker appends finished rows to its own
+``results/<worker>.jsonl`` — one writer per file, so appends never
+interleave.  Records reuse the journal's checksummed-JSONL format; the
+coordinator tails every segment incrementally and treats a partial
+final line as an append still in flight (re-read later), exactly the
+journal's torn-tail discipline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import JournalError
+from repro.parallel.journal import (
+    decode_record_line,
+    encode_record_line,
+)
+
+__all__ = [
+    "Lease",
+    "LeaseLedger",
+    "default_worker_id",
+]
+
+#: Seconds without heartbeat-counter movement before a lease expires.
+DEFAULT_LEASE_TTL = 10.0
+
+_SAFE_ID = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def default_worker_id() -> str:
+    """``<host>-<pid>`` — unique per live worker process."""
+    return _SAFE_ID.sub("-", f"{socket.gethostname()}-{os.getpid()}")
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One row's active claim: who holds it, under which fence epoch."""
+
+    config: str
+    key: str
+    worker: str
+    epoch: int
+    granted_unix: float
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class LeaseLedger:
+    """Filesystem lease/heartbeat/result ledger of one fabric directory.
+
+    Both sides construct one over the shared fabric directory; only the
+    coordinator calls the fencing/done/cleanup methods, only workers
+    call :meth:`acquire`/:meth:`heartbeat`/:meth:`append_result`.
+    ``clock`` is injectable for deterministic expiry tests and must be
+    monotonic; it is never compared against worker wall clocks.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.root = Path(root)
+        self.lease_ttl = float(lease_ttl)
+        self._clock = clock
+        self.leases_dir = self.root / "leases"
+        self.fence_dir = self.root / "fence"
+        self.results_dir = self.root / "results"
+        self.workers_dir = self.root / "workers"
+        self.done_dir = self.root / "done"
+        #: worker -> (last beat counter seen, coordinator clock at the
+        #: moment the counter was first seen at that value).
+        self._liveness: dict[str, tuple[int, float]] = {}
+        #: (config, epoch) -> coordinator clock when this lease was
+        #: first observed (fallback reference for workers that died
+        #: before their first heartbeat landed).
+        self._lease_seen: dict[tuple[str, int], float] = {}
+        #: per-segment byte offsets for incremental tailing.
+        self._segment_offsets: dict[str, int] = {}
+        #: in-memory beat counters (one writer per worker file).
+        self._beats: dict[str, int] = {}
+
+    def ensure_dirs(self) -> None:
+        for d in (
+            self.root,
+            self.leases_dir,
+            self.fence_dir,
+            self.results_dir,
+            self.workers_dir,
+            self.done_dir,
+        ):
+            d.mkdir(parents=True, exist_ok=True)
+
+    # -- fencing -------------------------------------------------------
+
+    def fence_epoch(self, config: str) -> int:
+        """Current fencing epoch for a row (0 before any fencing)."""
+        try:
+            return int((self.fence_dir / config).read_text())
+        except (OSError, ValueError):
+            return 0
+
+    def fence(self, config: str) -> int:
+        """Invalidate the row's current lease: bump the epoch, then
+        remove the lease file.  Returns the new epoch.
+
+        Order matters: the epoch is durable *before* the lease is
+        removed, so a coordinator killed in between leaves a lease the
+        next coordinator immediately recognises as stale (its recorded
+        epoch is below the fence) rather than a re-leasable row with a
+        live zombie holder.
+        """
+        epoch = self.fence_epoch(config) + 1
+        _atomic_write(self.fence_dir / config, str(epoch).encode("ascii"))
+        self.clear_lease(config)
+        return epoch
+
+    # -- leases --------------------------------------------------------
+
+    def acquire(self, config: str, key: str, worker: str) -> Lease | None:
+        """Claim a row; ``None`` when someone else holds it.
+
+        The lease is created with ``O_CREAT | O_EXCL`` — atomic on the
+        shared filesystem — and records the fence epoch read *before*
+        the create, so a lease can never carry an epoch newer than the
+        fence file.
+        """
+        epoch = self.fence_epoch(config)
+        lease = Lease(
+            config=config,
+            key=key,
+            worker=worker,
+            epoch=epoch,
+            granted_unix=time.time(),
+        )
+        path = self.leases_dir / f"{config}.json"
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return None
+        except OSError as exc:
+            raise JournalError(f"cannot create lease {path}: {exc}") from exc
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(
+                    {
+                        "config": lease.config,
+                        "key": lease.key,
+                        "worker": lease.worker,
+                        "epoch": lease.epoch,
+                        "granted_unix": lease.granted_unix,
+                    },
+                    handle,
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise JournalError(f"cannot write lease {path}: {exc}") from exc
+        return lease
+
+    def lease_of(self, config: str) -> Lease | None:
+        """The row's active lease, or ``None`` (missing or mid-write)."""
+        return self._read_lease(self.leases_dir / f"{config}.json")
+
+    def leases(self) -> list[Lease]:
+        """Every readable active lease, in deterministic (name) order."""
+        out = []
+        try:
+            names = sorted(os.listdir(self.leases_dir))
+        except OSError:
+            return []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            lease = self._read_lease(self.leases_dir / name)
+            if lease is not None:
+                out.append(lease)
+        return out
+
+    @staticmethod
+    def _read_lease(path: Path) -> Lease | None:
+        try:
+            doc = json.loads(path.read_text())
+            return Lease(
+                config=doc["config"],
+                key=doc["key"],
+                worker=doc["worker"],
+                epoch=int(doc["epoch"]),
+                granted_unix=float(doc.get("granted_unix", 0.0)),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def clear_lease(self, config: str) -> None:
+        """Remove a row's lease file (coordinator only; idempotent)."""
+        try:
+            os.unlink(self.leases_dir / f"{config}.json")
+        except OSError:
+            pass
+
+    # -- heartbeats and liveness ---------------------------------------
+
+    def heartbeat(self, worker: str, *, pid: int | None = None) -> int:
+        """Bump the worker's beat counter; returns the new count.
+
+        The write is an atomic replace of the worker's own file — one
+        writer per file, so there is no cross-worker race.  The wall
+        timestamp is informational (``sweep --status`` display); the
+        coordinator's liveness test looks only at the counter.
+        """
+        beats = self._beats.get(worker, 0) + 1
+        self._beats[worker] = beats
+        doc = {
+            "worker": worker,
+            "beats": beats,
+            "pid": pid if pid is not None else os.getpid(),
+            "host": socket.gethostname(),
+            "time_unix": time.time(),
+        }
+        _atomic_write(
+            self.workers_dir / f"{worker}.json",
+            json.dumps(doc).encode("utf-8"),
+        )
+        return beats
+
+    def worker_records(self) -> dict[str, dict]:
+        """Latest heartbeat document per worker (unreadable ones skipped)."""
+        out: dict[str, dict] = {}
+        try:
+            names = sorted(os.listdir(self.workers_dir))
+        except OSError:
+            return {}
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                doc = json.loads((self.workers_dir / name).read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(doc, dict) and "worker" in doc:
+                out[str(doc["worker"])] = doc
+        return out
+
+    def observe_liveness(self) -> None:
+        """Coordinator-side liveness sample: note beat-counter movement.
+
+        Must be called periodically; :meth:`lease_expired` judges
+        staleness from the interval (on the coordinator's clock) since
+        each counter last *moved*, which makes worker clock skew
+        irrelevant by construction.
+        """
+        now = self._clock()
+        for worker, doc in self.worker_records().items():
+            try:
+                beats = int(doc.get("beats", 0))
+            except (TypeError, ValueError):
+                continue
+            seen = self._liveness.get(worker)
+            if seen is None or beats > seen[0]:
+                self._liveness[worker] = (beats, now)
+
+    def lease_expired(self, lease: Lease) -> bool:
+        """True when the lease's worker has missed heartbeats past TTL.
+
+        The reference instant is the *latest* of: the worker's last
+        observed beat movement, and the moment the coordinator first
+        saw this (config, epoch) lease — so a worker that died before
+        its first heartbeat still expires one TTL after its lease
+        appeared, and a freshly granted lease is never reaped before
+        the coordinator has watched it for a full TTL.
+        """
+        now = self._clock()
+        first_seen = self._lease_seen.setdefault(
+            (lease.config, lease.epoch), now
+        )
+        reference = first_seen
+        seen = self._liveness.get(lease.worker)
+        if seen is not None:
+            reference = max(reference, seen[1])
+        return (now - reference) > self.lease_ttl
+
+    # -- done markers --------------------------------------------------
+
+    def mark_done(self, config: str, status: str) -> None:
+        """Record a row's final status so workers stop considering it."""
+        _atomic_write(self.done_dir / config, status.encode("utf-8"))
+
+    def done_status(self, config: str) -> str | None:
+        try:
+            return (self.done_dir / config).read_text()
+        except OSError:
+            return None
+
+    def done_map(self) -> dict[str, str]:
+        out: dict[str, str] = {}
+        try:
+            names = os.listdir(self.done_dir)
+        except OSError:
+            return {}
+        for name in names:
+            try:
+                out[name] = (self.done_dir / name).read_text()
+            except OSError:
+                continue
+        return out
+
+    def clear_done(self) -> None:
+        """Drop every done marker (coordinator start/resume reseeds them)."""
+        for name in list(self.done_map()):
+            try:
+                os.unlink(self.done_dir / name)
+            except OSError:
+                pass
+
+    # -- result segments -----------------------------------------------
+
+    def _segment_path(self, worker: str) -> Path:
+        return self.results_dir / f"{worker}.jsonl"
+
+    def _append_segment(self, worker: str, record: dict) -> None:
+        line = encode_record_line(record)
+        path = self._segment_path(worker)
+        try:
+            with open(path, "ab") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise JournalError(f"cannot append to segment {path}: {exc}") from exc
+
+    def append_result(
+        self, worker: str, config: str, key: str, epoch: int, payload: str,
+        *, status: str,
+    ) -> None:
+        """Append one finished row (base64-pickled ``TaskResult``)."""
+        self._append_segment(worker, {
+            "type": "result",
+            "config": config,
+            "key": key,
+            "epoch": int(epoch),
+            "worker": worker,
+            "status": status,
+            "payload": payload,
+        })
+
+    def append_failure(
+        self, worker: str, config: str, key: str, epoch: int,
+        *, status: str, error: str, traceback_digest: str = "",
+    ) -> None:
+        """Append one failed attempt (the coordinator charges/requeues)."""
+        self._append_segment(worker, {
+            "type": "failure",
+            "config": config,
+            "key": key,
+            "epoch": int(epoch),
+            "worker": worker,
+            "status": status,
+            "error": error,
+            "traceback_digest": traceback_digest,
+        })
+
+    def read_new_records(self) -> list[dict]:
+        """Tail every result segment from its last consumed offset.
+
+        Records come back in (segment name, file order) — stable across
+        calls.  A partial or checksum-failing final line is an append
+        still in flight: it is left unconsumed and re-read on the next
+        call, so a record is delivered either exactly once or never
+        (when its writer died mid-append).
+        """
+        out: list[dict] = []
+        try:
+            names = sorted(os.listdir(self.results_dir))
+        except OSError:
+            return []
+        for name in names:
+            if not name.endswith(".jsonl"):
+                continue
+            path = self.results_dir / name
+            offset = self._segment_offsets.get(name, 0)
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    raw = handle.read()
+            except OSError:
+                continue
+            consumed = 0
+            while True:
+                end = raw.find(b"\n", consumed)
+                if end < 0:
+                    break
+                line = raw[consumed : end + 1]
+                record = decode_record_line(line)
+                if record is None:
+                    # A *complete* line that fails its checksum is not
+                    # an in-flight append (those lack the newline);
+                    # give the writer one more pass to settle, then
+                    # the coordinator's lease expiry recovers the row.
+                    break
+                out.append(record)
+                consumed = end + 1
+            self._segment_offsets[name] = offset + consumed
+        return out
+
+    def reset(self) -> None:
+        """Wipe all ledger state (fresh, non-resumed coordinator start).
+
+        Leases, fences, done markers, result segments, and heartbeat
+        files all go; the journal (owned by the coordinator, not this
+        ledger) is handled separately.
+        """
+        self.ensure_dirs()
+        for directory in (
+            self.leases_dir,
+            self.fence_dir,
+            self.results_dir,
+            self.workers_dir,
+            self.done_dir,
+        ):
+            for name in os.listdir(directory):
+                try:
+                    os.unlink(directory / name)
+                except OSError:
+                    pass
+        self._liveness.clear()
+        self._lease_seen.clear()
+        self._segment_offsets.clear()

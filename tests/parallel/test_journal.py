@@ -287,3 +287,116 @@ class TestResumableStatuses:
         )
         assert resumed.rows_resumed == 1
         assert resumed.results[0].status == "budget_exceeded"
+
+class TestCompaction:
+    def test_latest_result_wins_and_attempts_drop(self, tmp_path):
+        from repro.parallel import compact_journal
+
+        path = tmp_path / "sweep.jsonl"
+        task = ROWS[0]
+        first = execute_task(task)
+        second = execute_task(task)
+        with Journal(path) as journal:
+            journal.record_attempt(task, 1)
+            journal.record_result(task, first)
+            journal.record_attempt(task, 2)  # a later resume re-observed it
+            journal.record_result(task, second)
+        original = path.read_bytes()
+        before, after = compact_journal(path)
+        assert (before, after) == (4, 1)
+        records = read_records(path)
+        assert [r["type"] for r in records] == ["header", "result"]
+        # The original is preserved untouched as .old.
+        assert path.with_name(path.name + ".old").read_bytes() == original
+        # The compacted journal still resumes the row.
+        with Journal(path, resume=True) as journal:
+            assert list(journal.resumable([task])) == [0]
+
+    def test_failure_superseded_by_result(self, tmp_path):
+        from repro.parallel import compact_journal
+        from repro.parallel.executor import TaskFailure
+
+        path = tmp_path / "sweep.jsonl"
+        done, lost = ROWS[0], ROWS[1]
+        with Journal(path) as journal:
+            journal.record_failure(
+                done,
+                TaskFailure(key=done.key, status="crashed", attempts=3, error="boom"),
+            )
+            journal.record_result(done, execute_task(done))
+            # A key with no result at all keeps its failure record.
+            journal.record_failure(
+                lost,
+                TaskFailure(key=lost.key, status="timeout", attempts=2, error="slow"),
+            )
+        before, after = compact_journal(path)
+        assert (before, after) == (3, 2)
+        kinds = {r["key"]: r["type"] for r in read_records(path)[1:]}
+        assert kinds == {done.key: "result", lost.key: "failure"}
+
+    def test_refuses_non_journal(self, tmp_path):
+        from repro.parallel import compact_journal
+
+        path = tmp_path / "sweep.jsonl"
+        path.write_text("nope\n")
+        with pytest.raises(JournalError):
+            compact_journal(path)
+
+    def test_cli_journal_compact(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "sweep.jsonl"
+        task = ROWS[0]
+        with Journal(path) as journal:
+            journal.record_attempt(task, 1)
+            journal.record_result(task, execute_task(task))
+        assert main(["journal", "compact", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 -> 1 record(s)" in out
+        assert path.with_name(path.name + ".old").exists()
+        assert main(["journal", "compact", str(tmp_path / "missing.jsonl")]) == 1
+
+
+class TestBatchedFsync:
+    def test_env_knob_defaults_safe(self, tmp_path, monkeypatch):
+        path = tmp_path / "sweep.jsonl"
+        monkeypatch.delenv("REPRO_JOURNAL_FSYNC", raising=False)
+        with Journal(path) as journal:
+            assert journal.fsync_every is True
+        monkeypatch.setenv("REPRO_JOURNAL_FSYNC", "0")
+        with Journal(path) as journal:
+            assert journal.fsync_every is False
+        # An explicit argument wins over the environment.
+        with Journal(path, fsync=True) as journal:
+            assert journal.fsync_every is True
+
+    def test_batched_appends_flushed_and_synced(self, tmp_path):
+        from repro.parallel.journal import FSYNC_BATCH
+
+        path = tmp_path / "sweep.jsonl"
+        with Journal(path, fsync=False) as journal:
+            for attempt in range(FSYNC_BATCH + 3):
+                journal.record_attempt(ROWS[0], attempt)
+            # Crossing the batch boundary resets the unsynced counter
+            # (the header append counts as the first unsynced record).
+            assert journal._unsynced == 4
+            journal.sync()
+            assert journal._unsynced == 0
+            # Records are flushed (visible) even before close.
+            assert len(read_records(path)) == FSYNC_BATCH + 4
+        assert len(read_records(path)) == FSYNC_BATCH + 4
+
+    def test_torn_tail_recovery_with_batching(self, tmp_path):
+        # The crash-recovery contract is identical with batching on: a
+        # torn tail is truncated to the last whole record, not trusted.
+        path = tmp_path / "sweep.jsonl"
+        task = ROWS[0]
+        with Journal(path, fsync=False) as journal:
+            journal.record_result(task, execute_task(task))
+        intact = path.read_bytes()
+        path.write_bytes(intact + b'{"type":"result","key":"tor')
+        with pytest.warns(UserWarning, match="torn tail"):
+            with Journal(path, resume=True, fsync=False) as journal:
+                assert journal.tail_truncated
+                assert list(journal.resumable([task])) == [0]
+        assert path.read_bytes() == intact

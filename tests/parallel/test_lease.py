@@ -1,0 +1,219 @@
+"""Lease-ledger pathology tests: skewed clocks, zombies, torn segments.
+
+The properties under test are the fabric's safety arguments
+(DESIGN.md §13):
+
+* lease acquisition is exclusive (atomic ``O_EXCL`` create);
+* liveness is judged from heartbeat *counter movement* against the
+  coordinator's own monotonic clock — a worker with an arbitrarily
+  wrong wall clock is indistinguishable from a healthy one, and a
+  heartbeat written *after* the TTL elapsed cannot resurrect a lease;
+* fencing epochs are monotone, durable, and bumped before the lease is
+  removed, so a paused-then-resumed worker's stale result is always
+  distinguishable;
+* result segments share the journal's checksummed-line discipline —
+  a partial tail is an in-flight append (re-read later), never data.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.parallel.lease import LeaseLedger, default_worker_id
+
+
+class FakeClock:
+    """Injectable monotonic clock: advances only when told to."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, s: float) -> None:
+        self.now += s
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    led = LeaseLedger(tmp_path, lease_ttl=10.0, clock=FakeClock())
+    led.ensure_dirs()
+    return led
+
+
+class TestAcquire:
+    def test_exclusive(self, ledger):
+        assert ledger.acquire("c1", "t:row", "w1") is not None
+        assert ledger.acquire("c1", "t:row", "w2") is None
+
+    def test_lease_records_fence_epoch(self, ledger):
+        ledger.fence("c1")
+        ledger.fence("c1")
+        lease = ledger.acquire("c1", "t:row", "w1")
+        assert lease.epoch == 2
+        assert ledger.lease_of("c1").worker == "w1"
+
+    def test_reacquirable_after_fence(self, ledger):
+        ledger.acquire("c1", "t:row", "w1")
+        ledger.fence("c1")
+        lease = ledger.acquire("c1", "t:row", "w2")
+        assert lease is not None and lease.epoch == 1
+
+    def test_default_worker_id_is_filesystem_safe(self):
+        worker = default_worker_id()
+        assert worker
+        assert "/" not in worker and " " not in worker
+
+
+class TestFencing:
+    def test_epoch_monotone_and_durable(self, ledger, tmp_path):
+        assert ledger.fence_epoch("c1") == 0
+        assert ledger.fence("c1") == 1
+        assert ledger.fence("c1") == 2
+        # A fresh ledger over the same directory (a restarted
+        # coordinator) sees the same epoch — fencing survives restarts.
+        reopened = LeaseLedger(tmp_path)
+        assert reopened.fence_epoch("c1") == 2
+
+    def test_fence_removes_the_lease(self, ledger):
+        ledger.acquire("c1", "t:row", "w1")
+        ledger.fence("c1")
+        assert ledger.lease_of("c1") is None
+
+
+class TestLiveness:
+    """Clock-skew immunity: only beat movement on the coordinator's
+    clock matters; worker wall timestamps are display-only."""
+
+    def _heartbeat_with_wall_time(self, ledger, worker, wall_unix):
+        """A heartbeat whose wall clock is arbitrarily wrong."""
+        ledger.heartbeat(worker)
+        path = ledger.workers_dir / f"{worker}.json"
+        doc = json.loads(path.read_text())
+        doc["time_unix"] = wall_unix
+        path.write_text(json.dumps(doc))
+
+    def test_clock_skewed_worker_stays_alive(self, ledger):
+        clock = ledger._clock
+        lease = ledger.acquire("c1", "t:row", "skewed")
+        # The worker's wall clock is days in the past — and drifts
+        # further every beat — but its counter keeps moving.
+        for i in range(5):
+            self._heartbeat_with_wall_time(ledger, "skewed", 1000.0 - i * 9000)
+            ledger.observe_liveness()
+            clock.advance(8.0)  # under the 10s TTL between moves
+            assert not ledger.lease_expired(lease)
+
+    def test_future_clock_cannot_immortalise(self, ledger):
+        clock = ledger._clock
+        lease = ledger.acquire("c1", "t:row", "future")
+        # One beat stamped far in the wall-clock future, then silence:
+        # the lease must still expire one TTL later.
+        self._heartbeat_with_wall_time(ledger, "future", 1e12)
+        ledger.observe_liveness()
+        assert not ledger.lease_expired(lease)  # coordinator's first look
+        clock.advance(10.1)
+        ledger.observe_liveness()
+        assert ledger.lease_expired(lease)
+
+    def test_heartbeat_after_expiry_is_too_late(self, ledger):
+        clock = ledger._clock
+        lease = ledger.acquire("c1", "t:row", "paused")
+        ledger.heartbeat("paused")
+        ledger.observe_liveness()
+        assert not ledger.lease_expired(lease)  # coordinator's first look
+        clock.advance(10.1)
+        ledger.observe_liveness()
+        assert ledger.lease_expired(lease)
+        epoch = ledger.fence("c1")
+        # The worker wakes up and heartbeats again — the row is already
+        # fenced, so its in-flight result (old epoch) is stale and the
+        # row is re-leasable under the new epoch.
+        ledger.heartbeat("paused")
+        ledger.observe_liveness()
+        assert ledger.fence_epoch("c1") == epoch == 1
+        assert lease.epoch < epoch
+        assert ledger.acquire("c1", "t:row", "other").epoch == 1
+
+    def test_fresh_lease_never_reaped_before_one_ttl(self, ledger):
+        # A worker that dies before its first heartbeat: the reference
+        # is the moment the coordinator first saw the lease.
+        lease = ledger.acquire("c1", "t:row", "stillborn")
+        assert not ledger.lease_expired(lease)  # first observation
+        ledger._clock.advance(9.9)
+        assert not ledger.lease_expired(lease)
+        ledger._clock.advance(0.2)
+        assert ledger.lease_expired(lease)
+
+    def test_silent_worker_expires(self, ledger):
+        lease = ledger.acquire("c1", "t:row", "w1")
+        ledger.heartbeat("w1")
+        ledger.observe_liveness()
+        assert not ledger.lease_expired(lease)  # coordinator's first look
+        ledger._clock.advance(5.0)
+        assert not ledger.lease_expired(lease)
+        ledger._clock.advance(5.2)
+        assert ledger.lease_expired(lease)
+
+
+class TestSegments:
+    def test_roundtrip_and_incremental_tail(self, ledger):
+        ledger.append_result("w1", "c1", "t:a", 0, "UGF5bG9hZA==", status="ok")
+        records = ledger.read_new_records()
+        assert len(records) == 1 and records[0]["config"] == "c1"
+        assert ledger.read_new_records() == []  # consumed
+        ledger.append_failure(
+            "w1", "c2", "t:b", 1, status="failed", error="boom"
+        )
+        (record,) = ledger.read_new_records()
+        assert record["type"] == "failure" and record["epoch"] == 1
+
+    def test_partial_tail_left_for_next_read(self, ledger):
+        ledger.append_result("w1", "c1", "t:a", 0, "cGF5", status="ok")
+        path = ledger.results_dir / "w1.jsonl"
+        intact = path.read_bytes()
+        with open(path, "ab") as fh:
+            fh.write(b'{"type":"result","config":"c2"')  # no newline
+        assert len(ledger.read_new_records()) == 1
+        # The writer finishes the line (with a valid crc): now it reads.
+        path.write_bytes(intact)
+        ledger.append_result("w1", "c2", "t:b", 0, "cGF5", status="ok")
+        (record,) = ledger.read_new_records()
+        assert record["config"] == "c2"
+
+    def test_checksum_failing_line_blocks_without_crashing(self, ledger):
+        path = ledger.results_dir / "w1.jsonl"
+        path.write_bytes(b'{"type":"result","config":"c1","crc":"nope"}\n')
+        assert ledger.read_new_records() == []
+
+    def test_records_attributed_per_worker_file(self, ledger):
+        ledger.append_result("w1", "c1", "t:a", 0, "cGF5", status="ok")
+        ledger.append_result("w2", "c2", "t:b", 0, "cGF5", status="ok")
+        records = ledger.read_new_records()
+        assert {r["worker"] for r in records} == {"w1", "w2"}
+
+
+class TestDoneAndReset:
+    def test_done_markers(self, ledger):
+        assert ledger.done_status("c1") is None
+        ledger.mark_done("c1", "ok")
+        assert ledger.done_status("c1") == "ok"
+        assert ledger.done_map() == {"c1": "ok"}
+        ledger.clear_done()
+        assert ledger.done_map() == {}
+
+    def test_reset_wipes_everything(self, ledger):
+        ledger.acquire("c1", "t:a", "w1")
+        ledger.fence("c2")
+        ledger.heartbeat("w1")
+        ledger.mark_done("c3", "ok")
+        ledger.append_result("w1", "c1", "t:a", 0, "cGF5", status="ok")
+        ledger.reset()
+        assert ledger.leases() == []
+        assert ledger.fence_epoch("c2") == 0
+        assert ledger.worker_records() == {}
+        assert ledger.done_map() == {}
+        assert ledger.read_new_records() == []

@@ -87,7 +87,7 @@ class TestSocketTransport:
                 ]
 
                 stats = client.call("stats")["result"]
-                assert stats["schema"] == "repro-bench-v8"
+                assert stats["schema"] == "repro-bench-v9"
                 assert stats["executed"] == 1
 
                 bad = client.call("width_reduce", {"benchmark": "nonsense"})

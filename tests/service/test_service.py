@@ -77,8 +77,8 @@ class TestWarmShards:
             return service.stats()
 
         stats = run_service(scenario)
-        assert stats["schema"] == "repro-bench-v8"
-        assert stats["schema_version"] == 8
+        assert stats["schema"] == "repro-bench-v9"
+        assert stats["schema_version"] == 9
         assert stats["mode"] == "in-process"
         cache = stats["result_cache"]
         assert set(cache) >= {"hits", "misses", "invalidations", "epoch"}

@@ -208,7 +208,7 @@ class TestServiceWorkerMode:
         assert rns["ok"] and dec["ok"]
         assert rns["meta"]["shard"] == "rns"
         assert dec["meta"]["shard"] == "decimal"
-        assert stats["schema_version"] == 8
+        assert stats["schema_version"] == 9
         assert stats["mode"] == "multi-process"
         procs = stats["workers"]["processes"]
         assert set(procs) == {"rns", "decimal"}
